@@ -1,0 +1,86 @@
+// Fig. 10 (Exp 5): 10-iteration PageRank elapsed time vs thread count on
+// the three real-world stand-ins (memory unconstrained, as the paper's
+// 16 GB setting keeps these graphs resident).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace nxgraph {
+namespace {
+
+struct Row {
+  std::string dataset;
+  std::string engine;
+  int threads;
+  double seconds;
+};
+std::vector<Row> g_rows;
+
+}  // namespace
+}  // namespace nxgraph
+
+int main(int argc, char** argv) {
+  using namespace nxgraph;
+  const bool full = bench::FullMode(argc, argv);
+  const char* datasets[] = {"live-journal-sim", "twitter-sim",
+                            "yahoo-web-sim"};
+  const bench::EngineKind engines[] = {
+      bench::EngineKind::kNxCallback, bench::EngineKind::kNxLock,
+      bench::EngineKind::kGraphChiLike, bench::EngineKind::kTurboGraphLike};
+  const int threads_axis[] = {1, 2, 4};
+
+  for (const char* dataset : datasets) {
+    auto store = bench::GetStore(dataset, 16, full);
+    for (auto kind : engines) {
+      for (int threads : threads_axis) {
+        std::string name = std::string(dataset) + "/" +
+                           bench::EngineName(kind) +
+                           "/threads:" + std::to_string(threads);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [=](benchmark::State& st) {
+              RunOptions opt;
+              opt.num_threads = threads;
+              RunStats stats;
+              for (auto _ : st) {
+                stats = bench::RunPageRankWith(kind, store, opt, 10);
+              }
+              st.counters["MTEPS"] = stats.Mteps();
+              g_rows.push_back(
+                  Row{dataset, bench::EngineName(kind), threads,
+                      stats.seconds});
+            })
+            ->Unit(benchmark::kSecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf("\n=== Fig. 10: PageRank x10 vs thread count "
+              "(elapsed seconds) ===\n");
+  for (const char* dataset : datasets) {
+    std::printf("\n-- %s --\n", dataset);
+    bench::Table table({"Engine", "1 thread", "2 threads", "4 threads"});
+    for (auto kind : engines) {
+      std::vector<std::string> row{bench::EngineName(kind), "-", "-", "-"};
+      for (const auto& r : g_rows) {
+        if (r.dataset != dataset || r.engine != bench::EngineName(kind)) {
+          continue;
+        }
+        size_t col = r.threads == 1 ? 1 : r.threads == 2 ? 2 : 3;
+        row[col] = bench::Fmt(r.seconds);
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nShape check (paper Fig. 10): NXgraph scales with threads "
+      "(fine-grained, conflict-free chunks) and stays fastest; the "
+      "coarse-grained baselines gain less from added threads. (This host "
+      "has fewer cores than the paper's hexa-core testbed, so the axis "
+      "stops at 4.)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 11 (Exp 6): throughput (MTEPS) on the delaunay graph family as the
+// vertex count doubles — the paper's scalability experiment. Metric is
+// Million Traversed Edges Per Second over 10 PageRank iterations.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace nxgraph {
+namespace {
+
+struct Row {
+  std::string dataset;
+  std::string engine;
+  double mteps;
+};
+std::vector<Row> g_rows;
+
+}  // namespace
+}  // namespace nxgraph
+
+int main(int argc, char** argv) {
+  using namespace nxgraph;
+  const bool full = bench::FullMode(argc, argv);
+  const char* datasets[] = {"delaunay_n20", "delaunay_n21", "delaunay_n22",
+                            "delaunay_n23", "delaunay_n24"};
+  const bench::EngineKind engines[] = {
+      bench::EngineKind::kNxCallback, bench::EngineKind::kNxLock,
+      bench::EngineKind::kGraphChiLike, bench::EngineKind::kTurboGraphLike};
+
+  for (const char* dataset : datasets) {
+    auto store = bench::GetStore(dataset, 16, full);
+    for (auto kind : engines) {
+      std::string name =
+          std::string(dataset) + "/" + bench::EngineName(kind);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [=](benchmark::State& st) {
+            RunOptions opt;
+            opt.num_threads = 4;
+            RunStats stats;
+            for (auto _ : st) {
+              stats = bench::RunPageRankWith(kind, store, opt, 10);
+            }
+            st.counters["MTEPS"] = stats.Mteps();
+            g_rows.push_back(
+                Row{dataset, bench::EngineName(kind), stats.Mteps()});
+          })
+          ->Unit(benchmark::kSecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf("\n=== Fig. 11: scalability on the delaunay family "
+              "(MTEPS, higher is better) ===\n\n");
+  bench::Table table({"Engine", "n20", "n21", "n22", "n23", "n24"});
+  for (auto kind : engines) {
+    std::vector<std::string> row{bench::EngineName(kind),
+                                 "-", "-", "-", "-", "-"};
+    for (const auto& r : g_rows) {
+      if (r.engine != bench::EngineName(kind)) continue;
+      for (size_t d = 0; d < 5; ++d) {
+        if (r.dataset == datasets[d]) row[d + 1] = bench::Fmt(r.mteps, 1);
+      }
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (paper Fig. 11): NXgraph throughput grows (or holds) "
+      "with graph size — larger graphs amortize scheduling overhead — and "
+      "stays above both baselines; the TurboGraph-like series trends down "
+      "as interval paging costs grow.\n");
+  return 0;
+}

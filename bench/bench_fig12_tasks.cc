@@ -1,0 +1,103 @@
+// Fig. 12 (Exp 7): BFS / SCC / WCC elapsed time on the three real-world
+// stand-ins. SCC runs on the NXgraph engines (the paper notes TurboGraph
+// ships no SCC and its BFS crashes; our TurboGraph-like baseline runs BFS
+// but has no transpose support, hence no SCC/WCC row — matching the
+// paper's gaps).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace nxgraph {
+namespace {
+
+struct Row {
+  std::string dataset;
+  std::string algo;
+  std::string engine;
+  double seconds;
+};
+std::vector<Row> g_rows;
+
+}  // namespace
+}  // namespace nxgraph
+
+int main(int argc, char** argv) {
+  using namespace nxgraph;
+  const bool full = bench::FullMode(argc, argv);
+  const char* datasets[] = {"live-journal-sim", "twitter-sim",
+                            "yahoo-web-sim"};
+
+  for (const char* dataset : datasets) {
+    auto store = bench::GetStore(dataset, 16, full);
+    struct Config {
+      const char* algo;
+      bench::EngineKind kind;
+    };
+    const Config configs[] = {
+        {"BFS", bench::EngineKind::kNxCallback},
+        {"BFS", bench::EngineKind::kNxLock},
+        {"BFS", bench::EngineKind::kGraphChiLike},
+        {"BFS", bench::EngineKind::kTurboGraphLike},
+        {"SCC", bench::EngineKind::kNxCallback},
+        {"SCC", bench::EngineKind::kNxLock},
+        {"WCC", bench::EngineKind::kNxCallback},
+        {"WCC", bench::EngineKind::kNxLock},
+        {"WCC", bench::EngineKind::kGraphChiLike},
+    };
+    for (const Config& config : configs) {
+      std::string name = std::string(dataset) + "/" + config.algo + "/" +
+                         bench::EngineName(config.kind);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [=](benchmark::State& st) {
+            RunOptions opt;
+            opt.num_threads = 4;
+            RunStats stats;
+            for (auto _ : st) {
+              if (std::string(config.algo) == "BFS") {
+                stats = bench::RunBfsWith(config.kind, store, opt);
+              } else if (std::string(config.algo) == "SCC") {
+                stats = bench::RunSccWith(config.kind, store, opt);
+              } else {
+                stats = bench::RunWccWith(config.kind, store, opt);
+              }
+            }
+            st.counters["MTEPS"] = stats.Mteps();
+            g_rows.push_back(Row{dataset, config.algo,
+                                 bench::EngineName(config.kind),
+                                 stats.seconds});
+          })
+          ->Unit(benchmark::kSecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf("\n=== Fig. 12: BFS, SCC and WCC (elapsed seconds; '-' = not "
+              "supported by that engine, as in the paper) ===\n");
+  for (const char* dataset : datasets) {
+    std::printf("\n-- %s --\n", dataset);
+    bench::Table table({"Engine", "BFS", "SCC", "WCC"});
+    const bench::EngineKind engines[] = {
+        bench::EngineKind::kNxCallback, bench::EngineKind::kNxLock,
+        bench::EngineKind::kGraphChiLike, bench::EngineKind::kTurboGraphLike};
+    for (auto kind : engines) {
+      std::vector<std::string> row{bench::EngineName(kind), "-", "-", "-"};
+      for (const auto& r : g_rows) {
+        if (r.dataset != dataset || r.engine != bench::EngineName(kind)) {
+          continue;
+        }
+        size_t col = r.algo == "BFS" ? 1 : r.algo == "SCC" ? 2 : 3;
+        row[col] = bench::Fmt(r.seconds);
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nShape check (paper Fig. 12): NXgraph leads on all tasks thanks to "
+      "interval-activity skipping; GraphChi-like lags most on targeted "
+      "queries (it rescans every shard per iteration).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 6: ratio of MPU total I/O to TurboGraph-like total I/O as the
+// memory budget sweeps 0..2nBa, with the paper's Yahoo-web parameters.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/engine/io_model.h"
+
+namespace nxgraph {
+namespace {
+
+IoModelParams YahooParams(double budget_gb) {
+  IoModelParams p;
+  p.n = 7.20e8;
+  p.m = 6.63e9;
+  p.Ba = 8;
+  p.Bv = 4;
+  p.Be = 4;
+  p.d = 15;  // the paper's measured 10-20 band, midpoint
+  p.BM = budget_gb * 1024.0 * 1024.0 * 1024.0;
+  return p;
+}
+
+void BM_RatioCurve(benchmark::State& state) {
+  for (auto _ : state) {
+    for (double gb = 0.25; gb < 12.0; gb += 0.25) {
+      benchmark::DoNotOptimize(MpuToTurboGraphRatio(YahooParams(gb)));
+    }
+  }
+}
+BENCHMARK(BM_RatioCurve);
+
+}  // namespace
+}  // namespace nxgraph
+
+int main(int argc, char** argv) {
+  using namespace nxgraph;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf(
+      "\n=== Fig. 6: total-I/O ratio, MPU / TurboGraph-like "
+      "(Yahoo-web, d=15, Ba=8, Bv=4, Be=4) ===\n\n");
+  bench::Table table({"Memory budget (GB)", "Ratio", "Q/P"});
+  for (double gb = 0.5; gb <= 11.5; gb += 0.5) {
+    IoModelParams p = YahooParams(gb);
+    table.AddRow({bench::Fmt(gb, 1),
+                  bench::Fmt(MpuToTurboGraphRatio(p), 4),
+                  bench::Fmt(std::min(1.0, p.BM / (2 * p.n * p.Ba)), 3)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: ratio < 1 everywhere (\"MPU always outperforms "
+      "TurboGraph-like\"), approaching 0 at small budgets.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Fig. 9 (Exp 4): 10-iteration PageRank elapsed time as the memory budget
+// varies, on all three real-world stand-ins, for NXgraph (callback and
+// lock schedulers, auto strategy) and the GraphChi-like / TurboGraph-like
+// baselines.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace nxgraph {
+namespace {
+
+struct Row {
+  std::string dataset;
+  std::string engine;
+  double budget_fraction;  // of full working set; 0 == unlimited
+  double seconds;
+};
+std::vector<Row> g_rows;
+
+}  // namespace
+}  // namespace nxgraph
+
+int main(int argc, char** argv) {
+  using namespace nxgraph;
+  const bool full = bench::FullMode(argc, argv);
+  const char* datasets[] = {"live-journal-sim", "twitter-sim",
+                            "yahoo-web-sim"};
+  const bench::EngineKind engines[] = {
+      bench::EngineKind::kNxCallback, bench::EngineKind::kNxLock,
+      bench::EngineKind::kGraphChiLike, bench::EngineKind::kTurboGraphLike};
+  const double fractions[] = {0.3, 0.6, 0.0};  // 0 == unlimited
+
+  for (const char* dataset : datasets) {
+    auto store = bench::GetStore(dataset, 16, full);
+    // Full working set: ping-pong vertex state + all sub-shard bytes.
+    const uint64_t working_set =
+        2 * store->num_vertices() * sizeof(double) +
+        store->TotalSubShardBytes(false) + store->num_vertices() * 4;
+    for (auto kind : engines) {
+      for (double fraction : fractions) {
+        const uint64_t budget =
+            fraction == 0.0
+                ? 0
+                : static_cast<uint64_t>(fraction * working_set);
+        std::string name = std::string(dataset) + "/" +
+                           bench::EngineName(kind) + "/budget:" +
+                           (fraction == 0.0 ? "unlimited"
+                                            : bench::Fmt(fraction, 1));
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [=](benchmark::State& st) {
+              RunOptions opt;
+              opt.num_threads = 4;
+              opt.memory_budget_bytes = budget;
+              RunStats stats;
+              for (auto _ : st) {
+                stats = bench::RunPageRankWith(kind, store, opt, 10);
+              }
+              st.counters["MTEPS"] = stats.Mteps();
+              st.counters["GB_read"] =
+                  static_cast<double>(stats.bytes_read) / 1e9;
+              g_rows.push_back(Row{dataset, bench::EngineName(kind), fraction,
+                                   stats.seconds});
+            })
+            ->Unit(benchmark::kSecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf("\n=== Fig. 9: PageRank x10 vs memory budget "
+              "(elapsed seconds; budget as fraction of working set) ===\n");
+  for (const char* dataset : datasets) {
+    std::printf("\n-- %s --\n", dataset);
+    bench::Table table({"Engine", "30%", "60%", "unlimited"});
+    for (auto kind : engines) {
+      std::vector<std::string> row{bench::EngineName(kind), "-", "-", "-"};
+      for (const auto& r : g_rows) {
+        if (r.dataset != dataset || r.engine != bench::EngineName(kind)) {
+          continue;
+        }
+        size_t col = r.budget_fraction == 0.3   ? 1
+                     : r.budget_fraction == 0.6 ? 2
+                                                : 3;
+        row[col] = bench::Fmt(r.seconds);
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nShape check (paper Fig. 9): NXgraph (either scheduler) beats both "
+      "baselines at every budget; NXgraph improves as the budget grows "
+      "(more resident intervals / cached sub-shards) and saturates once "
+      "everything fits.\n");
+  return 0;
+}

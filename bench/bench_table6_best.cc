@@ -1,0 +1,71 @@
+// Table VI (Exp 9): 1 iteration of PageRank in the best configuration
+// (unlimited budget => SPU, all threads). All in-repo engines run; the
+// paper's cross-system rows (PowerGraph cluster, MMAP) are printed as
+// cited context.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace nxgraph {
+namespace {
+
+struct Row {
+  std::string engine;
+  double seconds;
+};
+std::vector<Row> g_rows;
+
+}  // namespace
+}  // namespace nxgraph
+
+int main(int argc, char** argv) {
+  using namespace nxgraph;
+  const bool full = bench::FullMode(argc, argv);
+  auto store = bench::GetStore("twitter-sim", 16, full);
+
+  const bench::EngineKind engines[] = {
+      bench::EngineKind::kNxCallback, bench::EngineKind::kNxLock,
+      bench::EngineKind::kGraphChiLike, bench::EngineKind::kTurboGraphLike,
+      bench::EngineKind::kXStreamLike};
+  for (auto kind : engines) {
+    benchmark::RegisterBenchmark(
+        bench::EngineName(kind),
+        [=](benchmark::State& st) {
+          RunOptions opt;
+          opt.num_threads = 4;
+          RunStats stats;
+          for (auto _ : st) {
+            stats = bench::RunPageRankWith(kind, store, opt, 1);
+          }
+          st.counters["MTEPS"] = stats.Mteps();
+          g_rows.push_back(Row{bench::EngineName(kind), stats.seconds});
+        })
+        ->Unit(benchmark::kSecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf("\n=== Table VI: 1 iteration of PageRank, best case "
+              "(twitter-sim, unlimited memory, 4 threads) ===\n\n");
+  double nx_seconds = 0;
+  for (const auto& r : g_rows) {
+    if (r.engine == bench::EngineName(bench::EngineKind::kNxCallback)) {
+      nx_seconds = r.seconds;
+    }
+  }
+  bench::Table table({"System", "Time(s)", "Speedup of NXgraph"});
+  for (const auto& r : g_rows) {
+    table.AddRow({r.engine, bench::Fmt(r.seconds, 3),
+                  bench::Fmt(nx_seconds > 0 ? r.seconds / nx_seconds : 0)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper Table VI context (authors' hardware, full Twitter): NXgraph "
+      "2.05s; X-Stream 23.25s (11.6x); GridGraph 24.11s (12.0x); MMAP 13.10s "
+      "(6.5x); PowerGraph (64-node cluster) 3.60s (1.8x).\n"
+      "Shape check: NXgraph fastest among single-machine engines; "
+      "the distributed PowerGraph row is cited context only (out of scope, "
+      "DESIGN.md §7).\n");
+  return 0;
+}

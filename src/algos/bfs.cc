@@ -1,0 +1,30 @@
+#include "src/algos/bfs.h"
+
+#include "src/algos/programs.h"
+#include "src/engine/engine.h"
+
+namespace nxgraph {
+
+Result<BfsResult> RunBfs(std::shared_ptr<const GraphStore> store,
+                         VertexId root, RunOptions run_options) {
+  if (root >= store->num_vertices()) {
+    return Status::InvalidArgument("BFS root out of range");
+  }
+  BfsProgram program;
+  program.root = root;
+  run_options.direction = EdgeDirection::kForward;
+  Engine<BfsProgram> engine(store, program, run_options);
+  NX_ASSIGN_OR_RETURN(RunStats stats, engine.Run());
+  BfsResult result;
+  result.stats = std::move(stats);
+  result.depths = engine.values();
+  for (uint32_t d : result.depths) {
+    if (d != BfsProgram::kInfinity) {
+      ++result.reached;
+      result.max_depth = std::max(result.max_depth, d);
+    }
+  }
+  return result;
+}
+
+}  // namespace nxgraph

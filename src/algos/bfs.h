@@ -1,0 +1,27 @@
+// Breadth-first search driver (paper Algorithms 2-4).
+#ifndef NXGRAPH_ALGOS_BFS_H_
+#define NXGRAPH_ALGOS_BFS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/engine/options.h"
+#include "src/storage/graph_store.h"
+#include "src/util/result.h"
+
+namespace nxgraph {
+
+struct BfsResult {
+  std::vector<uint32_t> depths;  ///< UINT32_MAX == unreachable
+  uint32_t max_depth = 0;        ///< the paper's Output(I): spanning depth
+  uint64_t reached = 0;          ///< vertices with finite depth
+  RunStats stats;
+};
+
+/// BFS from `root` over forward edges.
+Result<BfsResult> RunBfs(std::shared_ptr<const GraphStore> store,
+                         VertexId root, RunOptions run_options);
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_ALGOS_BFS_H_

@@ -1,0 +1,90 @@
+#include "src/algos/hits.h"
+
+#include <cmath>
+
+#include "src/engine/engine.h"
+
+namespace nxgraph {
+
+namespace {
+
+// Propagates the current scores (seeded through Init) one step and sums
+// them at the destinations.
+struct SumProgram {
+  using Value = double;
+  static constexpr bool kMonotoneSkippable = false;
+
+  const double* seed = nullptr;
+
+  Value Init(VertexId v, uint32_t) const { return seed[v]; }
+  static Value Identity() { return 0.0; }
+  Value Gather(const EdgeContext&, const Value& src_value) const {
+    return src_value;
+  }
+  static Value Accumulate(const Value& a, const Value& b) { return a + b; }
+  Value Apply(VertexId, const Value& acc, const Value&) const { return acc; }
+  bool Changed(const Value&, const Value&) const { return false; }
+  bool InitiallyActive(VertexId) const { return true; }
+};
+
+void Normalize(std::vector<double>* scores) {
+  double norm = 0;
+  for (double s : *scores) norm += s * s;
+  norm = std::sqrt(norm);
+  if (norm <= 0) return;
+  for (double& s : *scores) s /= norm;
+}
+
+void Merge(RunStats* total, const RunStats& part) {
+  total->iterations += part.iterations;
+  total->seconds += part.seconds;
+  total->edges_traversed += part.edges_traversed;
+  total->bytes_read += part.bytes_read;
+  total->bytes_written += part.bytes_written;
+  if (total->strategy.empty()) total->strategy = part.strategy;
+}
+
+}  // namespace
+
+Result<HitsResult> RunHits(std::shared_ptr<const GraphStore> store,
+                           const HitsOptions& options,
+                           RunOptions run_options) {
+  if (!store->has_transpose()) {
+    return Status::InvalidArgument("HITS requires a store with transpose");
+  }
+  const uint64_t n = store->num_vertices();
+  HitsResult result;
+  result.authority.assign(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  result.hub = result.authority;
+
+  run_options.max_iterations = 1;
+  for (int it = 0; it < options.iterations; ++it) {
+    // authority[v] = sum over in-edges of hub[u]  (forward propagation).
+    {
+      SumProgram program;
+      program.seed = result.hub.data();
+      RunOptions opt = run_options;
+      opt.direction = EdgeDirection::kForward;
+      Engine<SumProgram> engine(store, program, opt);
+      NX_ASSIGN_OR_RETURN(RunStats stats, engine.Run());
+      Merge(&result.stats, stats);
+      result.authority = engine.values();
+      Normalize(&result.authority);
+    }
+    // hub[v] = sum over out-edges of authority[w]  (transpose propagation).
+    {
+      SumProgram program;
+      program.seed = result.authority.data();
+      RunOptions opt = run_options;
+      opt.direction = EdgeDirection::kTranspose;
+      Engine<SumProgram> engine(store, program, opt);
+      NX_ASSIGN_OR_RETURN(RunStats stats, engine.Run());
+      Merge(&result.stats, stats);
+      result.hub = engine.values();
+      Normalize(&result.hub);
+    }
+  }
+  return result;
+}
+
+}  // namespace nxgraph

@@ -1,0 +1,36 @@
+// HITS (hyperlink-induced topic search): authority/hub scores via
+// alternating propagation over the forward and transpose sub-shards — an
+// extension beyond the paper's four benchmark algorithms that exercises
+// the same engine plumbing as SCC (multi-run orchestration).
+#ifndef NXGRAPH_ALGOS_HITS_H_
+#define NXGRAPH_ALGOS_HITS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/engine/options.h"
+#include "src/storage/graph_store.h"
+#include "src/util/result.h"
+
+namespace nxgraph {
+
+struct HitsOptions {
+  int iterations = 10;
+};
+
+struct HitsResult {
+  std::vector<double> authority;  ///< L2-normalized
+  std::vector<double> hub;        ///< L2-normalized
+  RunStats stats;                 ///< aggregated over all engine runs
+};
+
+/// Runs `iterations` rounds of authority = sum of in-neighbour hubs,
+/// hub = sum of out-neighbour authorities, normalizing after each half
+/// step. Requires a store built with transpose sub-shards.
+Result<HitsResult> RunHits(std::shared_ptr<const GraphStore> store,
+                           const HitsOptions& options,
+                           RunOptions run_options);
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_ALGOS_HITS_H_

@@ -1,0 +1,27 @@
+#include "src/algos/pagerank.h"
+
+#include "src/algos/programs.h"
+#include "src/engine/engine.h"
+
+namespace nxgraph {
+
+Result<PageRankResult> RunPageRank(std::shared_ptr<const GraphStore> store,
+                                   const PageRankOptions& options,
+                                   RunOptions run_options) {
+  PageRankProgram program;
+  program.num_vertices = store->num_vertices();
+  program.damping = options.damping;
+  program.tolerance = options.tolerance;
+  run_options.direction = EdgeDirection::kForward;
+  if (run_options.max_iterations <= 0) {
+    run_options.max_iterations = options.iterations;
+  }
+  Engine<PageRankProgram> engine(store, program, run_options);
+  NX_ASSIGN_OR_RETURN(RunStats stats, engine.Run());
+  PageRankResult result;
+  result.stats = std::move(stats);
+  result.ranks = engine.values();
+  return result;
+}
+
+}  // namespace nxgraph

@@ -1,0 +1,34 @@
+// PageRank driver.
+#ifndef NXGRAPH_ALGOS_PAGERANK_H_
+#define NXGRAPH_ALGOS_PAGERANK_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/engine/options.h"
+#include "src/storage/graph_store.h"
+#include "src/util/result.h"
+
+namespace nxgraph {
+
+struct PageRankOptions {
+  double damping = 0.85;
+  /// Fixed iteration count (the paper's experiments run 10); set
+  /// `tolerance` > 0 to stop earlier on convergence.
+  int iterations = 10;
+  double tolerance = 0.0;
+};
+
+struct PageRankResult {
+  std::vector<double> ranks;  ///< by dense vertex id
+  RunStats stats;
+};
+
+/// Runs PageRank on a prepared graph.
+Result<PageRankResult> RunPageRank(std::shared_ptr<const GraphStore> store,
+                                   const PageRankOptions& options,
+                                   RunOptions run_options);
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_ALGOS_PAGERANK_H_

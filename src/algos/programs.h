@@ -1,0 +1,187 @@
+// Vertex programs for the built-in algorithms (paper §IV: PageRank, BFS,
+// SCC, WCC; SSSP added as the weighted-graph extension).
+#ifndef NXGRAPH_ALGOS_PROGRAMS_H_
+#define NXGRAPH_ALGOS_PROGRAMS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "src/engine/vertex_program.h"
+
+namespace nxgraph {
+
+/// \brief PageRank: PR(v) = (1-damping)/n + damping * sum(PR(u)/outdeg(u)).
+///
+/// Dangling mass is dropped (GraphChi-compatible), so ranks sum to slightly
+/// less than 1 on graphs with sinks.
+struct PageRankProgram {
+  using Value = double;
+  static constexpr bool kMonotoneSkippable = false;
+
+  uint64_t num_vertices = 1;
+  double damping = 0.85;
+  double tolerance = 0.0;  ///< per-vertex convergence threshold
+
+  Value Init(VertexId, uint32_t) const {
+    return 1.0 / static_cast<double>(num_vertices);
+  }
+  static Value Identity() { return 0.0; }
+  Value Gather(const EdgeContext& e, const Value& src_value) const {
+    return e.src_out_degree > 0 ? src_value / e.src_out_degree : 0.0;
+  }
+  static Value Accumulate(const Value& a, const Value& b) { return a + b; }
+  Value Apply(VertexId, const Value& acc, const Value&) const {
+    return (1.0 - damping) / static_cast<double>(num_vertices) +
+           damping * acc;
+  }
+  bool Changed(const Value& old_value, const Value& new_value) const {
+    return std::fabs(new_value - old_value) > tolerance;
+  }
+  bool InitiallyActive(VertexId) const { return true; }
+};
+
+/// \brief BFS depth from a root (paper Algorithms 2-4).
+struct BfsProgram {
+  using Value = uint32_t;
+  static constexpr Value kInfinity = std::numeric_limits<Value>::max();
+  static constexpr bool kMonotoneSkippable = true;
+
+  VertexId root = 0;
+
+  Value Init(VertexId v, uint32_t) const { return v == root ? 0 : kInfinity; }
+  static Value Identity() { return kInfinity; }
+  Value Gather(const EdgeContext&, const Value& src_value) const {
+    return src_value == kInfinity ? kInfinity : src_value + 1;
+  }
+  static Value Accumulate(const Value& a, const Value& b) {
+    return a < b ? a : b;
+  }
+  Value Apply(VertexId, const Value& acc, const Value& old_value) const {
+    return acc < old_value ? acc : old_value;
+  }
+  bool Changed(const Value& old_value, const Value& new_value) const {
+    return old_value != new_value;
+  }
+  bool InitiallyActive(VertexId v) const { return v == root; }
+};
+
+/// \brief Weakly connected components by min-label propagation. Run with
+/// EdgeDirection::kBoth so labels flow along and against edges.
+struct WccProgram {
+  using Value = uint32_t;
+  static constexpr bool kMonotoneSkippable = true;
+
+  Value Init(VertexId v, uint32_t) const { return v; }
+  static Value Identity() { return std::numeric_limits<Value>::max(); }
+  Value Gather(const EdgeContext&, const Value& src_value) const {
+    return src_value;
+  }
+  static Value Accumulate(const Value& a, const Value& b) {
+    return a < b ? a : b;
+  }
+  Value Apply(VertexId, const Value& acc, const Value& old_value) const {
+    return acc < old_value ? acc : old_value;
+  }
+  bool Changed(const Value& old_value, const Value& new_value) const {
+    return old_value != new_value;
+  }
+  bool InitiallyActive(VertexId) const { return true; }
+};
+
+/// \brief Single-source shortest paths over non-negative edge weights
+/// (Bellman-Ford style synchronous relaxation).
+struct SsspProgram {
+  using Value = float;
+  static constexpr bool kMonotoneSkippable = true;
+
+  VertexId root = 0;
+  static constexpr Value kInfinity = std::numeric_limits<Value>::infinity();
+
+  Value Init(VertexId v, uint32_t) const { return v == root ? 0.0f : kInfinity; }
+  static Value Identity() { return kInfinity; }
+  Value Gather(const EdgeContext& e, const Value& src_value) const {
+    return src_value == kInfinity ? kInfinity : src_value + e.weight;
+  }
+  static Value Accumulate(const Value& a, const Value& b) {
+    return a < b ? a : b;
+  }
+  Value Apply(VertexId, const Value& acc, const Value& old_value) const {
+    return acc < old_value ? acc : old_value;
+  }
+  bool Changed(const Value& old_value, const Value& new_value) const {
+    return old_value != new_value;
+  }
+  bool InitiallyActive(VertexId v) const { return v == root; }
+};
+
+/// \brief Forward min-color propagation for the SCC coloring algorithm.
+///
+/// Assigned vertices carry the sentinel color kDone and neither propagate
+/// nor accept colors.
+struct SccColorProgram {
+  using Value = uint32_t;
+  static constexpr Value kDone = std::numeric_limits<Value>::max();
+  static constexpr bool kMonotoneSkippable = true;
+
+  /// scc ids assigned so far (kDone-terminated external state); vertices
+  /// with an assignment are excluded from the subgraph.
+  const uint32_t* assigned = nullptr;  ///< scc_id array, kInvalid == unassigned
+
+  Value Init(VertexId v, uint32_t) const {
+    return assigned[v] != kDone ? kDone : v;
+  }
+  static Value Identity() { return kDone; }
+  Value Gather(const EdgeContext&, const Value& src_value) const {
+    return src_value;  // kDone from assigned sources is ignored by min
+  }
+  static Value Accumulate(const Value& a, const Value& b) {
+    return a < b ? a : b;
+  }
+  Value Apply(VertexId, const Value& acc, const Value& old_value) const {
+    if (old_value == kDone) return kDone;  // assigned: keep sentinel
+    return acc < old_value ? acc : old_value;
+  }
+  bool Changed(const Value& old_value, const Value& new_value) const {
+    return old_value != new_value;
+  }
+  bool InitiallyActive(VertexId v) const { return assigned[v] == kDone; }
+};
+
+/// \brief Backward claim propagation for the SCC coloring algorithm: run on
+/// the transpose so a root's claim reaches exactly the vertices that can
+/// reach it within the same color.
+struct SccClaimProgram {
+  using Value = uint32_t;
+  static constexpr Value kNone = std::numeric_limits<Value>::max();
+  static constexpr bool kMonotoneSkippable = true;
+
+  const uint32_t* colors = nullptr;  ///< forward-propagated colors
+  const uint32_t* assigned = nullptr;
+
+  Value Init(VertexId v, uint32_t) const {
+    // Roots of the remaining subgraph claim themselves.
+    return (assigned[v] == kNone && colors[v] == v) ? v : kNone;
+  }
+  static Value Identity() { return kNone; }
+  Value Gather(const EdgeContext& e, const Value& src_value) const {
+    // A claim is only valid if it matches the destination's color.
+    return src_value == colors[e.dst] ? src_value : kNone;
+  }
+  static Value Accumulate(const Value& a, const Value& b) {
+    return a < b ? a : b;
+  }
+  Value Apply(VertexId, const Value& acc, const Value& old_value) const {
+    return acc < old_value ? acc : old_value;
+  }
+  bool Changed(const Value& old_value, const Value& new_value) const {
+    return old_value != new_value;
+  }
+  bool InitiallyActive(VertexId v) const {
+    return assigned[v] == kNone && colors[v] == v;
+  }
+};
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_ALGOS_PROGRAMS_H_

@@ -1,0 +1,220 @@
+#include "src/algos/reference.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stack>
+
+namespace nxgraph {
+
+namespace {
+
+// Adjacency in CSR form built from a flat edge list.
+struct Adjacency {
+  std::vector<uint64_t> offsets;
+  std::vector<VertexId> targets;
+  std::vector<float> weights;
+
+  static Adjacency Build(const ReferenceGraph& g, bool reverse) {
+    Adjacency adj;
+    adj.offsets.assign(g.num_vertices + 1, 0);
+    for (const Edge& e : g.edges) {
+      ++adj.offsets[(reverse ? e.dst : e.src) + 1];
+    }
+    for (uint64_t v = 0; v < g.num_vertices; ++v) {
+      adj.offsets[v + 1] += adj.offsets[v];
+    }
+    adj.targets.resize(g.edges.size());
+    const bool weighted = !g.weights.empty();
+    if (weighted) adj.weights.resize(g.edges.size());
+    std::vector<uint64_t> cursor(adj.offsets.begin(), adj.offsets.end() - 1);
+    for (size_t k = 0; k < g.edges.size(); ++k) {
+      const Edge& e = g.edges[k];
+      const VertexId from = reverse ? e.dst : e.src;
+      const VertexId to = reverse ? e.src : e.dst;
+      const uint64_t slot = cursor[from]++;
+      adj.targets[slot] = to;
+      if (weighted) adj.weights[slot] = g.weights[k];
+    }
+    return adj;
+  }
+};
+
+}  // namespace
+
+Result<ReferenceGraph> LoadReferenceGraph(const GraphStore& store) {
+  ReferenceGraph g;
+  g.num_vertices = store.num_vertices();
+  g.edges.reserve(store.num_edges());
+  const uint32_t p = store.num_intervals();
+  for (uint32_t i = 0; i < p; ++i) {
+    for (uint32_t j = 0; j < p; ++j) {
+      NX_ASSIGN_OR_RETURN(SubShard ss, store.LoadSubShard(i, j));
+      for (uint32_t gi = 0; gi < ss.num_dsts(); ++gi) {
+        for (uint32_t k = ss.offsets[gi]; k < ss.offsets[gi + 1]; ++k) {
+          g.edges.push_back(Edge{ss.srcs[k], ss.dsts[gi]});
+          if (!ss.weights.empty()) g.weights.push_back(ss.weights[k]);
+        }
+      }
+    }
+  }
+  if (g.edges.size() != store.num_edges()) {
+    return Status::Corruption("sub-shards do not cover the edge set");
+  }
+  return g;
+}
+
+std::vector<double> ReferencePageRank(const ReferenceGraph& g, double damping,
+                                      int iterations) {
+  const uint64_t n = g.num_vertices;
+  std::vector<uint32_t> out_degree(n, 0);
+  for (const Edge& e : g.edges) ++out_degree[e.src];
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (const Edge& e : g.edges) {
+      next[e.dst] += rank[e.src] / out_degree[e.src];
+    }
+    for (uint64_t v = 0; v < n; ++v) {
+      next[v] = (1.0 - damping) / static_cast<double>(n) + damping * next[v];
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<uint32_t> ReferenceBfs(const ReferenceGraph& g, VertexId root) {
+  constexpr uint32_t kInf = std::numeric_limits<uint32_t>::max();
+  Adjacency adj = Adjacency::Build(g, /*reverse=*/false);
+  std::vector<uint32_t> depth(g.num_vertices, kInf);
+  std::queue<VertexId> frontier;
+  depth[root] = 0;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    for (uint64_t k = adj.offsets[v]; k < adj.offsets[v + 1]; ++k) {
+      const VertexId w = adj.targets[k];
+      if (depth[w] == kInf) {
+        depth[w] = depth[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return depth;
+}
+
+std::vector<uint32_t> ReferenceWcc(const ReferenceGraph& g) {
+  // Union-find with path halving.
+  std::vector<uint32_t> parent(g.num_vertices);
+  for (uint64_t v = 0; v < g.num_vertices; ++v) {
+    parent[v] = static_cast<uint32_t>(v);
+  }
+  auto find = [&parent](uint32_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const Edge& e : g.edges) {
+    const uint32_t a = find(e.src);
+    const uint32_t b = find(e.dst);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+  // Canonicalize to the minimum id in each component.
+  std::vector<uint32_t> label(g.num_vertices);
+  for (uint64_t v = 0; v < g.num_vertices; ++v) {
+    label[v] = find(static_cast<uint32_t>(v));
+  }
+  return label;
+}
+
+std::vector<uint32_t> ReferenceScc(const ReferenceGraph& g) {
+  // Iterative Tarjan (explicit call stack, safe on deep graphs).
+  const uint64_t n = g.num_vertices;
+  Adjacency adj = Adjacency::Build(g, /*reverse=*/false);
+  constexpr uint32_t kUnset = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> index(n, kUnset), lowlink(n, 0), component(n, kUnset);
+  std::vector<uint8_t> on_stack(n, 0);
+  std::vector<uint32_t> stack;
+  uint32_t next_index = 0;
+
+  struct Frame {
+    uint32_t v;
+    uint64_t edge;
+  };
+  std::vector<Frame> call_stack;
+
+  for (uint64_t start = 0; start < n; ++start) {
+    if (index[start] != kUnset) continue;
+    call_stack.push_back({static_cast<uint32_t>(start), adj.offsets[start]});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(static_cast<uint32_t>(start));
+    on_stack[start] = 1;
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const uint32_t v = frame.v;
+      if (frame.edge < adj.offsets[v + 1]) {
+        const VertexId w = adj.targets[frame.edge++];
+        if (index[w] == kUnset) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+          call_stack.push_back({w, adj.offsets[w]});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          // Pop the component; label with its minimum vertex id.
+          size_t first = stack.size();
+          while (first > 0 && stack[first - 1] != v) --first;
+          --first;
+          uint32_t min_id = v;
+          for (size_t k = first; k < stack.size(); ++k) {
+            min_id = std::min(min_id, stack[k]);
+          }
+          for (size_t k = first; k < stack.size(); ++k) {
+            component[stack[k]] = min_id;
+            on_stack[stack[k]] = 0;
+          }
+          stack.resize(first);
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const uint32_t parent = call_stack.back().v;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+  return component;
+}
+
+std::vector<float> ReferenceSssp(const ReferenceGraph& g, VertexId root) {
+  Adjacency adj = Adjacency::Build(g, /*reverse=*/false);
+  const float kInf = std::numeric_limits<float>::infinity();
+  std::vector<float> dist(g.num_vertices, kInf);
+  using Item = std::pair<float, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[root] = 0.0f;
+  heap.push({0.0f, root});
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    for (uint64_t k = adj.offsets[v]; k < adj.offsets[v + 1]; ++k) {
+      const VertexId w = adj.targets[k];
+      const float weight = adj.weights.empty() ? 1.0f : adj.weights[k];
+      if (dist[v] + weight < dist[w]) {
+        dist[w] = dist[v] + weight;
+        heap.push({dist[w], w});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace nxgraph

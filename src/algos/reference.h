@@ -1,0 +1,47 @@
+// Single-threaded reference implementations used to validate the engines
+// (tests) and to sanity-check example outputs. Not performance-oriented.
+#ifndef NXGRAPH_ALGOS_REFERENCE_H_
+#define NXGRAPH_ALGOS_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/types.h"
+#include "src/storage/graph_store.h"
+#include "src/util/result.h"
+
+namespace nxgraph {
+
+/// \brief A dense-id graph in flat form for the reference algorithms.
+struct ReferenceGraph {
+  uint64_t num_vertices = 0;
+  std::vector<Edge> edges;
+  std::vector<float> weights;  ///< empty == all 1.0
+};
+
+/// Reassembles the full edge list from a store's sub-shards (also exercises
+/// the DSSS invariant that every edge lives in exactly one sub-shard).
+Result<ReferenceGraph> LoadReferenceGraph(const GraphStore& store);
+
+/// Power iteration with the same dangling-mass semantics as
+/// PageRankProgram.
+std::vector<double> ReferencePageRank(const ReferenceGraph& g, double damping,
+                                      int iterations);
+
+/// BFS depths; UINT32_MAX == unreachable.
+std::vector<uint32_t> ReferenceBfs(const ReferenceGraph& g, VertexId root);
+
+/// Weakly connected components via union-find; label == min id in the
+/// component.
+std::vector<uint32_t> ReferenceWcc(const ReferenceGraph& g);
+
+/// Strongly connected components via iterative Tarjan; label == min id in
+/// the component.
+std::vector<uint32_t> ReferenceScc(const ReferenceGraph& g);
+
+/// Dijkstra distances (weights must be non-negative); +inf == unreachable.
+std::vector<float> ReferenceSssp(const ReferenceGraph& g, VertexId root);
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_ALGOS_REFERENCE_H_

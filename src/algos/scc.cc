@@ -1,0 +1,139 @@
+#include "src/algos/scc.h"
+
+#include <unordered_map>
+
+#include "src/algos/programs.h"
+#include "src/engine/engine.h"
+
+namespace nxgraph {
+
+namespace {
+
+constexpr uint32_t kUnassigned = std::numeric_limits<uint32_t>::max();
+
+// Counts, for each vertex, the edges arriving from unassigned neighbours
+// (one engine iteration; run on the transpose to count outgoing edges).
+struct TrimCountProgram {
+  using Value = uint32_t;
+  static constexpr bool kMonotoneSkippable = false;
+
+  const uint32_t* assigned = nullptr;
+
+  Value Init(VertexId, uint32_t) const { return 0; }
+  static Value Identity() { return 0; }
+  Value Gather(const EdgeContext& e, const Value&) const {
+    return assigned[e.src] == kUnassigned ? 1u : 0u;
+  }
+  static Value Accumulate(const Value& a, const Value& b) { return a + b; }
+  Value Apply(VertexId, const Value& acc, const Value&) const { return acc; }
+  bool Changed(const Value&, const Value&) const { return false; }
+  bool InitiallyActive(VertexId) const { return true; }
+};
+
+void Merge(RunStats* total, const RunStats& part) {
+  total->iterations += part.iterations;
+  total->seconds += part.seconds;
+  total->preprocess_seconds += part.preprocess_seconds;
+  total->edges_traversed += part.edges_traversed;
+  total->bytes_read += part.bytes_read;
+  total->bytes_written += part.bytes_written;
+  if (total->strategy.empty()) total->strategy = part.strategy;
+}
+
+}  // namespace
+
+Result<SccResult> RunScc(std::shared_ptr<const GraphStore> store,
+                         RunOptions run_options) {
+  if (!store->has_transpose()) {
+    return Status::InvalidArgument("SCC requires a store with transpose");
+  }
+  const uint64_t n = store->num_vertices();
+  SccResult result;
+  result.component.assign(n, kUnassigned);
+  uint64_t assigned_count = 0;
+
+  while (assigned_count < n) {
+    ++result.rounds;
+
+    // (1) Trim: unassigned vertices with no unassigned in- or out-
+    // neighbours are singleton components. (Cascades across rounds.)
+    TrimCountProgram trim;
+    trim.assigned = result.component.data();
+    RunOptions trim_options = run_options;
+    trim_options.max_iterations = 1;
+    std::vector<uint32_t> in_counts;
+    std::vector<uint32_t> out_counts;
+    {
+      trim_options.direction = EdgeDirection::kForward;
+      Engine<TrimCountProgram> engine(store, trim, trim_options);
+      NX_ASSIGN_OR_RETURN(RunStats s, engine.Run());
+      Merge(&result.stats, s);
+      in_counts = engine.values();
+    }
+    {
+      trim_options.direction = EdgeDirection::kTranspose;
+      Engine<TrimCountProgram> engine(store, trim, trim_options);
+      NX_ASSIGN_OR_RETURN(RunStats s, engine.Run());
+      Merge(&result.stats, s);
+      out_counts = engine.values();
+    }
+    uint64_t trimmed = 0;
+    for (uint64_t v = 0; v < n; ++v) {
+      if (result.component[v] == kUnassigned &&
+          (in_counts[v] == 0 || out_counts[v] == 0)) {
+        result.component[v] = static_cast<uint32_t>(v);
+        ++trimmed;
+      }
+    }
+    assigned_count += trimmed;
+    if (assigned_count >= n) break;
+
+    // (2) Forward min-color propagation to a fixpoint.
+    SccColorProgram color_program;
+    color_program.assigned = result.component.data();
+    RunOptions color_options = run_options;
+    color_options.direction = EdgeDirection::kForward;
+    color_options.max_iterations = 0;
+    Engine<SccColorProgram> color_engine(store, color_program, color_options);
+    NX_ASSIGN_OR_RETURN(RunStats color_stats, color_engine.Run());
+    Merge(&result.stats, color_stats);
+    const std::vector<uint32_t>& colors = color_engine.values();
+
+    // (3) Backward claim propagation within colors.
+    SccClaimProgram claim_program;
+    claim_program.colors = colors.data();
+    claim_program.assigned = result.component.data();
+    RunOptions claim_options = run_options;
+    claim_options.direction = EdgeDirection::kTranspose;
+    claim_options.max_iterations = 0;
+    Engine<SccClaimProgram> claim_engine(store, claim_program, claim_options);
+    NX_ASSIGN_OR_RETURN(RunStats claim_stats, claim_engine.Run());
+    Merge(&result.stats, claim_stats);
+    const std::vector<uint32_t>& claims = claim_engine.values();
+
+    // (4) Claimed vertices join the claiming root's component.
+    uint64_t newly = 0;
+    for (uint64_t v = 0; v < n; ++v) {
+      if (result.component[v] == kUnassigned &&
+          claims[v] != SccClaimProgram::kNone) {
+        result.component[v] = claims[v];
+        ++newly;
+      }
+    }
+    assigned_count += newly;
+    if (newly == 0 && trimmed == 0) {
+      return Status::Aborted(
+          "SCC made no progress (invariant violation; please report)");
+    }
+  }
+
+  std::unordered_map<uint32_t, uint64_t> sizes;
+  for (uint32_t c : result.component) ++sizes[c];
+  result.num_components = sizes.size();
+  for (const auto& [_, size] : sizes) {
+    result.largest_component = std::max(result.largest_component, size);
+  }
+  return result;
+}
+
+}  // namespace nxgraph

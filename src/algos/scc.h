@@ -1,0 +1,37 @@
+// Strongly connected components via iterative forward-coloring / backward-
+// claiming (Orzan-style), built from engine runs over the forward and
+// transpose sub-shards.
+#ifndef NXGRAPH_ALGOS_SCC_H_
+#define NXGRAPH_ALGOS_SCC_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/engine/options.h"
+#include "src/storage/graph_store.h"
+#include "src/util/result.h"
+
+namespace nxgraph {
+
+struct SccResult {
+  /// scc id per vertex == min vertex id of its component.
+  std::vector<uint32_t> component;
+  uint64_t num_components = 0;
+  uint64_t largest_component = 0;
+  int rounds = 0;              ///< outer color/claim rounds
+  RunStats stats;              ///< aggregated over all engine runs
+};
+
+/// \brief SCC by repeated rounds over the unassigned subgraph:
+///   1. trim: vertices with no remaining in- or out-neighbours are
+///      singleton components;
+///   2. color: forward min-id propagation to a fixpoint;
+///   3. claim: roots (color == own id) propagate their id backwards within
+///      their color; claimed vertices form the root's component.
+/// Requires a store built with transpose sub-shards.
+Result<SccResult> RunScc(std::shared_ptr<const GraphStore> store,
+                         RunOptions run_options);
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_ALGOS_SCC_H_

@@ -1,0 +1,29 @@
+#include "src/algos/sssp.h"
+
+#include <cmath>
+
+#include "src/algos/programs.h"
+#include "src/engine/engine.h"
+
+namespace nxgraph {
+
+Result<SsspResult> RunSssp(std::shared_ptr<const GraphStore> store,
+                           VertexId root, RunOptions run_options) {
+  if (root >= store->num_vertices()) {
+    return Status::InvalidArgument("SSSP root out of range");
+  }
+  SsspProgram program;
+  program.root = root;
+  run_options.direction = EdgeDirection::kForward;
+  Engine<SsspProgram> engine(store, program, run_options);
+  NX_ASSIGN_OR_RETURN(RunStats stats, engine.Run());
+  SsspResult result;
+  result.stats = std::move(stats);
+  result.distances = engine.values();
+  for (float d : result.distances) {
+    if (std::isfinite(d)) ++result.reached;
+  }
+  return result;
+}
+
+}  // namespace nxgraph

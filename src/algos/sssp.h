@@ -1,0 +1,27 @@
+// Single-source shortest paths driver (weighted-graph extension).
+#ifndef NXGRAPH_ALGOS_SSSP_H_
+#define NXGRAPH_ALGOS_SSSP_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/engine/options.h"
+#include "src/storage/graph_store.h"
+#include "src/util/result.h"
+
+namespace nxgraph {
+
+struct SsspResult {
+  std::vector<float> distances;  ///< +inf == unreachable
+  uint64_t reached = 0;
+  RunStats stats;
+};
+
+/// Bellman-Ford-style SSSP from `root`. Edge weights must be non-negative;
+/// unweighted stores use weight 1.0 per edge (== BFS distances).
+Result<SsspResult> RunSssp(std::shared_ptr<const GraphStore> store,
+                           VertexId root, RunOptions run_options);
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_ALGOS_SSSP_H_

@@ -1,0 +1,25 @@
+#include "src/algos/wcc.h"
+
+#include <unordered_set>
+
+#include "src/algos/programs.h"
+#include "src/engine/engine.h"
+
+namespace nxgraph {
+
+Result<WccResult> RunWcc(std::shared_ptr<const GraphStore> store,
+                         RunOptions run_options) {
+  WccProgram program;
+  run_options.direction = EdgeDirection::kBoth;
+  Engine<WccProgram> engine(store, program, run_options);
+  NX_ASSIGN_OR_RETURN(RunStats stats, engine.Run());
+  WccResult result;
+  result.stats = std::move(stats);
+  result.labels = engine.values();
+  std::unordered_set<uint32_t> distinct(result.labels.begin(),
+                                        result.labels.end());
+  result.num_components = distinct.size();
+  return result;
+}
+
+}  // namespace nxgraph

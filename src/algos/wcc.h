@@ -1,0 +1,27 @@
+// Weakly connected components driver.
+#ifndef NXGRAPH_ALGOS_WCC_H_
+#define NXGRAPH_ALGOS_WCC_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/engine/options.h"
+#include "src/storage/graph_store.h"
+#include "src/util/result.h"
+
+namespace nxgraph {
+
+struct WccResult {
+  std::vector<uint32_t> labels;  ///< component label = min vertex id in it
+  uint64_t num_components = 0;
+  RunStats stats;
+};
+
+/// Min-label propagation over both edge directions; the store must have
+/// been built with transpose sub-shards.
+Result<WccResult> RunWcc(std::shared_ptr<const GraphStore> store,
+                         RunOptions run_options);
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_ALGOS_WCC_H_

@@ -1,0 +1,70 @@
+// Shared helpers for the baseline engines. The baselines exist to measure
+// the paper's design deltas on identical substrates:
+//   - GraphChi-like:   source-sorted shards, coarse-grained parallelism
+//                      (atomic scatter writes), whole-shard loads.
+//   - TurboGraph-like: unsorted edge blocks, interval-pair paging
+//                      (covers GridGraph's update discipline, §III-C).
+//   - X-Stream-like:   edge-centric scatter/gather through an on-disk
+//                      updates stream.
+#ifndef NXGRAPH_BASELINES_COMMON_H_
+#define NXGRAPH_BASELINES_COMMON_H_
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "src/engine/vertex_program.h"
+#include "src/storage/graph_store.h"
+#include "src/util/random.h"
+
+namespace nxgraph {
+namespace baselines {
+
+/// CAS-loop accumulate — the cost the paper's destination sorting avoids.
+/// Values must be lock-free-atomic-sized PODs (<= 8 bytes).
+template <typename Program>
+void AtomicAccumulate(std::atomic<typename Program::Value>* slot,
+                      const typename Program::Value& contribution) {
+  using Value = typename Program::Value;
+  Value expected = slot->load(std::memory_order_relaxed);
+  Value desired = Program::Accumulate(expected, contribution);
+  while (!slot->compare_exchange_weak(expected, desired,
+                                      std::memory_order_relaxed)) {
+    desired = Program::Accumulate(expected, contribution);
+  }
+}
+
+/// Flat weighted edge triple used by the baseline storages.
+struct EdgeRecord {
+  VertexId src;
+  VertexId dst;
+  float weight;
+};
+
+/// Expands a decoded sub-shard back into flat edge records (drops the CSR
+/// structure the baselines do not have).
+inline void ExpandSubShard(const SubShard& ss, std::vector<EdgeRecord>* out) {
+  const bool weighted = !ss.weights.empty();
+  for (uint32_t g = 0; g < ss.num_dsts(); ++g) {
+    const VertexId dst = ss.dsts[g];
+    for (uint32_t k = ss.offsets[g]; k < ss.offsets[g + 1]; ++k) {
+      out->push_back(
+          EdgeRecord{ss.srcs[k], dst, weighted ? ss.weights[k] : 1.0f});
+    }
+  }
+}
+
+/// Deterministic in-place shuffle, used to de-sort edge blocks so the
+/// unsorted baselines do not accidentally inherit DSSS cache behaviour.
+inline void ShuffleEdges(std::vector<EdgeRecord>* edges, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (size_t k = edges->size(); k > 1; --k) {
+    const size_t j = rng.NextBounded(k);
+    std::swap((*edges)[k - 1], (*edges)[j]);
+  }
+}
+
+}  // namespace baselines
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_BASELINES_COMMON_H_

@@ -1,0 +1,35 @@
+#include "src/core/nxgraph.h"
+#include "src/prep/degreer.h"
+#include "src/prep/sharder.h"
+
+namespace nxgraph {
+
+Result<std::shared_ptr<GraphStore>> BuildGraphStore(
+    const EdgeList& edges, const std::string& dir,
+    const BuildOptions& options) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  NX_ASSIGN_OR_RETURN(DegreeResult degrees, RunDegreer(env, edges, dir));
+  SharderOptions sharder_options;
+  sharder_options.num_intervals = options.num_intervals;
+  sharder_options.build_transpose = options.build_transpose;
+  sharder_options.dedup = options.dedup;
+  NX_ASSIGN_OR_RETURN(Manifest manifest,
+                      RunSharder(env, dir, degrees, sharder_options));
+  (void)manifest;
+  return GraphStore::Open(env, dir);
+}
+
+Result<std::shared_ptr<GraphStore>> BuildGraphStoreFromTextFile(
+    const std::string& edge_path, const std::string& dir,
+    const BuildOptions& options) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  NX_ASSIGN_OR_RETURN(EdgeList edges, LoadEdgeListText(env, edge_path));
+  return BuildGraphStore(edges, dir, options);
+}
+
+Result<std::shared_ptr<GraphStore>> OpenGraphStore(const std::string& dir,
+                                                   Env* env) {
+  return GraphStore::Open(env != nullptr ? env : Env::Default(), dir);
+}
+
+}  // namespace nxgraph

@@ -1,0 +1,845 @@
+// The NXgraph execution engine: a unified implementation of the paper's
+// three update strategies over Destination-Sorted Sub-Shards.
+//
+//   SPU  == all P intervals memory-resident (Q = P): phases A + D only.
+//   DPU  == no resident intervals (Q = 0): phases B (ToHub) + C (FromHub).
+//   MPU  == 0 < Q < P: A (resident x resident), B (disk rows: SPU-like into
+//           resident columns, ToHub into disk columns), C (disk columns:
+//           SPU-like from resident rows, FromHub from disk rows), D (apply
+//           resident columns).
+//
+// Fine-grained parallelism (paper §III-D): within a sub-shard, worker
+// threads own disjoint destination-group chunks, so attribute writes need
+// no locks or atomics. Across sub-shards of the same destination interval,
+// either a per-column completion-callback chain pipelines rows
+// (SyncMode::kCallback) or per-(column, block) locks serialize overlapping
+// writers (SyncMode::kLock).
+#ifndef NXGRAPH_ENGINE_ENGINE_H_
+#define NXGRAPH_ENGINE_ENGINE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/engine/options.h"
+#include "src/engine/strategy.h"
+#include "src/engine/vertex_program.h"
+#include "src/storage/graph_store.h"
+#include "src/storage/hub_file.h"
+#include "src/storage/interval_store.h"
+#include "src/util/logging.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
+
+namespace nxgraph {
+
+/// \brief Runs a VertexProgram over a prepared GraphStore.
+template <VertexProgram Program>
+class Engine {
+ public:
+  using Value = typename Program::Value;
+
+  Engine(std::shared_ptr<const GraphStore> store, Program program,
+         RunOptions options)
+      : store_(std::move(store)),
+        program_(std::move(program)),
+        options_(std::move(options)) {}
+
+  /// Executes the program to termination; final attributes are available
+  /// via values() afterwards.
+  Result<RunStats> Run();
+
+  /// Final attribute of every vertex, indexed by dense id.
+  const std::vector<Value>& values() const { return final_values_; }
+
+ private:
+  struct DirectionPlan {
+    bool transpose = false;
+    const std::vector<uint32_t>* degrees = nullptr;  // per propagating vertex
+    HubFile* hubs = nullptr;
+  };
+
+  // ---- setup ----
+  Status Prepare();
+  Status InitValues();
+
+  // ---- one iteration ----
+  Status RunIteration(int iter);
+  Status PhaseResidentRows();                    // A
+  Status PhaseDiskRows();                        // B
+  Status PhaseDiskColumns();                     // C
+  Status PhaseApplyResident();                   // D
+
+  // ---- helpers ----
+  void ProcessGroups(const SubShard& ss, const Value* src_vals,
+                     VertexId src_base, Value* acc, VertexId dst_base,
+                     const std::vector<uint32_t>& degrees, uint32_t gb,
+                     uint32_t ge);
+  std::vector<std::pair<uint32_t, uint32_t>> ComputeChunks(
+      const SubShard& ss) const;
+  bool RowShouldProcess(uint32_t i) const {
+    return !Program::kMonotoneSkippable || active_[i] != 0;
+  }
+  void RecordError(const Status& s);
+  bool HasError();
+  uint32_t grain_edges() const {
+    return options_.chunk_width > 0 ? options_.chunk_width : 4096;
+  }
+
+  Result<std::shared_ptr<const SubShard>> GetSubShard(uint32_t i, uint32_t j,
+                                                      bool transpose) {
+    auto r = cache_->Get(i, j, transpose);
+    if (r.ok()) {
+      edges_traversed_.fetch_add((*r)->num_edges(),
+                                 std::memory_order_relaxed);
+    }
+    return r;
+  }
+
+  // Streams one row range with a single sequential read; checksums are
+  // verified only on first contact (verify-once policy).
+  Result<std::vector<SubShard>> LoadRow(uint32_t i, uint32_t j_begin,
+                                        uint32_t j_end, bool transpose) {
+    const size_t base = (transpose ? static_cast<size_t>(p_) * p_ : 0) +
+                        static_cast<size_t>(i) * p_;
+    const bool verify = !verified_[base + j_begin];
+    auto row = store_->LoadSubShardRow(i, j_begin, j_end, transpose, verify);
+    if (!row.ok()) return row;
+    uint64_t bytes = 0;
+    for (uint32_t j = j_begin; j < j_end; ++j) {
+      verified_[base + j] = 1;
+      bytes += store_->manifest().subshard(i, j, transpose).size;
+      edges_traversed_.fetch_add((*row)[j - j_begin].num_edges(),
+                                 std::memory_order_relaxed);
+    }
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    return row;
+  }
+
+  // Loads one sub-shard: through the pinning cache when the budget can hold
+  // the graph, or as a verify-once transient read when streaming.
+  Result<std::shared_ptr<const SubShard>> LoadOne(uint32_t i, uint32_t j,
+                                                  bool transpose) {
+    if (!stream_mode_) return GetSubShard(i, j, transpose);
+    const size_t idx = (transpose ? static_cast<size_t>(p_) * p_ : 0) +
+                       static_cast<size_t>(i) * p_ + j;
+    const bool verify = !verified_[idx];
+    auto loaded = store_->LoadSubShard(i, j, transpose, verify);
+    if (!loaded.ok()) return loaded.status();
+    verified_[idx] = 1;
+    bytes_read_.fetch_add(store_->manifest().subshard(i, j, transpose).size,
+                          std::memory_order_relaxed);
+    edges_traversed_.fetch_add(loaded->num_edges(),
+                               std::memory_order_relaxed);
+    return std::make_shared<const SubShard>(std::move(loaded).value());
+  }
+
+  // ---- inputs ----
+  std::shared_ptr<const GraphStore> store_;
+  Program program_;
+  RunOptions options_;
+
+  // ---- plan ----
+  StrategyDecision decision_;
+  uint32_t p_ = 0;  // number of intervals
+  uint32_t q_ = 0;  // resident intervals
+  std::vector<DirectionPlan> directions_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<SubShardCache> cache_;
+  std::unique_ptr<IntervalStore> interval_store_;   // non-resident values
+  std::unique_ptr<HubFile> hubs_forward_;
+  std::unique_ptr<HubFile> hubs_transpose_;
+  std::vector<uint32_t> out_degrees_;
+  std::vector<uint32_t> in_degrees_;
+
+  // ---- per-run state ----
+  std::vector<std::vector<Value>> old_values_;  // resident ping
+  std::vector<std::vector<Value>> acc_values_;  // resident accumulator/pong
+  std::vector<uint8_t> active_;
+  std::unique_ptr<std::atomic<uint8_t>[]> next_active_;
+  std::vector<int> value_parity_;  // parity of latest on-disk values
+  std::vector<uint8_t> hub_written_;  // (direction, i, j) hubs valid this iter
+  std::vector<uint8_t> verified_;     // (direction, i, j) checksum verified
+  bool stream_mode_ = false;  // cache cannot hold the graph: stream rows
+
+  std::atomic<uint64_t> edges_traversed_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+
+  std::mutex error_mu_;
+  Status first_error_;
+
+  std::vector<Value> final_values_;
+};
+
+// ---------------------------------------------------------------------------
+// Implementation
+// ---------------------------------------------------------------------------
+
+template <VertexProgram Program>
+void Engine<Program>::RecordError(const Status& s) {
+  if (s.ok()) return;
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (first_error_.ok()) first_error_ = s;
+}
+
+template <VertexProgram Program>
+bool Engine<Program>::HasError() {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return !first_error_.ok();
+}
+
+template <VertexProgram Program>
+Status Engine<Program>::Prepare() {
+  const Manifest& m = store_->manifest();
+  p_ = m.num_intervals;
+
+  const bool use_forward = options_.direction == EdgeDirection::kForward ||
+                           options_.direction == EdgeDirection::kBoth;
+  const bool use_transpose = options_.direction == EdgeDirection::kTranspose ||
+                             options_.direction == EdgeDirection::kBoth;
+  if (use_transpose && !store_->has_transpose()) {
+    return Status::InvalidArgument(
+        "run direction requires a store built with build_transpose");
+  }
+
+  // Degrees of the propagating endpoint: out-degrees for forward edges,
+  // in-degrees (== transpose out-degrees) for reversed edges.
+  uint64_t fixed_overhead = 0;
+  if (use_forward) {
+    NX_ASSIGN_OR_RETURN(out_degrees_, store_->LoadOutDegrees());
+    fixed_overhead += out_degrees_.size() * sizeof(uint32_t);
+  }
+  if (use_transpose) {
+    NX_ASSIGN_OR_RETURN(in_degrees_, store_->LoadInDegrees());
+    fixed_overhead += in_degrees_.size() * sizeof(uint32_t);
+  }
+
+  decision_ =
+      ChooseStrategy(m, sizeof(Value), fixed_overhead, options_);
+  q_ = decision_.resident_intervals;
+
+  pool_ = std::make_unique<ThreadPool>(std::max(options_.num_threads, 0));
+  cache_ = std::make_unique<SubShardCache>(store_,
+                                           decision_.subshard_cache_budget);
+
+  std::string scratch = options_.scratch_dir.empty()
+                            ? store_->dir() + "/run"
+                            : options_.scratch_dir;
+  Env* env = store_->env();
+  if (q_ < p_) {
+    NX_RETURN_NOT_OK(env->CreateDirs(scratch));
+    NX_ASSIGN_OR_RETURN(
+        interval_store_,
+        IntervalStore::Create(env, scratch + "/values.nxi", m,
+                              sizeof(Value)));
+    if (use_forward) {
+      NX_ASSIGN_OR_RETURN(hubs_forward_,
+                          HubFile::Create(env, scratch + "/hubs_f.nxh", m, q_,
+                                          sizeof(Value),
+                                          /*transpose=*/false));
+    }
+    if (use_transpose) {
+      NX_ASSIGN_OR_RETURN(hubs_transpose_,
+                          HubFile::Create(env, scratch + "/hubs_t.nxh", m, q_,
+                                          sizeof(Value),
+                                          /*transpose=*/true));
+    }
+  }
+
+  directions_.clear();
+  if (use_forward) {
+    directions_.push_back(
+        DirectionPlan{false, &out_degrees_, hubs_forward_.get()});
+  }
+  if (use_transpose) {
+    directions_.push_back(
+        DirectionPlan{true, &in_degrees_, hubs_transpose_.get()});
+  }
+
+  active_.assign(p_, 0);
+  next_active_ = std::make_unique<std::atomic<uint8_t>[]>(p_);
+  value_parity_.assign(p_, 0);
+  hub_written_.assign(2 * static_cast<size_t>(p_) * p_, 0);
+  verified_.assign(2 * static_cast<size_t>(p_) * p_, 0);
+
+  // If the cache budget cannot pin the decoded graph, switch to streaming:
+  // whole-row sequential reads in row-major order (paper: "streamlined
+  // disk access pattern").
+  uint64_t decoded_bytes = 0;
+  if (use_forward) decoded_bytes += store_->TotalSubShardBytes(false);
+  if (use_transpose) decoded_bytes += store_->TotalSubShardBytes(true);
+  stream_mode_ = decision_.subshard_cache_budget < decoded_bytes;
+  return Status::OK();
+}
+
+template <VertexProgram Program>
+Status Engine<Program>::InitValues() {
+  const Manifest& m = store_->manifest();
+  const std::vector<uint32_t>& degrees =
+      !out_degrees_.empty() ? out_degrees_ : in_degrees_;
+
+  old_values_.assign(p_, {});
+  acc_values_.assign(p_, {});
+  for (uint32_t i = 0; i < p_; ++i) {
+    const VertexId begin = m.interval_begin(i);
+    const uint32_t size = m.interval_size(i);
+    std::vector<Value> init(size);
+    bool any_active = false;
+    for (uint32_t k = 0; k < size; ++k) {
+      const VertexId v = begin + k;
+      init[k] = program_.Init(v, degrees[v]);
+      any_active = any_active || program_.InitiallyActive(v);
+    }
+    active_[i] = any_active ? 1 : 0;
+    if (i < q_) {
+      old_values_[i] = std::move(init);
+      acc_values_[i].assign(size, Program::Identity());
+    } else {
+      NX_RETURN_NOT_OK(interval_store_->Write(i, 0, init.data()));
+      bytes_written_.fetch_add(size * sizeof(Value),
+                               std::memory_order_relaxed);
+      value_parity_[i] = 0;
+    }
+  }
+  return Status::OK();
+}
+
+// Core inner loop: accumulate contributions for destination groups
+// [gb, ge) of one sub-shard. Destinations in a chunk are exclusive to the
+// calling thread, so `acc` writes are plain stores (no atomics).
+template <VertexProgram Program>
+void Engine<Program>::ProcessGroups(const SubShard& ss, const Value* src_vals,
+                                    VertexId src_base, Value* acc,
+                                    VertexId dst_base,
+                                    const std::vector<uint32_t>& degrees,
+                                    uint32_t gb, uint32_t ge) {
+  const bool weighted = !ss.weights.empty();
+  for (uint32_t g = gb; g < ge; ++g) {
+    const VertexId dst = ss.dsts[g];
+    Value a = Program::Identity();
+    const uint32_t kb = ss.offsets[g];
+    const uint32_t ke = ss.offsets[g + 1];
+    for (uint32_t k = kb; k < ke; ++k) {
+      const VertexId src = ss.srcs[k];
+      EdgeContext edge{src, dst, weighted ? ss.weights[k] : 1.0f,
+                       degrees[src]};
+      a = Program::Accumulate(a, program_.Gather(edge, src_vals[src - src_base]));
+    }
+    Value& slot = acc[dst - dst_base];
+    slot = Program::Accumulate(slot, a);
+  }
+}
+
+template <VertexProgram Program>
+std::vector<std::pair<uint32_t, uint32_t>> Engine<Program>::ComputeChunks(
+    const SubShard& ss) const {
+  std::vector<std::pair<uint32_t, uint32_t>> chunks;
+  const uint32_t grain = grain_edges();
+  const uint32_t num_groups = ss.num_dsts();
+  uint32_t gb = 0;
+  while (gb < num_groups) {
+    uint32_t ge = gb;
+    uint32_t edges = 0;
+    while (ge < num_groups && edges < grain) {
+      edges += ss.offsets[ge + 1] - ss.offsets[ge];
+      ++ge;
+    }
+    chunks.emplace_back(gb, ge);
+    gb = ge;
+  }
+  return chunks;
+}
+
+// ---- Phase A: resident rows x resident columns --------------------------
+
+template <VertexProgram Program>
+Status Engine<Program>::PhaseResidentRows() {
+  if (q_ == 0) return Status::OK();
+  const Manifest& m = store_->manifest();
+
+  if (stream_mode_) {
+    // Streaming schedule: rows load with one sequential read each and are
+    // processed with a barrier per row. Within a row every chunk writes a
+    // distinct (column, destination-range), so no synchronization beyond
+    // the barrier is needed; the disk sees pure forward scans.
+    for (const DirectionPlan& dir : directions_) {
+      for (uint32_t i = 0; i < q_; ++i) {
+        if (!RowShouldProcess(i)) continue;
+        NX_ASSIGN_OR_RETURN(std::vector<SubShard> row,
+                            LoadRow(i, 0, q_, dir.transpose));
+        const VertexId src_base = m.interval_begin(i);
+        const Value* src_vals = old_values_[i].data();
+        WaitGroup wg;
+        for (uint32_t j = 0; j < q_; ++j) {
+          const SubShard& ss = row[j];
+          if (ss.empty()) continue;
+          Value* acc = acc_values_[j].data();
+          const VertexId dst_base = m.interval_begin(j);
+          const std::vector<uint32_t>* degrees = dir.degrees;
+          for (auto [gb, ge] : ComputeChunks(ss)) {
+            wg.Add(1);
+            pool_->Submit([this, &ss, src_vals, src_base, acc, dst_base,
+                           degrees, gb, ge, &wg] {
+              ProcessGroups(ss, src_vals, src_base, acc, dst_base, *degrees,
+                            gb, ge);
+              wg.Done();
+            });
+          }
+        }
+        wg.Wait();
+      }
+    }
+    return Status::OK();
+  }
+
+  if (options_.sync_mode == SyncMode::kCallback) {
+    // Per-(direction, column) chains: rows of one column run in order, the
+    // completion callback of the last chunk dispatches the next row; rows
+    // of different columns overlap freely (paper: "worker threads for the
+    // next sub-shard can be issued before all threads for the current
+    // sub-shard are finished").
+    struct Chain {
+      Engine* engine;
+      const DirectionPlan* dir;
+      uint32_t column;
+      std::vector<uint32_t> rows;
+      std::atomic<size_t> next{0};
+      std::atomic<uint32_t> pending{0};
+      std::shared_ptr<const SubShard> current;
+      WaitGroup* wg;
+
+      void Dispatch() {
+        Engine* e = engine;
+        for (;;) {
+          if (e->HasError()) break;
+          const size_t r = next.load(std::memory_order_relaxed);
+          if (r >= rows.size()) break;
+          next.store(r + 1, std::memory_order_relaxed);
+          const uint32_t i = rows[r];
+          auto ss_or = e->GetSubShard(i, column, dir->transpose);
+          if (!ss_or.ok()) {
+            e->RecordError(ss_or.status());
+            break;
+          }
+          current = std::move(ss_or).value();
+          if (current->empty()) continue;
+          auto chunks = e->ComputeChunks(*current);
+          const Manifest& mf = e->store_->manifest();
+          const VertexId src_base = mf.interval_begin(i);
+          const VertexId dst_base = mf.interval_begin(column);
+          Value* acc = e->acc_values_[column].data();
+          const Value* src_vals = e->old_values_[i].data();
+          if (chunks.size() == 1) {
+            // Common case for small sub-shards: stay on this thread, no
+            // queue round-trip or completion counter.
+            e->ProcessGroups(*current, src_vals, src_base, acc, dst_base,
+                             *dir->degrees, chunks[0].first,
+                             chunks[0].second);
+            continue;
+          }
+          pending.store(static_cast<uint32_t>(chunks.size()),
+                        std::memory_order_relaxed);
+          std::shared_ptr<const SubShard> ss = current;
+          for (auto [gb, ge] : chunks) {
+            e->pool_->Submit([this, e, ss, src_vals, src_base, acc, dst_base,
+                              gb, ge] {
+              e->ProcessGroups(*ss, src_vals, src_base, acc, dst_base,
+                               *dir->degrees, gb, ge);
+              if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                Dispatch();
+              }
+            });
+          }
+          return;  // continuation happens in the last chunk's callback
+        }
+        wg->Done();
+      }
+    };
+
+    std::vector<std::unique_ptr<Chain>> chains;
+    WaitGroup wg;
+    for (const DirectionPlan& dir : directions_) {
+      for (uint32_t j = 0; j < q_; ++j) {
+        auto chain = std::make_unique<Chain>();
+        chain->engine = this;
+        chain->dir = &dir;
+        chain->column = j;
+        chain->wg = &wg;
+        for (uint32_t i = 0; i < q_; ++i) {
+          if (RowShouldProcess(i) &&
+              m.subshard(i, j, dir.transpose).num_edges > 0) {
+            chain->rows.push_back(i);
+          }
+        }
+        chains.push_back(std::move(chain));
+      }
+    }
+    wg.Add(static_cast<int>(chains.size()));
+    for (auto& chain : chains) {
+      Chain* c = chain.get();
+      pool_->Submit([c] { c->Dispatch(); });
+    }
+    wg.Wait();
+  } else {
+    // Lock mode: all (sub-shard, chunk) tasks are enqueued at once in any
+    // order; a mutex per destination interval serializes the conflicting
+    // writers ("set a lock on each destination interval when writing",
+    // §IV). Different columns proceed fully in parallel.
+    std::vector<std::unique_ptr<std::mutex>> column_locks(q_);
+    for (auto& lock : column_locks) lock = std::make_unique<std::mutex>();
+    WaitGroup wg;
+    for (const DirectionPlan& dir : directions_) {
+      for (uint32_t i = 0; i < q_; ++i) {
+        if (!RowShouldProcess(i)) continue;
+        for (uint32_t j = 0; j < q_; ++j) {
+          if (m.subshard(i, j, dir.transpose).num_edges == 0) continue;
+          auto ss_or = GetSubShard(i, j, dir.transpose);
+          if (!ss_or.ok()) {
+            RecordError(ss_or.status());
+            continue;
+          }
+          std::shared_ptr<const SubShard> ss = std::move(ss_or).value();
+          const VertexId dst_base = m.interval_begin(j);
+          const VertexId src_base = m.interval_begin(i);
+          const Value* src_vals = old_values_[i].data();
+          Value* acc = acc_values_[j].data();
+          const std::vector<uint32_t>* degrees = dir.degrees;
+          std::mutex* lock = column_locks[j].get();
+          for (auto [gb, ge] : ComputeChunks(*ss)) {
+            wg.Add(1);
+            pool_->Submit([this, ss, src_vals, src_base, acc, dst_base,
+                           degrees, gb, ge, lock, &wg] {
+              std::lock_guard<std::mutex> guard(*lock);
+              ProcessGroups(*ss, src_vals, src_base, acc, dst_base, *degrees,
+                            gb, ge);
+              wg.Done();
+            });
+          }
+        }
+      }
+    }
+    wg.Wait();
+  }
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return first_error_;
+}
+
+// ---- Phase B: disk rows (SPU-like into resident columns, ToHub) ----------
+
+template <VertexProgram Program>
+Status Engine<Program>::PhaseDiskRows() {
+  if (q_ == p_) return Status::OK();
+  const Manifest& m = store_->manifest();
+  std::fill(hub_written_.begin(), hub_written_.end(), 0);
+
+  std::vector<Value> src_buf;
+  for (uint32_t i = q_; i < p_; ++i) {
+    if (!RowShouldProcess(i)) continue;
+    const uint32_t isize = m.interval_size(i);
+    const VertexId src_base = m.interval_begin(i);
+    src_buf.resize(isize);
+    NX_RETURN_NOT_OK(
+        interval_store_->Read(i, value_parity_[i], src_buf.data()));
+    bytes_read_.fetch_add(isize * sizeof(Value), std::memory_order_relaxed);
+
+    for (const DirectionPlan& dir : directions_) {
+      // Stream the whole row with one sequential read.
+      NX_ASSIGN_OR_RETURN(std::vector<SubShard> row,
+                          LoadRow(i, 0, p_, dir.transpose));
+      WaitGroup wg;
+      std::mutex hub_mu;  // serializes hub writes (segments are disjoint
+                          // but the file handle is shared)
+      // SPU-like updates into resident destination columns. Within one row
+      // all columns are distinct, so chunks across columns run in parallel.
+      for (uint32_t j = 0; j < q_; ++j) {
+        const SubShard& ss = row[j];
+        if (ss.empty()) continue;
+        const VertexId dst_base = m.interval_begin(j);
+        Value* acc = acc_values_[j].data();
+        const Value* src_vals = src_buf.data();
+        const std::vector<uint32_t>* degrees = dir.degrees;
+        for (auto [gb, ge] : ComputeChunks(ss)) {
+          wg.Add(1);
+          pool_->Submit([this, &ss, src_vals, src_base, acc, dst_base,
+                         degrees, gb, ge, &wg] {
+            ProcessGroups(ss, src_vals, src_base, acc, dst_base, *degrees,
+                          gb, ge);
+            wg.Done();
+          });
+        }
+      }
+      // ToHub for disk destination columns: pre-accumulate per destination
+      // and write the (dst, partial) entries to the sub-shard's hub.
+      for (uint32_t j = q_; j < p_; ++j) {
+        const SubShard& ss = row[j];
+        if (ss.empty()) continue;
+        const std::vector<uint32_t>* degrees = dir.degrees;
+        const bool transpose = dir.transpose;
+        HubFile* hubs = dir.hubs;
+        const Value* src_vals = src_buf.data();
+        wg.Add(1);
+        pool_->Submit([this, &ss, src_vals, src_base, degrees, transpose,
+                       hubs, i, j, &wg, &hub_mu] {
+          const uint32_t num_groups = ss.num_dsts();
+          const bool weighted = !ss.weights.empty();
+          std::string payload;
+          payload.reserve(8 + num_groups * (4 + sizeof(Value)));
+          payload.resize(8);
+          const uint64_t count = num_groups;
+          std::memcpy(payload.data(), &count, 8);
+          for (uint32_t g = 0; g < num_groups; ++g) {
+            const VertexId dst = ss.dsts[g];
+            Value a = Program::Identity();
+            for (uint32_t k = ss.offsets[g]; k < ss.offsets[g + 1]; ++k) {
+              const VertexId src = ss.srcs[k];
+              EdgeContext edge{src, dst, weighted ? ss.weights[k] : 1.0f,
+                               (*degrees)[src]};
+              a = Program::Accumulate(
+                  a, program_.Gather(edge, src_vals[src - src_base]));
+            }
+            payload.append(reinterpret_cast<const char*>(&dst), 4);
+            payload.append(reinterpret_cast<const char*>(&a), sizeof(Value));
+          }
+          {
+            std::lock_guard<std::mutex> lock(hub_mu);
+            Status s = hubs->WriteHub(i, j, payload.data(), payload.size());
+            RecordError(s);
+          }
+          bytes_written_.fetch_add(payload.size(), std::memory_order_relaxed);
+          hub_written_[(transpose ? static_cast<size_t>(p_) * p_ : 0) +
+                       static_cast<size_t>(i) * p_ + j] = 1;
+          wg.Done();
+        });
+      }
+      wg.Wait();
+    }
+    if (HasError()) break;
+  }
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return first_error_;
+}
+
+// ---- Phase C: disk columns (SPU-like from resident rows, FromHub) --------
+
+template <VertexProgram Program>
+Status Engine<Program>::PhaseDiskColumns() {
+  if (q_ == p_) return Status::OK();
+  const Manifest& m = store_->manifest();
+
+  std::vector<Value> acc_buf;
+  std::vector<Value> old_buf;
+  std::string hub_buf;
+  for (uint32_t j = q_; j < p_; ++j) {
+    // Monotone programs can skip a column when no contributing row ran.
+    bool any_source = false;
+    if (Program::kMonotoneSkippable) {
+      for (uint32_t i = 0; i < p_ && !any_source; ++i) {
+        any_source = RowShouldProcess(i);
+      }
+    } else {
+      any_source = true;
+    }
+    if (!any_source) continue;
+
+    const uint32_t isize = m.interval_size(j);
+    const VertexId dst_base = m.interval_begin(j);
+    acc_buf.assign(isize, Program::Identity());
+
+    for (const DirectionPlan& dir : directions_) {
+      // SPU-like: resident source rows gather directly from memory. Rows
+      // are processed one at a time (their chunks in parallel) because two
+      // rows of the same column write overlapping destinations.
+      for (uint32_t i = 0; i < q_; ++i) {
+        if (!RowShouldProcess(i)) continue;
+        if (m.subshard(i, j, dir.transpose).num_edges == 0) continue;
+        auto ss_or = LoadOne(i, j, dir.transpose);
+        if (!ss_or.ok()) return ss_or.status();
+        std::shared_ptr<const SubShard> ss = std::move(ss_or).value();
+        const VertexId src_base = m.interval_begin(i);
+        const Value* src_vals = old_values_[i].data();
+        Value* acc = acc_buf.data();
+        const std::vector<uint32_t>* degrees = dir.degrees;
+        WaitGroup wg;
+        for (auto [gb, ge] : ComputeChunks(*ss)) {
+          wg.Add(1);
+          pool_->Submit([this, ss, src_vals, src_base, acc, dst_base, degrees,
+                         gb, ge, &wg] {
+            ProcessGroups(*ss, src_vals, src_base, acc, dst_base, *degrees,
+                          gb, ge);
+            wg.Done();
+          });
+        }
+        wg.Wait();
+      }
+      // FromHub: fold the pre-accumulated (dst, partial) entries. Hubs are
+      // processed in row order ("threads cannot be overlapped among hubs",
+      // §III-D); entries within one hub are chunked in parallel since their
+      // destinations are disjoint.
+      for (uint32_t i = q_; i < p_; ++i) {
+        const size_t hub_idx =
+            (dir.transpose ? static_cast<size_t>(p_) * p_ : 0) +
+            static_cast<size_t>(i) * p_ + j;
+        if (!hub_written_[hub_idx]) continue;
+        NX_RETURN_NOT_OK(dir.hubs->ReadHub(i, j, &hub_buf));
+        bytes_read_.fetch_add(hub_buf.size(), std::memory_order_relaxed);
+        uint64_t count = 0;
+        std::memcpy(&count, hub_buf.data(), 8);
+        const char* entries = hub_buf.data() + 8;
+        constexpr size_t kEntry = 4 + sizeof(Value);
+        Value* acc = acc_buf.data();
+        pool_->ParallelFor(
+            0, count, 1024, [&](size_t kb, size_t ke) {
+              for (size_t k = kb; k < ke; ++k) {
+                VertexId dst;
+                Value v;
+                std::memcpy(&dst, entries + k * kEntry, 4);
+                std::memcpy(&v, entries + k * kEntry + 4, sizeof(Value));
+                Value& slot = acc[dst - dst_base];
+                slot = Program::Accumulate(slot, v);
+              }
+            });
+      }
+    }
+
+    // Apply + write back the destination interval.
+    old_buf.resize(isize);
+    NX_RETURN_NOT_OK(
+        interval_store_->Read(j, value_parity_[j], old_buf.data()));
+    bytes_read_.fetch_add(isize * sizeof(Value), std::memory_order_relaxed);
+    std::atomic<uint8_t> changed{0};
+    pool_->ParallelFor(0, isize, 4096, [&](size_t kb, size_t ke) {
+      bool local_changed = false;
+      for (size_t k = kb; k < ke; ++k) {
+        const VertexId v = dst_base + static_cast<VertexId>(k);
+        const Value next = program_.Apply(v, acc_buf[k], old_buf[k]);
+        local_changed = local_changed || program_.Changed(old_buf[k], next);
+        acc_buf[k] = next;
+      }
+      if (local_changed) changed.store(1, std::memory_order_relaxed);
+    });
+    NX_RETURN_NOT_OK(
+        interval_store_->Write(j, 1 - value_parity_[j], acc_buf.data()));
+    bytes_written_.fetch_add(isize * sizeof(Value),
+                             std::memory_order_relaxed);
+    value_parity_[j] = 1 - value_parity_[j];
+    if (changed.load(std::memory_order_relaxed)) {
+      next_active_[j].store(1, std::memory_order_relaxed);
+    }
+  }
+  return Status::OK();
+}
+
+// ---- Phase D: apply + ping-pong swap for resident columns ----------------
+
+template <VertexProgram Program>
+Status Engine<Program>::PhaseApplyResident() {
+  const Manifest& m = store_->manifest();
+  for (uint32_t j = 0; j < q_; ++j) {
+    const VertexId base = m.interval_begin(j);
+    const uint32_t isize = m.interval_size(j);
+    std::vector<Value>& old_vals = old_values_[j];
+    std::vector<Value>& acc = acc_values_[j];
+    std::atomic<uint8_t> changed{0};
+    pool_->ParallelFor(0, isize, 4096, [&](size_t kb, size_t ke) {
+      bool local_changed = false;
+      for (size_t k = kb; k < ke; ++k) {
+        const VertexId v = base + static_cast<VertexId>(k);
+        const Value next = program_.Apply(v, acc[k], old_vals[k]);
+        local_changed = local_changed || program_.Changed(old_vals[k], next);
+        acc[k] = next;
+      }
+      if (local_changed) changed.store(1, std::memory_order_relaxed);
+    });
+    // Ping-pong: the accumulator buffer becomes the new value array and the
+    // old array is recycled as the next iteration's accumulator.
+    std::swap(old_values_[j], acc_values_[j]);
+    if (changed.load(std::memory_order_relaxed)) {
+      next_active_[j].store(1, std::memory_order_relaxed);
+    }
+  }
+  return Status::OK();
+}
+
+template <VertexProgram Program>
+Status Engine<Program>::RunIteration(int iter) {
+  (void)iter;
+  for (uint32_t i = 0; i < p_; ++i) {
+    next_active_[i].store(0, std::memory_order_relaxed);
+  }
+  // Reset resident accumulators (InitializeIteration).
+  for (uint32_t j = 0; j < q_; ++j) {
+    std::fill(acc_values_[j].begin(), acc_values_[j].end(),
+              Program::Identity());
+  }
+  NX_RETURN_NOT_OK(PhaseResidentRows());
+  NX_RETURN_NOT_OK(PhaseDiskRows());
+  NX_RETURN_NOT_OK(PhaseDiskColumns());
+  NX_RETURN_NOT_OK(PhaseApplyResident());
+  for (uint32_t i = 0; i < p_; ++i) {
+    active_[i] = next_active_[i].load(std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+template <VertexProgram Program>
+Result<RunStats> Engine<Program>::Run() {
+  RunStats stats;
+  Timer total;
+  NX_RETURN_NOT_OK(Prepare());
+  NX_RETURN_NOT_OK(InitValues());
+  stats.preprocess_seconds = total.ElapsedSeconds();
+  stats.strategy = decision_.name;
+  stats.resident_intervals = q_;
+
+  Timer loop;
+  int iter = 0;
+  for (;;) {
+    if (options_.max_iterations > 0 && iter >= options_.max_iterations) break;
+    bool any_active = false;
+    for (uint32_t i = 0; i < p_ && !any_active; ++i) {
+      any_active = active_[i] != 0;
+    }
+    if (!any_active) break;
+    Timer iter_timer;
+    NX_RETURN_NOT_OK(RunIteration(iter));
+    stats.iteration_seconds.push_back(iter_timer.ElapsedSeconds());
+    ++iter;
+  }
+  stats.iterations = iter;
+  stats.seconds = loop.ElapsedSeconds();
+  stats.edges_traversed = edges_traversed_.load(std::memory_order_relaxed);
+  stats.bytes_read =
+      bytes_read_.load(std::memory_order_relaxed) +
+      cache_->bytes_loaded_from_disk();
+  stats.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+
+  // Collect final values.
+  final_values_.resize(store_->num_vertices());
+  const Manifest& m = store_->manifest();
+  std::vector<Value> buf;
+  for (uint32_t i = 0; i < p_; ++i) {
+    const VertexId base = m.interval_begin(i);
+    const uint32_t isize = m.interval_size(i);
+    if (i < q_) {
+      std::copy(old_values_[i].begin(), old_values_[i].end(),
+                final_values_.begin() + base);
+    } else {
+      buf.resize(isize);
+      NX_RETURN_NOT_OK(
+          interval_store_->Read(i, value_parity_[i], buf.data()));
+      std::copy(buf.begin(), buf.end(), final_values_.begin() + base);
+    }
+  }
+  return stats;
+}
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_ENGINE_ENGINE_H_

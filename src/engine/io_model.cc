@@ -1,0 +1,57 @@
+#include "src/engine/io_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nxgraph {
+
+IoCost SpuIoCost(const IoModelParams& p) {
+  IoCost c;
+  c.read_bytes = std::max(0.0, p.m * p.Be + 2 * p.n * p.Ba - p.BM);
+  // After the initial load, SPU never writes vertex state to disk.
+  c.write_bytes = 0;
+  return c;
+}
+
+IoCost DpuIoCost(const IoModelParams& p) {
+  IoCost c;
+  const double hub_bytes = p.m * (p.Ba + p.Bv) / p.d;
+  c.read_bytes = p.m * p.Be + hub_bytes + p.n * p.Ba;
+  c.write_bytes = hub_bytes + p.n * p.Ba;
+  return c;
+}
+
+uint32_t MpuResidentIntervals(const IoModelParams& p) {
+  if (p.n <= 0 || p.Ba <= 0) return 0;
+  const double frac = p.BM / (2.0 * p.n * p.Ba);
+  const double q = std::floor(frac * p.P);
+  return static_cast<uint32_t>(std::clamp(q, 0.0, p.P));
+}
+
+IoCost MpuIoCost(const IoModelParams& p) {
+  // Table II, MPU row, with the in-memory fraction BM/(2 n Ba) capped at 1.
+  const double frac = std::min(1.0, p.BM / (2.0 * p.n * p.Ba));
+  const double disk_frac = 1.0 - frac;  // (P - Q) / P
+  IoCost c;
+  const double hub_bytes =
+      p.m * disk_frac * disk_frac * (p.Ba + p.Bv) / p.d;
+  c.read_bytes = p.m * p.Be + hub_bytes + disk_frac * p.n * p.Ba;
+  c.write_bytes = hub_bytes + disk_frac * p.n * p.Ba;
+  return c;
+}
+
+IoCost TurboGraphLikeIoCost(const IoModelParams& p) {
+  IoCost c;
+  c.read_bytes = p.m * p.Be + 2.0 * (p.n * p.Ba) * (p.n * p.Ba) / p.BM +
+                 p.n * p.Ba;
+  c.write_bytes = p.n * p.Ba;
+  return c;
+}
+
+double MpuToTurboGraphRatio(const IoModelParams& p) {
+  const double turbo = TurboGraphLikeIoCost(p).total();
+  if (turbo <= 0) return 0;
+  return MpuIoCost(p).total() / turbo;
+}
+
+}  // namespace nxgraph

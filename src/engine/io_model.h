@@ -1,0 +1,51 @@
+// Analytic I/O cost model: the closed forms of Table II and the MPU vs
+// TurboGraph-like ratio of Fig. 6 (paper §III-B, §III-C).
+#ifndef NXGRAPH_ENGINE_IO_MODEL_H_
+#define NXGRAPH_ENGINE_IO_MODEL_H_
+
+#include <cstdint>
+
+namespace nxgraph {
+
+/// \brief Inputs to the I/O model, in the paper's notation.
+struct IoModelParams {
+  double n = 0;    ///< number of vertices
+  double m = 0;    ///< number of edges
+  double Ba = 8;   ///< bytes per vertex attribute
+  double Bv = 4;   ///< bytes per vertex id
+  double Be = 4;   ///< bytes per (compressed) edge
+  double BM = 0;   ///< memory budget in bytes
+  double d = 15;   ///< average in-degree of sub-shard destinations
+  double P = 16;   ///< number of intervals
+};
+
+/// \brief Bread/Bwrite per iteration for one strategy.
+struct IoCost {
+  double read_bytes = 0;
+  double write_bytes = 0;
+  double total() const { return read_bytes + write_bytes; }
+};
+
+/// SPU: Bread = max(0, m*Be + 2n*Ba - BM), Bwrite = 0 (Table II).
+IoCost SpuIoCost(const IoModelParams& p);
+
+/// DPU: Bread = m*Be + m*(Ba+Bv)/d + n*Ba, Bwrite = m*(Ba+Bv)/d + n*Ba.
+IoCost DpuIoCost(const IoModelParams& p);
+
+/// MPU with the best feasible Q for the given budget (Table II row 4).
+IoCost MpuIoCost(const IoModelParams& p);
+
+/// TurboGraph-like: Bread = m*Be + 2(n*Ba)^2/BM + n*Ba, Bwrite = n*Ba
+/// (paper §III-C, with P chosen as 2nBa/BM).
+IoCost TurboGraphLikeIoCost(const IoModelParams& p);
+
+/// Number of memory-resident intervals Q = floor(BM / (2 n Ba) * P),
+/// clamped to [0, P] (paper §III-B3).
+uint32_t MpuResidentIntervals(const IoModelParams& p);
+
+/// Fig. 6 series: ratio of MPU total I/O to TurboGraph-like total I/O.
+double MpuToTurboGraphRatio(const IoModelParams& p);
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_ENGINE_IO_MODEL_H_

@@ -1,0 +1,80 @@
+// Engine run options and statistics.
+#ifndef NXGRAPH_ENGINE_OPTIONS_H_
+#define NXGRAPH_ENGINE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nxgraph {
+
+/// Which update strategy to run (paper §III-B).
+enum class UpdateStrategy {
+  kAuto,         ///< pick from the memory budget (the paper's default, MPU
+                 ///< auto-degrades to SPU/DPU at the extremes)
+  kSinglePhase,  ///< SPU: all intervals ping-pong in memory
+  kDoublePhase,  ///< DPU: intervals on disk, hub intermediates
+  kMixedPhase,   ///< MPU: Q resident intervals, hubs for the rest
+};
+
+/// Scheduler synchronization mechanism (paper §IV intro: callback signal
+/// vs destination-interval locks; both are implemented and benchmarked).
+enum class SyncMode {
+  kCallback,  ///< per-column completion counters pipeline rows
+  kLock,      ///< per-(column, destination-chunk) spinlocks, any order
+};
+
+/// Which edge direction(s) an iteration processes.
+enum class EdgeDirection {
+  kForward,    ///< stored direction (updates flow source -> destination)
+  kTranspose,  ///< reversed edges (requires a store built with transpose)
+  kBoth,       ///< both directions in the same iteration (e.g. WCC)
+};
+
+/// \brief Options controlling one engine run.
+struct RunOptions {
+  UpdateStrategy strategy = UpdateStrategy::kAuto;
+  SyncMode sync_mode = SyncMode::kCallback;
+  EdgeDirection direction = EdgeDirection::kForward;
+
+  /// Memory budget in bytes for vertex state plus sub-shard cache. 0 means
+  /// "unlimited" (everything resident; SPU).
+  uint64_t memory_budget_bytes = 0;
+
+  /// Worker threads in addition to the calling thread. 0 = single-threaded.
+  int num_threads = 3;
+
+  /// Hard iteration cap; <= 0 means run until all intervals are inactive.
+  int max_iterations = 0;
+
+  /// Target edges per destination-chunk task (the fine-grained parallelism
+  /// grain; paper §III-D: "several thousands of edges"). 0 = 4096.
+  uint32_t chunk_width = 0;
+
+  /// Directory for engine scratch files (interval store, hubs). Empty uses
+  /// "<store dir>/run".
+  std::string scratch_dir;
+};
+
+/// \brief Statistics from one engine run.
+struct RunStats {
+  int iterations = 0;
+  double seconds = 0;
+  double preprocess_seconds = 0;   ///< engine setup (initial loads)
+  uint64_t edges_traversed = 0;    ///< summed over processed sub-shards
+  uint64_t bytes_read = 0;         ///< engine-accounted disk reads
+  uint64_t bytes_written = 0;      ///< engine-accounted disk writes
+  uint32_t resident_intervals = 0; ///< Q actually used
+  std::string strategy;            ///< "SPU" / "DPU" / "MPU(Q=...)"
+  std::vector<double> iteration_seconds;
+
+  /// Millions of traversed edges per second (the paper's Fig. 11 metric).
+  double Mteps() const {
+    return seconds > 0 ? static_cast<double>(edges_traversed) / seconds / 1e6
+                       : 0;
+  }
+};
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_ENGINE_OPTIONS_H_

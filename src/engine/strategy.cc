@@ -1,0 +1,85 @@
+#include "src/engine/strategy.h"
+
+#include <algorithm>
+
+namespace nxgraph {
+
+namespace {
+
+std::string MpuName(uint32_t q, uint32_t p) {
+  return "MPU(Q=" + std::to_string(q) + "/" + std::to_string(p) + ")";
+}
+
+}  // namespace
+
+StrategyDecision ChooseStrategy(const Manifest& manifest, uint32_t value_bytes,
+                                uint64_t fixed_overhead_bytes,
+                                const RunOptions& options) {
+  const uint32_t p = manifest.num_intervals;
+  const uint64_t n = manifest.num_vertices;
+  const uint64_t full_state = 2ULL * n * value_bytes;  // ping-pong copies
+
+  StrategyDecision d;
+  const bool unlimited = options.memory_budget_bytes == 0;
+  const uint64_t budget = options.memory_budget_bytes;
+  const uint64_t avail =
+      unlimited ? UINT64_MAX
+                : (budget > fixed_overhead_bytes ? budget - fixed_overhead_bytes
+                                                 : 0);
+
+  // Q from the paper's formula: Q <= BM / (2 n Ba) * P.
+  uint32_t q_budget;
+  if (unlimited || avail >= full_state) {
+    q_budget = p;
+  } else {
+    q_budget = static_cast<uint32_t>(
+        static_cast<double>(avail) / static_cast<double>(full_state) * p);
+    q_budget = std::min(q_budget, p);
+  }
+
+  switch (options.strategy) {
+    case UpdateStrategy::kSinglePhase:
+      d.strategy = UpdateStrategy::kSinglePhase;
+      d.resident_intervals = p;
+      d.name = "SPU";
+      break;
+    case UpdateStrategy::kDoublePhase:
+      d.strategy = UpdateStrategy::kDoublePhase;
+      d.resident_intervals = 0;
+      d.name = "DPU";
+      break;
+    case UpdateStrategy::kMixedPhase:
+      d.strategy = UpdateStrategy::kMixedPhase;
+      d.resident_intervals = q_budget;
+      d.name = MpuName(q_budget, p);
+      break;
+    case UpdateStrategy::kAuto:
+      if (q_budget == p) {
+        d.strategy = UpdateStrategy::kSinglePhase;
+        d.resident_intervals = p;
+        d.name = "SPU";
+      } else if (q_budget == 0) {
+        d.strategy = UpdateStrategy::kDoublePhase;
+        d.resident_intervals = 0;
+        d.name = "DPU";
+      } else {
+        d.strategy = UpdateStrategy::kMixedPhase;
+        d.resident_intervals = q_budget;
+        d.name = MpuName(q_budget, p);
+      }
+      break;
+  }
+
+  // Whatever is left after resident vertex state caches sub-shards
+  // ("it is more efficient to store intervals in memory than sub-shards",
+  // §III-B1 — intervals claim budget first).
+  uint64_t resident_state = 0;
+  for (uint32_t i = 0; i < d.resident_intervals; ++i) {
+    resident_state += 2ULL * manifest.interval_size(i) * value_bytes;
+  }
+  d.subshard_cache_budget =
+      unlimited ? UINT64_MAX : (avail > resident_state ? avail - resident_state : 0);
+  return d;
+}
+
+}  // namespace nxgraph

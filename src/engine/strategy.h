@@ -1,0 +1,38 @@
+// Update-strategy selection from the memory budget (paper §III-B: "NXgraph
+// can adaptively choose the fastest strategy ... according to the graph size
+// and the available memory resources").
+#ifndef NXGRAPH_ENGINE_STRATEGY_H_
+#define NXGRAPH_ENGINE_STRATEGY_H_
+
+#include <cstdint>
+
+#include "src/engine/options.h"
+#include "src/prep/manifest.h"
+
+namespace nxgraph {
+
+/// \brief Concrete plan chosen for a run.
+struct StrategyDecision {
+  UpdateStrategy strategy = UpdateStrategy::kSinglePhase;
+  /// Number of memory-resident (ping-pong) intervals, Q. Q == P for SPU,
+  /// Q == 0 for DPU.
+  uint32_t resident_intervals = 0;
+  /// Leftover budget for caching decoded sub-shards in memory.
+  uint64_t subshard_cache_budget = 0;
+  /// Human-readable name ("SPU", "DPU", "MPU(Q=3/16)").
+  std::string name;
+};
+
+/// Picks the strategy per the paper's rules:
+///  - vertex state costs 2 * n * value_bytes (ping-pong copies);
+///  - fits in budget (or budget unlimited) => SPU, leftover caches shards;
+///  - otherwise Q = floor(BM / (2 n Ba) * P); Q == 0 => DPU, else MPU.
+/// A forced strategy in `options.strategy` is honored; the budget then only
+/// sizes Q and the cache.
+StrategyDecision ChooseStrategy(const Manifest& manifest, uint32_t value_bytes,
+                                uint64_t fixed_overhead_bytes,
+                                const RunOptions& options);
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_ENGINE_STRATEGY_H_

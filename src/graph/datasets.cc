@@ -1,0 +1,87 @@
+#include "src/graph/datasets.h"
+
+#include <cmath>
+
+#include "src/graph/generators.h"
+
+namespace nxgraph {
+
+namespace {
+
+// log2 of a scale divisor, rounded to nearest power of two.
+uint32_t Log2Divisor(uint64_t divisor) {
+  uint32_t bits = 0;
+  while ((1ULL << (bits + 1)) <= divisor) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+std::vector<DatasetInfo> ListDatasets() {
+  return {
+      {"live-journal-sim", "Live-journal", 4'850'000, 69'000'000,
+       "R-MAT scale 23/div, edge factor 14.2"},
+      {"twitter-sim", "Twitter", 41'700'000, 1'470'000'000,
+       "R-MAT scale 25/div, edge factor 35.3"},
+      {"yahoo-web-sim", "Yahoo-web", 720'000'000, 6'640'000'000,
+       "R-MAT scale 30/div, edge factor 9.2"},
+      {"delaunay_n20", "delaunay_n20", 1'048'576, 6'291'456,
+       "grid 3-NN planar, n=2^20/div"},
+      {"delaunay_n21", "delaunay_n21", 2'097'152, 12'582'912,
+       "grid 3-NN planar, n=2^21/div"},
+      {"delaunay_n22", "delaunay_n22", 4'194'304, 25'165'824,
+       "grid 3-NN planar, n=2^22/div"},
+      {"delaunay_n23", "delaunay_n23", 8'388'608, 50'331'648,
+       "grid 3-NN planar, n=2^23/div"},
+      {"delaunay_n24", "delaunay_n24", 16'777'216, 101'000'000,
+       "grid 3-NN planar, n=2^24/div"},
+  };
+}
+
+Result<EdgeList> MakeDataset(const std::string& name, uint64_t scale_divisor,
+                             uint64_t seed) {
+  if (scale_divisor == 0) {
+    return Status::InvalidArgument("scale_divisor must be >= 1");
+  }
+  const uint32_t shift = Log2Divisor(scale_divisor);
+
+  auto rmat = [&](uint32_t paper_scale, double edge_factor,
+                  double a) -> EdgeList {
+    RmatOptions opt;
+    opt.scale = paper_scale > shift ? paper_scale - shift : 10;
+    opt.edge_factor = edge_factor;
+    opt.a = a;
+    opt.b = opt.c = (1.0 - a) / 3.0;
+    opt.seed = seed;
+    return GenerateRmat(opt);
+  };
+
+  // The paper-scale parameters approximate each dataset's density
+  // (edges/vertex) and skew; `a` controls degree skew (higher => heavier
+  // tail, web graphs are more skewed than social graphs).
+  if (name == "live-journal-sim") {
+    // 4.85M vertices, 69M edges => ~14 edges/vertex, moderate skew.
+    return rmat(23, 14.2, 0.55);
+  }
+  if (name == "twitter-sim") {
+    // 41.7M vertices, 1.47B edges => ~35 edges/vertex, strong skew.
+    return rmat(25, 35.3, 0.57);
+  }
+  if (name == "yahoo-web-sim") {
+    // 720M vertices, 6.64B edges => ~9 edges/vertex, very strong skew.
+    return rmat(30, 9.2, 0.62);
+  }
+  for (uint32_t s = 20; s <= 24; ++s) {
+    if (name == "delaunay_n" + std::to_string(s)) {
+      DelaunayLikeOptions opt;
+      const uint32_t eff = s > shift ? s - shift : 8;
+      opt.num_points = 1ULL << eff;
+      opt.neighbors = 3;
+      opt.seed = seed;
+      return GenerateDelaunayLike(opt);
+    }
+  }
+  return Status::InvalidArgument("unknown dataset: " + name);
+}
+
+}  // namespace nxgraph

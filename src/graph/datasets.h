@@ -1,0 +1,39 @@
+// Registry of the synthetic datasets standing in for the paper's benchmarks
+// (Table III). Each dataset is generated deterministically and scaled by a
+// configurable factor so benches run at laptop size by default.
+#ifndef NXGRAPH_GRAPH_DATASETS_H_
+#define NXGRAPH_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/edge_list.h"
+#include "src/util/result.h"
+
+namespace nxgraph {
+
+/// \brief Description of one synthetic stand-in dataset.
+struct DatasetInfo {
+  std::string name;           ///< e.g. "twitter-sim"
+  std::string paper_name;     ///< e.g. "Twitter"
+  uint64_t paper_vertices;    ///< paper-reported vertex count
+  uint64_t paper_edges;       ///< paper-reported edge count
+  std::string generator;      ///< human-readable generator description
+};
+
+/// All registered datasets, in Table III order.
+std::vector<DatasetInfo> ListDatasets();
+
+/// \brief Generates a registered dataset.
+///
+/// `scale_divisor` divides the paper-scale vertex count; the default 64
+/// keeps the largest graph (yahoo-sim) around a few million edges. Returns
+/// InvalidArgument for unknown names. Recognized names:
+///   live-journal-sim, twitter-sim, yahoo-web-sim,
+///   delaunay_n20 .. delaunay_n24 (also scaled by scale_divisor).
+Result<EdgeList> MakeDataset(const std::string& name,
+                             uint64_t scale_divisor = 64, uint64_t seed = 42);
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_GRAPH_DATASETS_H_

@@ -1,0 +1,30 @@
+#include "src/graph/edge_list.h"
+
+#include <algorithm>
+
+namespace nxgraph {
+
+void EdgeList::Symmetrize() {
+  const size_t m = num_edges();
+  const bool weighted = has_weights();
+  Reserve(2 * m);
+  for (size_t i = 0; i < m; ++i) {
+    if (weighted) {
+      AddWeighted(dst(i), src(i), weight(i));
+    } else {
+      Add(dst(i), src(i));
+    }
+  }
+}
+
+size_t EdgeList::CountDistinctVertices() const {
+  std::vector<VertexIndex> all;
+  all.reserve(2 * num_edges());
+  all.insert(all.end(), srcs_.begin(), srcs_.end());
+  all.insert(all.end(), dsts_.begin(), dsts_.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all.size();
+}
+
+}  // namespace nxgraph

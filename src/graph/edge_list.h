@@ -1,0 +1,73 @@
+// In-memory edge list: the interchange format between loaders/generators and
+// the preprocessing pipeline.
+#ifndef NXGRAPH_GRAPH_EDGE_LIST_H_
+#define NXGRAPH_GRAPH_EDGE_LIST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/types.h"
+
+namespace nxgraph {
+
+/// \brief A graph as a flat list of directed edges in raw index space,
+/// with optional per-edge weights.
+///
+/// Indices may be sparse and unordered; the Degreer densifies them.
+class EdgeList {
+ public:
+  EdgeList() = default;
+
+  /// Appends an unweighted edge.
+  void Add(VertexIndex src, VertexIndex dst) {
+    srcs_.push_back(src);
+    dsts_.push_back(dst);
+  }
+
+  /// Appends a weighted edge; mixing weighted and unweighted edges in one
+  /// list backfills weight 1.0 for earlier edges.
+  void AddWeighted(VertexIndex src, VertexIndex dst, float weight) {
+    if (weights_.size() < srcs_.size()) weights_.resize(srcs_.size(), 1.0f);
+    srcs_.push_back(src);
+    dsts_.push_back(dst);
+    weights_.push_back(weight);
+  }
+
+  size_t num_edges() const { return srcs_.size(); }
+  bool has_weights() const { return !weights_.empty(); }
+
+  VertexIndex src(size_t i) const { return srcs_[i]; }
+  VertexIndex dst(size_t i) const { return dsts_[i]; }
+  float weight(size_t i) const {
+    return i < weights_.size() ? weights_[i] : 1.0f;
+  }
+
+  void Reserve(size_t n) {
+    srcs_.reserve(n);
+    dsts_.reserve(n);
+  }
+
+  void Clear() {
+    srcs_.clear();
+    dsts_.clear();
+    weights_.clear();
+  }
+
+  /// Appends the reverse of every edge (used to symmetrize an undirected
+  /// input, per the paper: "undirected graph is supported by adding two
+  /// opposite edges").
+  void Symmetrize();
+
+  /// Number of distinct vertex indices that appear as an endpoint.
+  size_t CountDistinctVertices() const;
+
+ private:
+  std::vector<VertexIndex> srcs_;
+  std::vector<VertexIndex> dsts_;
+  std::vector<float> weights_;  // empty == unweighted
+};
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_GRAPH_EDGE_LIST_H_

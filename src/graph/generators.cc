@@ -1,0 +1,176 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "src/util/logging.h"
+#include "src/util/random.h"
+
+namespace nxgraph {
+
+EdgeList GenerateRmat(const RmatOptions& options) {
+  NX_CHECK(options.scale > 0 && options.scale < 32);
+  const uint64_t n = 1ULL << options.scale;
+  const uint64_t m =
+      static_cast<uint64_t>(options.edge_factor * static_cast<double>(n));
+  const double d = 1.0 - options.a - options.b - options.c;
+  NX_CHECK(d >= 0.0) << "RMAT quadrant probabilities exceed 1";
+
+  Xoshiro256 rng(options.seed);
+  EdgeList edges;
+  edges.Reserve(m);
+  for (uint64_t e = 0; e < m; ++e) {
+    uint64_t src = 0, dst = 0;
+    for (uint32_t bit = 0; bit < options.scale; ++bit) {
+      const double r = rng.NextDouble();
+      // Pick one of the four quadrants; noise on the probabilities (a common
+      // R-MAT refinement) is omitted to keep generation exactly reproducible.
+      uint64_t sbit, dbit;
+      if (r < options.a) {
+        sbit = 0;
+        dbit = 0;
+      } else if (r < options.a + options.b) {
+        sbit = 0;
+        dbit = 1;
+      } else if (r < options.a + options.b + options.c) {
+        sbit = 1;
+        dbit = 0;
+      } else {
+        sbit = 1;
+        dbit = 1;
+      }
+      src = (src << 1) | sbit;
+      dst = (dst << 1) | dbit;
+    }
+    if (options.with_weights) {
+      edges.AddWeighted(src, dst, static_cast<float>(rng.NextDouble()) + 1e-6f);
+    } else {
+      edges.Add(src, dst);
+    }
+  }
+  return edges;
+}
+
+EdgeList GenerateErdosRenyi(uint64_t num_vertices, uint64_t num_edges,
+                            uint64_t seed) {
+  NX_CHECK(num_vertices > 0);
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.Reserve(num_edges);
+  for (uint64_t e = 0; e < num_edges; ++e) {
+    edges.Add(rng.NextBounded(num_vertices), rng.NextBounded(num_vertices));
+  }
+  return edges;
+}
+
+EdgeList GeneratePowerLaw(const PowerLawOptions& options) {
+  NX_CHECK(options.num_vertices > 0);
+  NX_CHECK(options.exponent > 1.0);
+  Xoshiro256 rng(options.seed);
+
+  // Draw out-degrees from a discrete bounded Pareto via inverse transform,
+  // then rescale to hit the requested average degree.
+  const uint64_t n = options.num_vertices;
+  std::vector<double> raw(n);
+  const double alpha = options.exponent - 1.0;
+  double total = 0.0;
+  for (uint64_t v = 0; v < n; ++v) {
+    const double u = rng.NextDouble();
+    raw[v] = std::pow(1.0 - u, -1.0 / alpha);  // Pareto(1, alpha)
+    total += raw[v];
+  }
+  const double scale_factor =
+      options.avg_degree * static_cast<double>(n) / total;
+
+  EdgeList edges;
+  edges.Reserve(static_cast<size_t>(options.avg_degree * n));
+  for (uint64_t v = 0; v < n; ++v) {
+    uint64_t degree = static_cast<uint64_t>(raw[v] * scale_factor);
+    degree = std::min<uint64_t>(degree, options.max_degree);
+    for (uint64_t k = 0; k < degree; ++k) {
+      // Preferential-attachment-like target choice: square one uniform draw
+      // so low ids (which also tend to have high out-degree) attract more
+      // in-edges, giving correlated in/out skew as in web crawls.
+      const double u = rng.NextDouble();
+      const auto dst = static_cast<uint64_t>(u * u * static_cast<double>(n));
+      edges.Add(v, std::min(dst, n - 1));
+    }
+  }
+  return edges;
+}
+
+EdgeList GenerateDelaunayLike(const DelaunayLikeOptions& options) {
+  const uint64_t n = options.num_points;
+  NX_CHECK(n >= 2);
+  Xoshiro256 rng(options.seed);
+
+  std::vector<float> xs(n), ys(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    xs[i] = static_cast<float>(rng.NextDouble());
+    ys[i] = static_cast<float>(rng.NextDouble());
+  }
+
+  // Uniform grid bucketing: ~2 points per cell on average.
+  const auto grid_dim = static_cast<uint32_t>(
+      std::max(1.0, std::sqrt(static_cast<double>(n) / 2.0)));
+  std::vector<std::vector<uint32_t>> cells(
+      static_cast<size_t>(grid_dim) * grid_dim);
+  auto cell_of = [&](float x, float y) {
+    auto cx = std::min<uint32_t>(static_cast<uint32_t>(x * grid_dim),
+                                 grid_dim - 1);
+    auto cy = std::min<uint32_t>(static_cast<uint32_t>(y * grid_dim),
+                                 grid_dim - 1);
+    return cy * grid_dim + cx;
+  };
+  for (uint64_t i = 0; i < n; ++i) {
+    cells[cell_of(xs[i], ys[i])].push_back(static_cast<uint32_t>(i));
+  }
+
+  const uint32_t k = std::max<uint32_t>(options.neighbors, 1);
+  EdgeList edges;
+  edges.Reserve(2 * k * n);
+  std::vector<std::pair<float, uint32_t>> candidates;
+  for (uint64_t i = 0; i < n; ++i) {
+    candidates.clear();
+    const auto cx = std::min<uint32_t>(
+        static_cast<uint32_t>(xs[i] * grid_dim), grid_dim - 1);
+    const auto cy = std::min<uint32_t>(
+        static_cast<uint32_t>(ys[i] * grid_dim), grid_dim - 1);
+    // Expand the search ring until enough candidates are found (ring 1 is
+    // almost always sufficient at ~2 points/cell).
+    for (uint32_t ring = 1; ring <= grid_dim; ++ring) {
+      candidates.clear();
+      const uint32_t x0 = cx >= ring ? cx - ring : 0;
+      const uint32_t x1 = std::min(cx + ring, grid_dim - 1);
+      const uint32_t y0 = cy >= ring ? cy - ring : 0;
+      const uint32_t y1 = std::min(cy + ring, grid_dim - 1);
+      for (uint32_t gy = y0; gy <= y1; ++gy) {
+        for (uint32_t gx = x0; gx <= x1; ++gx) {
+          for (uint32_t j : cells[gy * grid_dim + gx]) {
+            if (j == i) continue;
+            const float dx = xs[i] - xs[j];
+            const float dy = ys[i] - ys[j];
+            candidates.emplace_back(dx * dx + dy * dy, j);
+          }
+        }
+      }
+      if (candidates.size() >= k || (x0 == 0 && y0 == 0 &&
+                                     x1 == grid_dim - 1 &&
+                                     y1 == grid_dim - 1)) {
+        break;
+      }
+    }
+    const size_t take = std::min<size_t>(k, candidates.size());
+    std::partial_sort(candidates.begin(), candidates.begin() + take,
+                      candidates.end());
+    for (size_t t = 0; t < take; ++t) {
+      edges.Add(i, candidates[t].second);
+      edges.Add(candidates[t].second, i);  // symmetrize
+    }
+  }
+  return edges;
+}
+
+}  // namespace nxgraph

@@ -1,0 +1,63 @@
+// Deterministic synthetic graph generators. These are the offline stand-ins
+// for the paper's real-world datasets (see DESIGN.md, "Substitutions").
+#ifndef NXGRAPH_GRAPH_GENERATORS_H_
+#define NXGRAPH_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "src/graph/edge_list.h"
+
+namespace nxgraph {
+
+/// \brief Recursive-matrix (R-MAT) generator parameters.
+///
+/// Defaults (a,b,c)= (0.57,0.19,0.19) are the Graph500 values, producing the
+/// skewed in/out-degree distributions characteristic of social and web
+/// graphs such as Twitter and Yahoo-web.
+struct RmatOptions {
+  uint32_t scale = 16;          ///< num_vertices = 2^scale
+  double edge_factor = 16.0;    ///< num_edges = edge_factor * num_vertices
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  uint64_t seed = 1;
+  bool with_weights = false;    ///< uniform (0,1] weights when set
+};
+
+/// Generates an R-MAT graph (may contain duplicate edges and self-loops,
+/// like real crawls; the preprocessing pipeline tolerates both).
+EdgeList GenerateRmat(const RmatOptions& options);
+
+/// Generates a uniform G(n, m) Erdős–Rényi multigraph.
+EdgeList GenerateErdosRenyi(uint64_t num_vertices, uint64_t num_edges,
+                            uint64_t seed);
+
+/// \brief Zipf/power-law out-degree graph: vertex out-degrees follow a
+/// discrete power law with the given exponent; destinations are chosen by
+/// preferential attachment over a shuffled id space.
+struct PowerLawOptions {
+  uint64_t num_vertices = 1 << 16;
+  double avg_degree = 10.0;
+  double exponent = 2.0;
+  uint32_t max_degree = 1 << 20;
+  uint64_t seed = 1;
+};
+EdgeList GeneratePowerLaw(const PowerLawOptions& options);
+
+/// \brief Delaunay-like planar graph: n uniform random points in the unit
+/// square, each connected to its k nearest neighbours found via a uniform
+/// grid, then symmetrized.
+///
+/// With k=3 the average directed degree is ~6, matching the DIMACS
+/// delaunay_n* family used in the paper's Fig. 11 (e.g. delaunay_n20:
+/// 1.05M vertices, 6.29M directed edges).
+struct DelaunayLikeOptions {
+  uint64_t num_points = 1 << 16;
+  uint32_t neighbors = 3;
+  uint64_t seed = 1;
+};
+EdgeList GenerateDelaunayLike(const DelaunayLikeOptions& options);
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_GRAPH_GENERATORS_H_

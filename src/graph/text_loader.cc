@@ -1,0 +1,112 @@
+#include "src/graph/text_loader.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace nxgraph {
+
+namespace {
+
+// Parses one token starting at text[pos]; advances pos past the token.
+// Returns false if no token is found before end-of-line.
+bool NextToken(const std::string& text, size_t line_end, size_t* pos,
+               std::string_view* token) {
+  size_t p = *pos;
+  while (p < line_end &&
+         (text[p] == ' ' || text[p] == '\t' || text[p] == ',')) {
+    ++p;
+  }
+  if (p >= line_end) return false;
+  size_t start = p;
+  while (p < line_end && text[p] != ' ' && text[p] != '\t' && text[p] != ',') {
+    ++p;
+  }
+  *token = std::string_view(text.data() + start, p - start);
+  *pos = p;
+  return true;
+}
+
+}  // namespace
+
+Result<EdgeList> ParseEdgeListText(const std::string& text) {
+  EdgeList edges;
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos < text.size()) {
+    ++line_no;
+    size_t line_end = text.find('\n', pos);
+    if (line_end == std::string::npos) line_end = text.size();
+
+    size_t p = pos;
+    while (p < line_end &&
+           std::isspace(static_cast<unsigned char>(text[p]))) {
+      ++p;
+    }
+    const bool blank = (p >= line_end);
+    const bool comment = !blank && (text[p] == '#' || text[p] == '%');
+    if (!blank && !comment) {
+      std::string_view src_tok, dst_tok, w_tok;
+      if (!NextToken(text, line_end, &p, &src_tok) ||
+          !NextToken(text, line_end, &p, &dst_tok)) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": expected 'src dst [weight]'");
+      }
+      VertexIndex src = 0, dst = 0;
+      auto r1 = std::from_chars(src_tok.data(), src_tok.data() + src_tok.size(), src);
+      auto r2 = std::from_chars(dst_tok.data(), dst_tok.data() + dst_tok.size(), dst);
+      if (r1.ec != std::errc() || r1.ptr != src_tok.data() + src_tok.size() ||
+          r2.ec != std::errc() || r2.ptr != dst_tok.data() + dst_tok.size()) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": non-numeric vertex index");
+      }
+      if (NextToken(text, line_end, &p, &w_tok)) {
+        // std::from_chars for float is available in GCC 11+; use strtof on a
+        // bounded copy to stay portable.
+        std::string w_str(w_tok);
+        char* endp = nullptr;
+        float w = std::strtof(w_str.c_str(), &endp);
+        if (endp != w_str.c_str() + w_str.size()) {
+          return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                         ": non-numeric weight");
+        }
+        edges.AddWeighted(src, dst, w);
+      } else {
+        edges.Add(src, dst);
+      }
+    }
+    pos = line_end + 1;
+  }
+  return edges;
+}
+
+Result<EdgeList> LoadEdgeListText(Env* env, const std::string& path) {
+  std::string text;
+  NX_RETURN_NOT_OK(ReadFileToString(env, path, &text));
+  return ParseEdgeListText(text);
+}
+
+Status WriteEdgeListText(Env* env, const std::string& path,
+                         const EdgeList& edges) {
+  std::unique_ptr<WritableFile> file;
+  NX_RETURN_NOT_OK(env->NewWritableFile(path, &file));
+  char buf[96];
+  const bool weighted = edges.has_weights();
+  for (size_t i = 0; i < edges.num_edges(); ++i) {
+    int len;
+    if (weighted) {
+      len = std::snprintf(buf, sizeof(buf), "%llu %llu %g\n",
+                          static_cast<unsigned long long>(edges.src(i)),
+                          static_cast<unsigned long long>(edges.dst(i)),
+                          edges.weight(i));
+    } else {
+      len = std::snprintf(buf, sizeof(buf), "%llu %llu\n",
+                          static_cast<unsigned long long>(edges.src(i)),
+                          static_cast<unsigned long long>(edges.dst(i)));
+    }
+    NX_RETURN_NOT_OK(file->Append(buf, static_cast<size_t>(len)));
+  }
+  return file->Close();
+}
+
+}  // namespace nxgraph

@@ -1,0 +1,29 @@
+// Text edge-list loader: SNAP-style "src dst [weight]" lines.
+#ifndef NXGRAPH_GRAPH_TEXT_LOADER_H_
+#define NXGRAPH_GRAPH_TEXT_LOADER_H_
+
+#include <string>
+
+#include "src/graph/edge_list.h"
+#include "src/io/env.h"
+#include "src/util/result.h"
+
+namespace nxgraph {
+
+/// \brief Parses a whitespace- or comma-separated edge list.
+///
+/// Lines starting with '#' or '%' are comments; blank lines are skipped.
+/// A third numeric column, when present, is parsed as the edge weight.
+/// Malformed lines produce an InvalidArgument error naming the line number.
+Result<EdgeList> LoadEdgeListText(Env* env, const std::string& path);
+
+/// Parses the same format from an in-memory buffer (used by tests).
+Result<EdgeList> ParseEdgeListText(const std::string& text);
+
+/// Writes an EdgeList in "src dst [weight]" text form.
+Status WriteEdgeListText(Env* env, const std::string& path,
+                         const EdgeList& edges);
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_GRAPH_TEXT_LOADER_H_

@@ -1,0 +1,43 @@
+// Fundamental graph types shared across NXgraph.
+#ifndef NXGRAPH_GRAPH_TYPES_H_
+#define NXGRAPH_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace nxgraph {
+
+/// Dense vertex identifier assigned by the degreer: the vertices of a graph
+/// with n vertices are exactly the ids [0, n). (The paper numbers 1..n; we
+/// use 0-based ids so that ids double as array offsets.)
+using VertexId = uint32_t;
+
+/// Raw vertex index as it appears in input files: possibly sparse,
+/// possibly 64-bit.
+using VertexIndex = uint64_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// \brief Directed edge in dense-id space. 8 bytes, matching the paper's
+/// "each edge is represented by 8 bytes" storage estimate.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+static_assert(sizeof(Edge) == 8);
+
+/// \brief Directed edge with a weight, for SSSP-style algorithms.
+struct WeightedEdge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  float weight = 1.0f;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_GRAPH_TYPES_H_

@@ -1,0 +1,30 @@
+#include "src/io/env.h"
+
+namespace nxgraph {
+
+Status ReadFileToString(Env* env, const std::string& path, std::string* out) {
+  out->clear();
+  std::unique_ptr<SequentialFile> file;
+  NX_RETURN_NOT_OK(env->NewSequentialFile(path, &file));
+  char buf[1 << 16];
+  for (;;) {
+    size_t n = 0;
+    NX_RETURN_NOT_OK(file->Read(sizeof(buf), buf, &n));
+    if (n == 0) break;
+    out->append(buf, n);
+    if (n < sizeof(buf)) break;
+  }
+  return Status::OK();
+}
+
+Status WriteStringToFile(Env* env, const std::string& path,
+                         const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  std::unique_ptr<WritableFile> file;
+  NX_RETURN_NOT_OK(env->NewWritableFile(tmp, &file));
+  NX_RETURN_NOT_OK(file->Append(contents));
+  NX_RETURN_NOT_OK(file->Close());
+  return env->RenameFile(tmp, path);
+}
+
+}  // namespace nxgraph

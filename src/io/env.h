@@ -1,0 +1,169 @@
+// Filesystem abstraction (RocksDB's Env idiom). All NXgraph disk access goes
+// through an Env so tests can run in memory and benches can model device
+// characteristics (see ThrottledEnv).
+#ifndef NXGRAPH_IO_ENV_H_
+#define NXGRAPH_IO_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/macros.h"
+#include "src/util/result.h"
+#include "src/util/status.h"
+
+namespace nxgraph {
+
+/// \brief Aggregate I/O counters, updated atomically by file objects.
+class IoStats {
+ public:
+  struct Snapshot {
+    uint64_t bytes_read = 0;
+    uint64_t bytes_written = 0;
+    uint64_t read_ops = 0;
+    uint64_t write_ops = 0;
+  };
+
+  void RecordRead(uint64_t bytes) {
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    read_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordWrite(uint64_t bytes) {
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+    write_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+    s.read_ops = read_ops_.load(std::memory_order_relaxed);
+    s.write_ops = write_ops_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    bytes_read_ = 0;
+    bytes_written_ = 0;
+    read_ops_ = 0;
+    write_ops_ = 0;
+  }
+
+ private:
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> read_ops_{0};
+  std::atomic<uint64_t> write_ops_{0};
+};
+
+/// \brief Forward-only streaming reader (the engines' "streamlined" access).
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  /// Reads up to `n` bytes into `buf`; `*bytes_read < n` signals EOF.
+  virtual Status Read(size_t n, void* buf, size_t* bytes_read) = 0;
+
+  /// Skips `n` bytes forward.
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+/// \brief Positional reader (pread semantics); safe for concurrent use.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes at `offset`; short reads signal EOF.
+  virtual Status ReadAt(uint64_t offset, size_t n, void* buf,
+                        size_t* bytes_read) const = 0;
+};
+
+/// \brief Append-only writer.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const void* data, size_t n) = 0;
+  virtual Status Flush() = 0;
+  /// Flushes and durably closes the file; must be called before destruction
+  /// for the write to be considered complete.
+  virtual Status Close() = 0;
+
+  Status Append(const std::string& s) { return Append(s.data(), s.size()); }
+};
+
+/// \brief Positional writer (pwrite semantics); used for preallocated hub
+/// segments written concurrently by worker rows.
+class RandomWriteFile {
+ public:
+  virtual ~RandomWriteFile() = default;
+
+  virtual Status WriteAt(uint64_t offset, const void* data, size_t n) = 0;
+  virtual Status Truncate(uint64_t size) = 0;
+  virtual Status Close() = 0;
+};
+
+/// \brief Filesystem interface.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Process-wide Posix environment.
+  static Env* Default();
+
+  virtual Status NewSequentialFile(const std::string& path,
+                                   std::unique_ptr<SequentialFile>* out) = 0;
+  virtual Status NewRandomAccessFile(const std::string& path,
+                                     std::unique_ptr<RandomAccessFile>* out) = 0;
+  virtual Status NewWritableFile(const std::string& path,
+                                 std::unique_ptr<WritableFile>* out) = 0;
+  virtual Status NewRandomWriteFile(const std::string& path,
+                                    std::unique_ptr<RandomWriteFile>* out) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+  virtual Status CreateDirs(const std::string& path) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status RemoveDirRecursively(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+  virtual Status ListDir(const std::string& path,
+                         std::vector<std::string>* names) = 0;
+
+  /// Counters covering every file object created by this Env.
+  IoStats* stats() { return &stats_; }
+
+ protected:
+  IoStats stats_;
+};
+
+/// Reads an entire file into `out`.
+Status ReadFileToString(Env* env, const std::string& path, std::string* out);
+
+/// Atomically (write + rename) replaces `path` with `contents`.
+Status WriteStringToFile(Env* env, const std::string& path,
+                         const std::string& contents);
+
+/// Returns a fresh in-memory Env (paths are flat keys; dirs are implicit).
+std::unique_ptr<Env> NewMemEnv();
+
+/// \brief Device model for ThrottledEnv.
+struct DeviceProfile {
+  /// Sustained sequential bandwidth in bytes per second.
+  double bandwidth_bytes_per_sec = 500.0 * 1024 * 1024;
+  /// Latency charged per non-contiguous access (seek), in seconds.
+  double seek_latency_sec = 0.0001;
+
+  static DeviceProfile Ssd() { return {500.0 * 1024 * 1024, 0.0001}; }
+  static DeviceProfile Hdd() { return {120.0 * 1024 * 1024, 0.008}; }
+};
+
+/// Wraps `base` (not owned) so every read/write pays `profile` time costs.
+/// Used to reproduce the paper's SSD-vs-HDD contrast (Table V) on whatever
+/// device actually backs the test machine.
+std::unique_ptr<Env> NewThrottledEnv(Env* base, DeviceProfile profile);
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_IO_ENV_H_

@@ -1,0 +1,221 @@
+// In-memory Env for fast, hermetic tests. Paths are treated as flat keys;
+// directories exist implicitly once created or once a file lives under them.
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "src/io/env.h"
+
+namespace nxgraph {
+namespace {
+
+struct MemFs {
+  std::mutex mu;
+  std::map<std::string, std::shared_ptr<std::string>> files;
+  std::set<std::string> dirs;
+};
+
+class MemSequentialFile : public SequentialFile {
+ public:
+  MemSequentialFile(std::shared_ptr<std::string> data, IoStats* stats)
+      : data_(std::move(data)), stats_(stats) {}
+
+  Status Read(size_t n, void* buf, size_t* bytes_read) override {
+    size_t avail = data_->size() > pos_ ? data_->size() - pos_ : 0;
+    size_t take = std::min(n, avail);
+    std::memcpy(buf, data_->data() + pos_, take);
+    pos_ += take;
+    *bytes_read = take;
+    stats_->RecordRead(take);
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    pos_ = std::min<size_t>(pos_ + n, data_->size());
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<std::string> data_;
+  IoStats* stats_;
+  size_t pos_ = 0;
+};
+
+class MemRandomAccessFile : public RandomAccessFile {
+ public:
+  MemRandomAccessFile(std::shared_ptr<std::string> data, IoStats* stats)
+      : data_(std::move(data)), stats_(stats) {}
+
+  Status ReadAt(uint64_t offset, size_t n, void* buf,
+                size_t* bytes_read) const override {
+    size_t avail = data_->size() > offset ? data_->size() - offset : 0;
+    size_t take = std::min(n, avail);
+    std::memcpy(buf, data_->data() + offset, take);
+    *bytes_read = take;
+    stats_->RecordRead(take);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<std::string> data_;
+  IoStats* stats_;
+};
+
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(std::shared_ptr<std::string> data, IoStats* stats)
+      : data_(std::move(data)), stats_(stats) {}
+
+  Status Append(const void* data, size_t n) override {
+    data_->append(static_cast<const char*>(data), n);
+    stats_->RecordWrite(n);
+    return Status::OK();
+  }
+  Status Flush() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<std::string> data_;
+  IoStats* stats_;
+};
+
+class MemRandomWriteFile : public RandomWriteFile {
+ public:
+  MemRandomWriteFile(std::shared_ptr<std::string> data, IoStats* stats)
+      : data_(std::move(data)), stats_(stats) {}
+
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override {
+    if (data_->size() < offset + n) data_->resize(offset + n);
+    std::memcpy(data_->data() + offset, data, n);
+    stats_->RecordWrite(n);
+    return Status::OK();
+  }
+  Status Truncate(uint64_t size) override {
+    data_->resize(size);
+    return Status::OK();
+  }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<std::string> data_;
+  IoStats* stats_;
+};
+
+class MemEnv : public Env {
+ public:
+  Status NewSequentialFile(const std::string& path,
+                           std::unique_ptr<SequentialFile>* out) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    auto it = fs_.files.find(path);
+    if (it == fs_.files.end()) return Status::NotFound(path);
+    *out = std::make_unique<MemSequentialFile>(it->second, &stats_);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(const std::string& path,
+                             std::unique_ptr<RandomAccessFile>* out) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    auto it = fs_.files.find(path);
+    if (it == fs_.files.end()) return Status::NotFound(path);
+    *out = std::make_unique<MemRandomAccessFile>(it->second, &stats_);
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    auto data = std::make_shared<std::string>();
+    fs_.files[path] = data;
+    *out = std::make_unique<MemWritableFile>(data, &stats_);
+    return Status::OK();
+  }
+
+  Status NewRandomWriteFile(const std::string& path,
+                            std::unique_ptr<RandomWriteFile>* out) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    auto it = fs_.files.find(path);
+    std::shared_ptr<std::string> data;
+    if (it == fs_.files.end()) {
+      data = std::make_shared<std::string>();
+      fs_.files[path] = data;
+    } else {
+      data = it->second;
+    }
+    *out = std::make_unique<MemRandomWriteFile>(data, &stats_);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    return fs_.files.count(path) > 0;
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    auto it = fs_.files.find(path);
+    if (it == fs_.files.end()) return Status::NotFound(path);
+    return static_cast<uint64_t>(it->second->size());
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    fs_.dirs.insert(path);
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    fs_.files.erase(path);
+    return Status::OK();
+  }
+
+  Status RemoveDirRecursively(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    std::string prefix = path;
+    if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+    for (auto it = fs_.files.begin(); it != fs_.files.end();) {
+      if (it->first.rfind(prefix, 0) == 0) {
+        it = fs_.files.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    fs_.dirs.erase(path);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    auto it = fs_.files.find(from);
+    if (it == fs_.files.end()) return Status::NotFound(from);
+    fs_.files[to] = it->second;
+    fs_.files.erase(it);
+    return Status::OK();
+  }
+
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* names) override {
+    names->clear();
+    std::string prefix = path;
+    if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    for (const auto& [name, _] : fs_.files) {
+      if (name.rfind(prefix, 0) == 0) {
+        std::string rest = name.substr(prefix.size());
+        if (rest.find('/') == std::string::npos) names->push_back(rest);
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  MemFs fs_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewMemEnv() { return std::make_unique<MemEnv>(); }
+
+}  // namespace nxgraph

@@ -1,0 +1,164 @@
+#include "src/prep/degreer.h"
+
+#include <algorithm>
+
+#include "src/graph/binary_io.h"
+#include "src/prep/manifest.h"
+#include "src/util/crc32c.h"
+#include "src/util/serialize.h"
+
+namespace nxgraph {
+
+namespace {
+
+constexpr uint32_t kMappingMagic = 0x50414D4Eu;  // "NMAP"
+constexpr uint32_t kDegreesMagic = 0x4745444Eu;  // "NDEG"
+
+Status WriteMappingFile(Env* env, const std::string& dir,
+                        const std::vector<VertexIndex>& mapping) {
+  std::string out;
+  EncodeFixed<uint32_t>(&out, kMappingMagic);
+  EncodeFixed<uint64_t>(&out, mapping.size());
+  out.append(reinterpret_cast<const char*>(mapping.data()),
+             mapping.size() * sizeof(VertexIndex));
+  EncodeFixed<uint32_t>(&out, crc32c::Value(out.data(), out.size()));
+  return WriteStringToFile(env, dir + "/" + kMappingFileName, out);
+}
+
+Status WriteDegreesFile(Env* env, const std::string& dir,
+                        const std::vector<uint32_t>& out_degrees,
+                        const std::vector<uint32_t>& in_degrees) {
+  std::string out;
+  EncodeFixed<uint32_t>(&out, kDegreesMagic);
+  EncodeFixed<uint64_t>(&out, out_degrees.size());
+  out.append(reinterpret_cast<const char*>(out_degrees.data()),
+             out_degrees.size() * sizeof(uint32_t));
+  out.append(reinterpret_cast<const char*>(in_degrees.data()),
+             in_degrees.size() * sizeof(uint32_t));
+  EncodeFixed<uint32_t>(&out, crc32c::Value(out.data(), out.size()));
+  return WriteStringToFile(env, dir + "/" + kDegreesFileName, out);
+}
+
+}  // namespace
+
+Result<DegreeResult> RunDegreer(Env* env, const EdgeList& edges,
+                                const std::string& dir) {
+  if (edges.num_edges() == 0) {
+    return Status::InvalidArgument("cannot degree an empty edge list");
+  }
+  NX_RETURN_NOT_OK(env->CreateDirs(dir));
+
+  DegreeResult result;
+  result.num_edges = edges.num_edges();
+  result.weighted = edges.has_weights();
+
+  // Collect and sort distinct endpoint indices; position == dense id.
+  result.mapping.reserve(2 * edges.num_edges());
+  for (size_t e = 0; e < edges.num_edges(); ++e) {
+    result.mapping.push_back(edges.src(e));
+    result.mapping.push_back(edges.dst(e));
+  }
+  std::sort(result.mapping.begin(), result.mapping.end());
+  result.mapping.erase(
+      std::unique(result.mapping.begin(), result.mapping.end()),
+      result.mapping.end());
+  result.num_vertices = result.mapping.size();
+  if (result.num_vertices > static_cast<uint64_t>(kInvalidVertex)) {
+    return Status::InvalidArgument("graph exceeds 2^32-1 vertices");
+  }
+
+  // Re-label edges and accumulate degrees while streaming out the pre-shard.
+  result.out_degrees.assign(result.num_vertices, 0);
+  result.in_degrees.assign(result.num_vertices, 0);
+  NX_ASSIGN_OR_RETURN(
+      auto writer,
+      EdgeFileWriter::Create(env, dir + "/" + kPreShardFileName,
+                             result.weighted));
+  for (size_t e = 0; e < edges.num_edges(); ++e) {
+    const VertexId src = IndexToId(result.mapping, edges.src(e));
+    const VertexId dst = IndexToId(result.mapping, edges.dst(e));
+    ++result.out_degrees[src];
+    ++result.in_degrees[dst];
+    if (result.weighted) {
+      NX_RETURN_NOT_OK(writer->AddWeighted(src, dst, edges.weight(e)));
+    } else {
+      NX_RETURN_NOT_OK(writer->Add(src, dst));
+    }
+  }
+  NX_RETURN_NOT_OK(writer->Finish());
+
+  NX_RETURN_NOT_OK(WriteMappingFile(env, dir, result.mapping));
+  NX_RETURN_NOT_OK(
+      WriteDegreesFile(env, dir, result.out_degrees, result.in_degrees));
+  return result;
+}
+
+Result<std::vector<VertexIndex>> LoadMapping(Env* env,
+                                             const std::string& dir) {
+  std::string data;
+  NX_RETURN_NOT_OK(ReadFileToString(env, dir + "/" + kMappingFileName, &data));
+  if (data.size() < 16) return Status::Corruption("mapping file too short");
+  const uint32_t crc = DecodeFixed<uint32_t>(data.data() + data.size() - 4);
+  if (crc != crc32c::Value(data.data(), data.size() - 4)) {
+    return Status::Corruption("mapping file checksum mismatch");
+  }
+  SliceReader r(data.data(), data.size() - 4);
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  r.Read(&magic);
+  r.Read(&count);
+  if (magic != kMappingMagic) return Status::Corruption("bad mapping magic");
+  std::vector<VertexIndex> mapping(count);
+  if (!r.ReadBytes(mapping.data(), count * sizeof(VertexIndex))) {
+    return Status::Corruption("mapping file truncated");
+  }
+  return mapping;
+}
+
+Status LoadDegrees(Env* env, const std::string& dir, uint64_t num_vertices,
+                   std::vector<uint32_t>* out_degrees,
+                   std::vector<uint32_t>* in_degrees) {
+  std::string data;
+  NX_RETURN_NOT_OK(ReadFileToString(env, dir + "/" + kDegreesFileName, &data));
+  if (data.size() < 16) return Status::Corruption("degrees file too short");
+  const uint32_t crc = DecodeFixed<uint32_t>(data.data() + data.size() - 4);
+  if (crc != crc32c::Value(data.data(), data.size() - 4)) {
+    return Status::Corruption("degrees file checksum mismatch");
+  }
+  SliceReader r(data.data(), data.size() - 4);
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  r.Read(&magic);
+  r.Read(&count);
+  if (magic != kDegreesMagic) return Status::Corruption("bad degrees magic");
+  if (count != num_vertices) {
+    return Status::Corruption("degrees file vertex count mismatch");
+  }
+  if (out_degrees != nullptr) {
+    out_degrees->resize(count);
+    if (!r.ReadBytes(out_degrees->data(), count * sizeof(uint32_t))) {
+      return Status::Corruption("degrees file truncated");
+    }
+  } else {
+    std::vector<uint32_t> skip(count);
+    if (!r.ReadBytes(skip.data(), count * sizeof(uint32_t))) {
+      return Status::Corruption("degrees file truncated");
+    }
+  }
+  if (in_degrees != nullptr) {
+    in_degrees->resize(count);
+    if (!r.ReadBytes(in_degrees->data(), count * sizeof(uint32_t))) {
+      return Status::Corruption("degrees file truncated");
+    }
+  }
+  return Status::OK();
+}
+
+VertexId IndexToId(const std::vector<VertexIndex>& mapping,
+                   VertexIndex index) {
+  auto it = std::lower_bound(mapping.begin(), mapping.end(), index);
+  if (it == mapping.end() || *it != index) return kInvalidVertex;
+  return static_cast<VertexId>(it - mapping.begin());
+}
+
+}  // namespace nxgraph

@@ -1,0 +1,115 @@
+#include "src/prep/manifest.h"
+
+#include <algorithm>
+
+#include "src/util/crc32c.h"
+#include "src/util/serialize.h"
+
+namespace nxgraph {
+
+namespace {
+
+void EncodeSubShardTable(std::string* out,
+                         const std::vector<SubShardMeta>& table) {
+  EncodeFixed<uint64_t>(out, table.size());
+  for (const auto& s : table) {
+    EncodeFixed<uint64_t>(out, s.offset);
+    EncodeFixed<uint64_t>(out, s.size);
+    EncodeFixed<uint64_t>(out, s.num_edges);
+    EncodeFixed<uint32_t>(out, s.num_dsts);
+  }
+}
+
+bool DecodeSubShardTable(SliceReader* r, std::vector<SubShardMeta>* table) {
+  uint64_t count = 0;
+  if (!r->Read(&count)) return false;
+  if (count > (1ULL << 32)) return false;  // implausible; corrupt
+  table->resize(count);
+  for (auto& s : *table) {
+    if (!r->Read(&s.offset) || !r->Read(&s.size) || !r->Read(&s.num_edges) ||
+        !r->Read(&s.num_dsts)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Manifest::Encode() const {
+  std::string out;
+  EncodeFixed<uint32_t>(&out, kManifestMagic);
+  EncodeFixed<uint32_t>(&out, kManifestVersion);
+  EncodeFixed<uint64_t>(&out, num_vertices);
+  EncodeFixed<uint64_t>(&out, num_edges);
+  EncodeFixed<uint32_t>(&out, num_intervals);
+  EncodeFixed<uint8_t>(&out, weighted ? 1 : 0);
+  EncodeFixed<uint8_t>(&out, has_transpose ? 1 : 0);
+  EncodeFixed<uint64_t>(&out, interval_offsets.size());
+  for (VertexId v : interval_offsets) EncodeFixed<uint32_t>(&out, v);
+  EncodeSubShardTable(&out, subshards);
+  EncodeSubShardTable(&out, subshards_transpose);
+  EncodeFixed<uint32_t>(&out, crc32c::Value(out.data(), out.size()));
+  return out;
+}
+
+Result<Manifest> Manifest::Decode(const std::string& data) {
+  if (data.size() < 4) return Status::Corruption("manifest too short");
+  const uint32_t stored_crc = DecodeFixed<uint32_t>(data.data() + data.size() - 4);
+  if (stored_crc != crc32c::Value(data.data(), data.size() - 4)) {
+    return Status::Corruption("manifest checksum mismatch");
+  }
+  SliceReader r(data.data(), data.size() - 4);
+  Manifest m;
+  uint32_t magic = 0, version = 0;
+  uint8_t weighted = 0, transpose = 0;
+  uint64_t offsets_count = 0;
+  if (!r.Read(&magic) || !r.Read(&version) || !r.Read(&m.num_vertices) ||
+      !r.Read(&m.num_edges) || !r.Read(&m.num_intervals) ||
+      !r.Read(&weighted) || !r.Read(&transpose) || !r.Read(&offsets_count)) {
+    return Status::Corruption("manifest truncated");
+  }
+  if (magic != kManifestMagic) return Status::Corruption("bad manifest magic");
+  if (version != kManifestVersion) {
+    return Status::NotSupported("manifest version " + std::to_string(version));
+  }
+  m.weighted = weighted != 0;
+  m.has_transpose = transpose != 0;
+  if (offsets_count != static_cast<uint64_t>(m.num_intervals) + 1) {
+    return Status::Corruption("manifest interval table size mismatch");
+  }
+  m.interval_offsets.resize(offsets_count);
+  for (auto& v : m.interval_offsets) {
+    if (!r.Read(&v)) return Status::Corruption("manifest truncated");
+  }
+  if (!DecodeSubShardTable(&r, &m.subshards) ||
+      !DecodeSubShardTable(&r, &m.subshards_transpose)) {
+    return Status::Corruption("manifest sub-shard table truncated");
+  }
+  const uint64_t expected =
+      static_cast<uint64_t>(m.num_intervals) * m.num_intervals;
+  if (m.subshards.size() != expected ||
+      (m.has_transpose && m.subshards_transpose.size() != expected)) {
+    return Status::Corruption("manifest sub-shard table size mismatch");
+  }
+  return m;
+}
+
+uint32_t Manifest::IntervalOf(VertexId v) const {
+  // interval_offsets is ascending; find the last offset <= v.
+  auto it = std::upper_bound(interval_offsets.begin(), interval_offsets.end(),
+                             v);
+  return static_cast<uint32_t>(it - interval_offsets.begin()) - 1;
+}
+
+Status WriteManifest(Env* env, const std::string& dir, const Manifest& m) {
+  return WriteStringToFile(env, dir + "/" + kManifestFileName, m.Encode());
+}
+
+Result<Manifest> ReadManifest(Env* env, const std::string& dir) {
+  std::string data;
+  NX_RETURN_NOT_OK(ReadFileToString(env, dir + "/" + kManifestFileName, &data));
+  return Manifest::Decode(data);
+}
+
+}  // namespace nxgraph

@@ -1,0 +1,83 @@
+// Graph-store manifest: the root metadata file describing a preprocessed
+// graph (intervals, sub-shard segment tables, degree files).
+#ifndef NXGRAPH_PREP_MANIFEST_H_
+#define NXGRAPH_PREP_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/types.h"
+#include "src/io/env.h"
+#include "src/util/result.h"
+
+namespace nxgraph {
+
+// File names inside a graph-store directory.
+inline constexpr char kManifestFileName[] = "manifest.nxm";
+inline constexpr char kDegreesFileName[] = "degrees.nxd";
+inline constexpr char kMappingFileName[] = "mapping.nxmap";
+inline constexpr char kSubShardsFileName[] = "subshards.nxs";
+inline constexpr char kSubShardsTransposeFileName[] = "subshards_t.nxs";
+
+inline constexpr uint32_t kManifestMagic = 0x314D584Eu;  // "NXM1"
+inline constexpr uint32_t kManifestVersion = 1;
+
+/// \brief Location and shape of one sub-shard blob inside a shard file.
+struct SubShardMeta {
+  uint64_t offset = 0;     ///< byte offset of the blob
+  uint64_t size = 0;       ///< blob size in bytes (including checksum)
+  uint64_t num_edges = 0;  ///< edges stored in this sub-shard
+  uint32_t num_dsts = 0;   ///< distinct destination vertices
+};
+
+/// \brief Everything needed to open and schedule over a prepared graph.
+struct Manifest {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint32_t num_intervals = 0;  ///< P
+  bool weighted = false;
+  bool has_transpose = false;
+
+  /// Interval boundaries: interval i covers ids
+  /// [interval_offsets[i], interval_offsets[i+1]). Size P+1.
+  std::vector<VertexId> interval_offsets;
+
+  /// Row-major P*P table for the forward sub-shards; SS_{i.j} is entry
+  /// i * P + j (i = source interval, j = destination interval).
+  std::vector<SubShardMeta> subshards;
+
+  /// Same table for the transpose graph when has_transpose.
+  std::vector<SubShardMeta> subshards_transpose;
+
+  /// Serializes to the on-disk manifest representation.
+  std::string Encode() const;
+
+  /// Parses and validates a manifest blob.
+  static Result<Manifest> Decode(const std::string& data);
+
+  const SubShardMeta& subshard(uint32_t i, uint32_t j,
+                               bool transpose = false) const {
+    const auto& table = transpose ? subshards_transpose : subshards;
+    return table[static_cast<size_t>(i) * num_intervals + j];
+  }
+
+  VertexId interval_begin(uint32_t i) const { return interval_offsets[i]; }
+  VertexId interval_end(uint32_t i) const { return interval_offsets[i + 1]; }
+  uint32_t interval_size(uint32_t i) const {
+    return interval_end(i) - interval_begin(i);
+  }
+
+  /// Interval containing vertex `v`.
+  uint32_t IntervalOf(VertexId v) const;
+};
+
+/// Writes the manifest atomically into `dir`.
+Status WriteManifest(Env* env, const std::string& dir, const Manifest& m);
+
+/// Reads and validates the manifest from `dir`.
+Result<Manifest> ReadManifest(Env* env, const std::string& dir);
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_PREP_MANIFEST_H_

@@ -1,0 +1,212 @@
+#include "src/prep/sharder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/graph/binary_io.h"
+#include "src/storage/subshard.h"
+#include "src/util/logging.h"
+
+namespace nxgraph {
+
+namespace {
+
+// One buffered edge destined for a particular sub-shard row.
+struct RowEdge {
+  VertexId src;
+  VertexId dst;
+  float weight;
+};
+
+// Builds the destination-sorted CSR sub-shard from a bucket of edges.
+SubShard BuildSubShard(uint32_t i, uint32_t j, std::vector<RowEdge>* edges,
+                       bool weighted, bool dedup) {
+  // Primary sort by destination, secondary by source (paper §III-A: "we
+  // also sort all edges with the same destination vertex by their source").
+  std::sort(edges->begin(), edges->end(), [](const RowEdge& a, const RowEdge& b) {
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.src < b.src;
+  });
+  if (dedup) {
+    edges->erase(std::unique(edges->begin(), edges->end(),
+                             [](const RowEdge& a, const RowEdge& b) {
+                               return a.dst == b.dst && a.src == b.src;
+                             }),
+                 edges->end());
+  }
+  SubShard ss;
+  ss.src_interval = i;
+  ss.dst_interval = j;
+  ss.srcs.reserve(edges->size());
+  if (weighted) ss.weights.reserve(edges->size());
+  ss.offsets.push_back(0);
+  for (const RowEdge& e : *edges) {
+    if (ss.dsts.empty() || ss.dsts.back() != e.dst) {
+      if (!ss.dsts.empty()) {
+        ss.offsets.push_back(static_cast<uint32_t>(ss.srcs.size()));
+      }
+      ss.dsts.push_back(e.dst);
+    }
+    ss.srcs.push_back(e.src);
+    if (weighted) ss.weights.push_back(e.weight);
+  }
+  if (!ss.dsts.empty()) {
+    ss.offsets.push_back(static_cast<uint32_t>(ss.srcs.size()));
+  }
+  return ss;
+}
+
+// Streams the pre-shard into P row-bucket temp files (edges grouped by
+// source interval). `transpose` swaps src/dst first.
+Status BucketRows(Env* env, const std::string& dir,
+                  const std::vector<VertexId>& interval_offsets,
+                  bool weighted, bool transpose, uint64_t batch_edges,
+                  std::vector<std::string>* row_paths) {
+  const uint32_t p = static_cast<uint32_t>(interval_offsets.size()) - 1;
+  std::vector<std::unique_ptr<EdgeFileWriter>> writers(p);
+  row_paths->clear();
+  for (uint32_t i = 0; i < p; ++i) {
+    std::string path = dir + "/row_" + (transpose ? "t_" : "") +
+                       std::to_string(i) + ".tmp";
+    row_paths->push_back(path);
+    NX_ASSIGN_OR_RETURN(writers[i], EdgeFileWriter::Create(env, path, weighted));
+  }
+
+  NX_ASSIGN_OR_RETURN(auto reader,
+                      EdgeFileReader::Open(env, dir + "/" + kPreShardFileName));
+  std::vector<Edge> batch;
+  std::vector<float> weights;
+  auto interval_of = [&interval_offsets](VertexId v) {
+    auto it = std::upper_bound(interval_offsets.begin(),
+                               interval_offsets.end(), v);
+    return static_cast<uint32_t>(it - interval_offsets.begin()) - 1;
+  };
+  for (;;) {
+    NX_ASSIGN_OR_RETURN(size_t n, reader->ReadBatch(batch_edges, &batch,
+                                                    weighted ? &weights
+                                                             : nullptr));
+    if (n == 0) break;
+    for (size_t k = 0; k < n; ++k) {
+      VertexId src = batch[k].src;
+      VertexId dst = batch[k].dst;
+      if (transpose) std::swap(src, dst);
+      const uint32_t row = interval_of(src);
+      if (weighted) {
+        NX_RETURN_NOT_OK(writers[row]->AddWeighted(src, dst, weights[k]));
+      } else {
+        NX_RETURN_NOT_OK(writers[row]->Add(src, dst));
+      }
+    }
+  }
+  for (auto& w : writers) NX_RETURN_NOT_OK(w->Finish());
+  return Status::OK();
+}
+
+// Processes one direction (forward or transpose): bucket into rows, then
+// for each row sort/split into P sub-shards and append blobs to `file_name`.
+Status ShardOneDirection(Env* env, const std::string& dir,
+                         const std::vector<VertexId>& interval_offsets,
+                         bool weighted, bool transpose,
+                         const SharderOptions& options,
+                         std::vector<SubShardMeta>* table) {
+  const uint32_t p = static_cast<uint32_t>(interval_offsets.size()) - 1;
+  std::vector<std::string> row_paths;
+  NX_RETURN_NOT_OK(BucketRows(env, dir, interval_offsets, weighted, transpose,
+                              options.batch_edges, &row_paths));
+
+  const std::string shard_path =
+      dir + "/" +
+      (transpose ? kSubShardsTransposeFileName : kSubShardsFileName);
+  std::unique_ptr<WritableFile> out;
+  NX_RETURN_NOT_OK(env->NewWritableFile(shard_path, &out));
+
+  table->assign(static_cast<size_t>(p) * p, SubShardMeta{});
+  uint64_t offset = 0;
+  std::vector<Edge> batch;
+  std::vector<float> weights;
+  for (uint32_t i = 0; i < p; ++i) {
+    // Load the whole row and bucket it by destination interval.
+    NX_ASSIGN_OR_RETURN(auto reader, EdgeFileReader::Open(env, row_paths[i]));
+    std::vector<std::vector<RowEdge>> buckets(p);
+    auto interval_of = [&interval_offsets](VertexId v) {
+      auto it = std::upper_bound(interval_offsets.begin(),
+                                 interval_offsets.end(), v);
+      return static_cast<uint32_t>(it - interval_offsets.begin()) - 1;
+    };
+    for (;;) {
+      NX_ASSIGN_OR_RETURN(size_t n,
+                          reader->ReadBatch(options.batch_edges, &batch,
+                                            weighted ? &weights : nullptr));
+      if (n == 0) break;
+      for (size_t k = 0; k < n; ++k) {
+        const uint32_t j = interval_of(batch[k].dst);
+        buckets[j].push_back(RowEdge{batch[k].src, batch[k].dst,
+                                     weighted ? weights[k] : 1.0f});
+      }
+    }
+    reader.reset();
+    NX_RETURN_NOT_OK(env->RemoveFile(row_paths[i]));
+
+    for (uint32_t j = 0; j < p; ++j) {
+      SubShard ss =
+          BuildSubShard(i, j, &buckets[j], weighted, options.dedup);
+      buckets[j].clear();
+      buckets[j].shrink_to_fit();
+      const std::string blob = ss.Encode();
+      NX_RETURN_NOT_OK(out->Append(blob));
+      SubShardMeta& meta = (*table)[static_cast<size_t>(i) * p + j];
+      meta.offset = offset;
+      meta.size = blob.size();
+      meta.num_edges = ss.num_edges();
+      meta.num_dsts = ss.num_dsts();
+      offset += blob.size();
+    }
+  }
+  return out->Close();
+}
+
+}  // namespace
+
+std::vector<VertexId> MakeEqualIntervals(uint64_t num_vertices, uint32_t p) {
+  std::vector<VertexId> offsets(p + 1);
+  for (uint32_t i = 0; i <= p; ++i) {
+    offsets[i] = static_cast<VertexId>(num_vertices * i / p);
+  }
+  return offsets;
+}
+
+Result<Manifest> RunSharder(Env* env, const std::string& dir,
+                            const DegreeResult& degrees,
+                            const SharderOptions& options) {
+  if (options.num_intervals == 0) {
+    return Status::InvalidArgument("num_intervals must be >= 1");
+  }
+  if (degrees.num_vertices == 0) {
+    return Status::InvalidArgument("graph has no vertices");
+  }
+  // More intervals than vertices would create empty intervals whose
+  // boundaries collide; clamp (tiny graphs only).
+  const uint32_t p = static_cast<uint32_t>(
+      std::min<uint64_t>(options.num_intervals, degrees.num_vertices));
+
+  Manifest m;
+  m.num_vertices = degrees.num_vertices;
+  m.num_edges = degrees.num_edges;
+  m.num_intervals = p;
+  m.weighted = degrees.weighted;
+  m.has_transpose = options.build_transpose;
+  m.interval_offsets = MakeEqualIntervals(degrees.num_vertices, p);
+
+  NX_RETURN_NOT_OK(ShardOneDirection(env, dir, m.interval_offsets,
+                                     m.weighted, /*transpose=*/false, options,
+                                     &m.subshards));
+  if (options.build_transpose) {
+    NX_RETURN_NOT_OK(ShardOneDirection(env, dir, m.interval_offsets,
+                                       m.weighted, /*transpose=*/true,
+                                       options, &m.subshards_transpose));
+  }
+  NX_RETURN_NOT_OK(WriteManifest(env, dir, m));
+  return m;
+}
+
+}  // namespace nxgraph

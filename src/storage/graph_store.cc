@@ -1,0 +1,134 @@
+#include "src/storage/graph_store.h"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "src/prep/degreer.h"
+
+namespace nxgraph {
+
+Result<std::shared_ptr<GraphStore>> GraphStore::Open(Env* env,
+                                                     const std::string& dir) {
+  std::shared_ptr<GraphStore> store(new GraphStore(env, dir));
+  NX_ASSIGN_OR_RETURN(store->manifest_, ReadManifest(env, dir));
+  NX_RETURN_NOT_OK(env->NewRandomAccessFile(dir + "/" + kSubShardsFileName,
+                                            &store->shards_));
+  if (store->manifest_.has_transpose) {
+    NX_RETURN_NOT_OK(env->NewRandomAccessFile(
+        dir + "/" + kSubShardsTransposeFileName, &store->shards_transpose_));
+  }
+  return store;
+}
+
+Result<SubShard> GraphStore::LoadSubShard(uint32_t i, uint32_t j,
+                                          bool transpose,
+                                          bool verify_checksum) const {
+  if (i >= num_intervals() || j >= num_intervals()) {
+    return Status::InvalidArgument("sub-shard index out of range");
+  }
+  if (transpose && !manifest_.has_transpose) {
+    return Status::InvalidArgument("store was built without a transpose");
+  }
+  const SubShardMeta& meta = manifest_.subshard(i, j, transpose);
+  std::string buf(meta.size, '\0');
+  size_t n = 0;
+  const RandomAccessFile* file =
+      transpose ? shards_transpose_.get() : shards_.get();
+  NX_RETURN_NOT_OK(file->ReadAt(meta.offset, meta.size, buf.data(), &n));
+  if (n != meta.size) {
+    return Status::Corruption("sub-shard blob truncated on disk");
+  }
+  return SubShard::Decode(buf.data(), buf.size(), i, j, verify_checksum);
+}
+
+Result<std::vector<SubShard>> GraphStore::LoadSubShardRow(
+    uint32_t i, uint32_t j_begin, uint32_t j_end, bool transpose,
+    bool verify_checksums) const {
+  if (i >= num_intervals() || j_begin > j_end || j_end > num_intervals()) {
+    return Status::InvalidArgument("sub-shard row range out of bounds");
+  }
+  if (transpose && !manifest_.has_transpose) {
+    return Status::InvalidArgument("store was built without a transpose");
+  }
+  std::vector<SubShard> row;
+  if (j_begin == j_end) return row;
+  const SubShardMeta& first = manifest_.subshard(i, j_begin, transpose);
+  const SubShardMeta& last = manifest_.subshard(i, j_end - 1, transpose);
+  const uint64_t bytes = last.offset + last.size - first.offset;
+  std::string buf(bytes, '\0');
+  const RandomAccessFile* file =
+      transpose ? shards_transpose_.get() : shards_.get();
+  size_t n = 0;
+  NX_RETURN_NOT_OK(file->ReadAt(first.offset, bytes, buf.data(), &n));
+  if (n != bytes) {
+    return Status::Corruption("sub-shard row truncated on disk");
+  }
+  row.reserve(j_end - j_begin);
+  for (uint32_t j = j_begin; j < j_end; ++j) {
+    const SubShardMeta& meta = manifest_.subshard(i, j, transpose);
+    NX_ASSIGN_OR_RETURN(
+        SubShard ss,
+        SubShard::Decode(buf.data() + (meta.offset - first.offset), meta.size,
+                         i, j, verify_checksums));
+    row.push_back(std::move(ss));
+  }
+  return row;
+}
+
+Result<std::vector<uint32_t>> GraphStore::LoadOutDegrees() const {
+  std::vector<uint32_t> degrees;
+  NX_RETURN_NOT_OK(
+      LoadDegrees(env_, dir_, num_vertices(), &degrees, nullptr));
+  return degrees;
+}
+
+Result<std::vector<uint32_t>> GraphStore::LoadInDegrees() const {
+  std::vector<uint32_t> degrees;
+  NX_RETURN_NOT_OK(
+      LoadDegrees(env_, dir_, num_vertices(), nullptr, &degrees));
+  return degrees;
+}
+
+uint64_t GraphStore::TotalSubShardBytes(bool transpose) const {
+  uint64_t total = 0;
+  const auto& table =
+      transpose ? manifest_.subshards_transpose : manifest_.subshards;
+  for (const auto& meta : table) total += meta.size;
+  return total;
+}
+
+SubShardCache::SubShardCache(std::shared_ptr<const GraphStore> store,
+                             uint64_t budget_bytes)
+    : store_(std::move(store)), budget_bytes_(budget_bytes) {}
+
+Result<std::shared_ptr<const SubShard>> SubShardCache::Get(uint32_t i,
+                                                           uint32_t j,
+                                                           bool transpose) {
+  const uint64_t p = store_->num_intervals();
+  const uint64_t key = ((transpose ? p : 0) + i) * p + j;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  NX_ASSIGN_OR_RETURN(SubShard loaded, store_->LoadSubShard(i, j, transpose));
+  auto ss = std::make_shared<const SubShard>(std::move(loaded));
+  const uint64_t bytes = ss->MemoryBytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_loaded_ += bytes;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;  // raced with another loader
+  if (bytes_cached_ + bytes <= budget_bytes_) {
+    cache_.emplace(key, ss);
+    bytes_cached_ += bytes;
+  }
+  return ss;
+}
+
+void SubShardCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  bytes_cached_ = 0;
+}
+
+}  // namespace nxgraph

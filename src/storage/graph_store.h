@@ -1,0 +1,104 @@
+// GraphStore: read-side handle to a preprocessed graph directory.
+#ifndef NXGRAPH_STORAGE_GRAPH_STORE_H_
+#define NXGRAPH_STORAGE_GRAPH_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/io/env.h"
+#include "src/prep/manifest.h"
+#include "src/storage/subshard.h"
+#include "src/util/result.h"
+
+namespace nxgraph {
+
+/// \brief Opens the manifest and shard files of a prepared graph and serves
+/// sub-shard loads (positional reads of whole blobs — each load is one
+/// sequential segment, preserving the streamlined access pattern).
+///
+/// Thread-safe: loads go through pread-style positional reads.
+class GraphStore {
+ public:
+  /// Opens an existing store directory (fails with NotFound/Corruption).
+  static Result<std::shared_ptr<GraphStore>> Open(Env* env,
+                                                  const std::string& dir);
+
+  const Manifest& manifest() const { return manifest_; }
+  uint64_t num_vertices() const { return manifest_.num_vertices; }
+  uint64_t num_edges() const { return manifest_.num_edges; }
+  uint32_t num_intervals() const { return manifest_.num_intervals; }
+  bool weighted() const { return manifest_.weighted; }
+  bool has_transpose() const { return manifest_.has_transpose; }
+  Env* env() const { return env_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Reads and decodes sub-shard SS_{i.j}; `transpose` selects the reversed
+  /// graph (requires has_transpose()). `verify_checksum` may be false for
+  /// blobs already verified this session.
+  Result<SubShard> LoadSubShard(uint32_t i, uint32_t j, bool transpose = false,
+                                bool verify_checksum = true) const;
+
+  /// Streams sub-shards SS_{i.j_begin} .. SS_{i.j_end-1} with a single
+  /// sequential read (they are contiguous in row-major file order) — the
+  /// engines' "streamlined disk access" path. Returns j_end - j_begin
+  /// decoded sub-shards (empty ones included). `verify_checksums` may be
+  /// false for blobs verified earlier in the session.
+  Result<std::vector<SubShard>> LoadSubShardRow(uint32_t i, uint32_t j_begin,
+                                                uint32_t j_end, bool transpose,
+                                                bool verify_checksums) const;
+
+  /// Out-degrees (or in-degrees) for all vertices, indexed by id.
+  Result<std::vector<uint32_t>> LoadOutDegrees() const;
+  Result<std::vector<uint32_t>> LoadInDegrees() const;
+
+  /// Total bytes of all sub-shard blobs in one direction — the `m * Be`
+  /// term of the paper's I/O model.
+  uint64_t TotalSubShardBytes(bool transpose = false) const;
+
+ private:
+  GraphStore(Env* env, std::string dir) : env_(env), dir_(std::move(dir)) {}
+
+  Env* env_;
+  std::string dir_;
+  Manifest manifest_;
+  std::unique_ptr<RandomAccessFile> shards_;
+  std::unique_ptr<RandomAccessFile> shards_transpose_;
+};
+
+/// \brief Byte-budgeted cache of decoded sub-shards ("if there are still
+/// memory budget left, sub-shards will also be actively loaded from disk to
+/// memory", §III-B1). Fill-once: entries are pinned until Clear().
+class SubShardCache {
+ public:
+  /// `budget_bytes` bounds the sum of decoded sub-shard footprints.
+  explicit SubShardCache(std::shared_ptr<const GraphStore> store,
+                         uint64_t budget_bytes);
+
+  /// Returns the cached sub-shard, loading (and caching if budget allows)
+  /// on miss. Never fails into the cache: over-budget loads are returned
+  /// as transient copies.
+  Result<std::shared_ptr<const SubShard>> Get(uint32_t i, uint32_t j,
+                                              bool transpose = false);
+
+  uint64_t bytes_cached() const { return bytes_cached_; }
+  /// Bytes loaded from disk since construction (cache misses only).
+  uint64_t bytes_loaded_from_disk() const { return bytes_loaded_; }
+
+  void Clear();
+
+ private:
+  std::shared_ptr<const GraphStore> store_;
+  uint64_t budget_bytes_;
+  uint64_t bytes_cached_ = 0;
+  uint64_t bytes_loaded_ = 0;
+  std::mutex mu_;
+  // Key: ((transpose * P) + i) * P + j.
+  std::unordered_map<uint64_t, std::shared_ptr<const SubShard>> cache_;
+};
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_STORAGE_GRAPH_STORE_H_

@@ -1,0 +1,88 @@
+#include "src/storage/hub_file.h"
+
+#include <cstring>
+
+#include "src/util/serialize.h"
+
+namespace nxgraph {
+
+Result<std::unique_ptr<HubFile>> HubFile::Create(Env* env,
+                                                 const std::string& path,
+                                                 const Manifest& manifest,
+                                                 uint32_t q,
+                                                 uint32_t value_bytes,
+                                                 bool transpose) {
+  const uint32_t p = manifest.num_intervals;
+  if (q > p) return Status::InvalidArgument("q exceeds interval count");
+  std::unique_ptr<HubFile> hub(new HubFile());
+  hub->p_ = p;
+  hub->q_ = q;
+  hub->value_bytes_ = value_bytes;
+  const uint32_t side = p - q;
+  hub->offsets_.resize(static_cast<size_t>(side) * side);
+  hub->capacities_.resize(static_cast<size_t>(side) * side);
+  uint64_t offset = 0;
+  for (uint32_t i = q; i < p; ++i) {
+    for (uint32_t j = q; j < p; ++j) {
+      const auto& meta = manifest.subshard(i, j, transpose);
+      const uint64_t capacity =
+          8 + static_cast<uint64_t>(meta.num_dsts) * (4 + value_bytes);
+      const size_t idx =
+          static_cast<size_t>(i - q) * side + (j - q);
+      hub->offsets_[idx] = offset;
+      hub->capacities_[idx] = capacity;
+      offset += capacity;
+    }
+  }
+  hub->total_bytes_ = offset;
+  std::unique_ptr<WritableFile> init;
+  NX_RETURN_NOT_OK(env->NewWritableFile(path, &init));
+  NX_RETURN_NOT_OK(init->Close());
+  NX_RETURN_NOT_OK(env->NewRandomWriteFile(path, &hub->writer_));
+  NX_RETURN_NOT_OK(hub->writer_->Truncate(offset));
+  NX_RETURN_NOT_OK(env->NewRandomAccessFile(path, &hub->reader_));
+  return hub;
+}
+
+size_t HubFile::SegmentIndex(uint32_t i, uint32_t j) const {
+  const uint32_t side = p_ - q_;
+  return static_cast<size_t>(i - q_) * side + (j - q_);
+}
+
+uint64_t HubFile::SegmentCapacity(uint32_t i, uint32_t j) const {
+  return capacities_[SegmentIndex(i, j)];
+}
+
+Status HubFile::WriteHub(uint32_t i, uint32_t j, const void* data,
+                         size_t bytes) {
+  const size_t idx = SegmentIndex(i, j);
+  if (bytes > capacities_[idx]) {
+    return Status::InvalidArgument("hub payload exceeds segment capacity");
+  }
+  return writer_->WriteAt(offsets_[idx], data, bytes);
+}
+
+Status HubFile::ReadHub(uint32_t i, uint32_t j, std::string* out) const {
+  const size_t idx = SegmentIndex(i, j);
+  // Read the count prefix first, then exactly the payload.
+  char count_buf[8];
+  size_t n = 0;
+  NX_RETURN_NOT_OK(
+      reader_->ReadAt(offsets_[idx], sizeof(count_buf), count_buf, &n));
+  if (n != sizeof(count_buf)) return Status::Corruption("hub prefix truncated");
+  const uint64_t count = DecodeFixed<uint64_t>(count_buf);
+  const uint64_t payload = count * (4 + value_bytes_);
+  if (8 + payload > capacities_[idx]) {
+    return Status::Corruption("hub entry count exceeds capacity");
+  }
+  out->resize(8 + payload);
+  std::memcpy(out->data(), count_buf, 8);
+  if (payload > 0) {
+    NX_RETURN_NOT_OK(reader_->ReadAt(offsets_[idx] + 8, payload,
+                                     out->data() + 8, &n));
+    if (n != payload) return Status::Corruption("hub payload truncated");
+  }
+  return Status::OK();
+}
+
+}  // namespace nxgraph

@@ -1,0 +1,68 @@
+// HubFile: preallocated per-sub-shard segments holding the DPU/MPU
+// intermediate "hub" data — (destination id, partial accumulated value)
+// pairs written in the ToHub phase and folded in the FromHub phase.
+#ifndef NXGRAPH_STORAGE_HUB_FILE_H_
+#define NXGRAPH_STORAGE_HUB_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/io/env.h"
+#include "src/prep/manifest.h"
+#include "src/util/result.h"
+
+namespace nxgraph {
+
+/// \brief Hub storage for the sub-shards SS_{i.j} with i >= q and j >= q
+/// (q = number of memory-resident intervals; q = 0 for pure DPU).
+///
+/// Segment capacity is num_dsts(i,j) * (4 + value_bytes) + 8 — every
+/// destination with any in-edge in the sub-shard can appear at most once
+/// because the ToHub phase pre-accumulates per destination. Segments are
+/// written whole with pwrite, so rows can overlap without locking, and both
+/// phases touch each hub exactly once per iteration (sequential within a
+/// segment, forward-marching across segments => streamlined I/O).
+class HubFile {
+ public:
+  /// `transpose` selects which sub-shard table sizes the segments (the
+  /// transpose table generally has different num_dsts per sub-shard).
+  static Result<std::unique_ptr<HubFile>> Create(Env* env,
+                                                 const std::string& path,
+                                                 const Manifest& manifest,
+                                                 uint32_t q,
+                                                 uint32_t value_bytes,
+                                                 bool transpose = false);
+
+  /// Writes the hub payload for SS_{i.j}. `data` is the serialized entry
+  /// array (count-prefixed); its size must not exceed the segment capacity.
+  Status WriteHub(uint32_t i, uint32_t j, const void* data, size_t bytes);
+
+  /// Reads the hub payload for SS_{i.j} into `out` (resized to the
+  /// count-prefixed payload length).
+  Status ReadHub(uint32_t i, uint32_t j, std::string* out) const;
+
+  /// Capacity in bytes of segment (i, j).
+  uint64_t SegmentCapacity(uint32_t i, uint32_t j) const;
+
+  uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  HubFile() = default;
+
+  size_t SegmentIndex(uint32_t i, uint32_t j) const;
+
+  uint32_t p_ = 0;
+  uint32_t q_ = 0;
+  uint32_t value_bytes_ = 0;
+  uint64_t total_bytes_ = 0;
+  std::vector<uint64_t> offsets_;     // per segment
+  std::vector<uint64_t> capacities_;  // per segment
+  std::unique_ptr<RandomWriteFile> writer_;
+  std::unique_ptr<RandomAccessFile> reader_;
+};
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_STORAGE_HUB_FILE_H_

@@ -1,0 +1,49 @@
+#include "src/storage/interval_store.h"
+
+namespace nxgraph {
+
+Result<std::unique_ptr<IntervalStore>> IntervalStore::Create(
+    Env* env, const std::string& path, const Manifest& manifest,
+    uint32_t value_bytes) {
+  if (value_bytes == 0) {
+    return Status::InvalidArgument("value_bytes must be positive");
+  }
+  std::unique_ptr<IntervalStore> store(new IntervalStore());
+  store->value_bytes_ = value_bytes;
+  const uint32_t p = manifest.num_intervals;
+  store->offsets_.resize(p);
+  store->sizes_.resize(p);
+  uint64_t offset = 0;
+  for (uint32_t i = 0; i < p; ++i) {
+    store->offsets_[i] = offset;
+    store->sizes_[i] = manifest.interval_size(i);
+    offset += 2ULL * store->sizes_[i] * value_bytes;  // ping + pong
+  }
+  // Truncate any stale file, then preallocate by extending to full size.
+  std::unique_ptr<WritableFile> init;
+  NX_RETURN_NOT_OK(env->NewWritableFile(path, &init));
+  NX_RETURN_NOT_OK(init->Close());
+  NX_RETURN_NOT_OK(env->NewRandomWriteFile(path, &store->writer_));
+  NX_RETURN_NOT_OK(store->writer_->Truncate(offset));
+  NX_RETURN_NOT_OK(env->NewRandomAccessFile(path, &store->reader_));
+  return store;
+}
+
+Status IntervalStore::Read(uint32_t interval, int parity, void* buf) const {
+  const uint64_t bytes = segment_bytes(interval);
+  const uint64_t offset =
+      offsets_[interval] + (parity ? bytes : 0);
+  size_t n = 0;
+  NX_RETURN_NOT_OK(reader_->ReadAt(offset, bytes, buf, &n));
+  if (n != bytes) return Status::Corruption("interval segment truncated");
+  return Status::OK();
+}
+
+Status IntervalStore::Write(uint32_t interval, int parity, const void* buf) {
+  const uint64_t bytes = segment_bytes(interval);
+  const uint64_t offset =
+      offsets_[interval] + (parity ? bytes : 0);
+  return writer_->WriteAt(offset, buf, bytes);
+}
+
+}  // namespace nxgraph

@@ -1,0 +1,54 @@
+// IntervalStore: on-disk vertex attribute segments with ping-pong parity,
+// used by DPU/MPU for intervals that do not fit in memory.
+#ifndef NXGRAPH_STORAGE_INTERVAL_STORE_H_
+#define NXGRAPH_STORAGE_INTERVAL_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/io/env.h"
+#include "src/prep/manifest.h"
+#include "src/util/result.h"
+
+namespace nxgraph {
+
+/// \brief Raw attribute file: for each interval i, two fixed segments
+/// ("ping" and "pong") of interval_size(i) * value_bytes bytes. The engine
+/// reads the previous iteration's parity and writes the next one, so a
+/// consistent snapshot always exists (paper §II-B consistency task).
+///
+/// Value types are engine templates; this class moves opaque bytes.
+class IntervalStore {
+ public:
+  /// Creates (truncating) the attribute file sized for `manifest` with
+  /// `value_bytes` per vertex.
+  static Result<std::unique_ptr<IntervalStore>> Create(
+      Env* env, const std::string& path, const Manifest& manifest,
+      uint32_t value_bytes);
+
+  /// Reads interval `i`'s segment of the given parity (0 or 1) into `buf`
+  /// (must hold interval_size(i) * value_bytes bytes).
+  Status Read(uint32_t interval, int parity, void* buf) const;
+
+  /// Writes interval `i`'s segment of the given parity from `buf`.
+  Status Write(uint32_t interval, int parity, const void* buf);
+
+  uint64_t segment_bytes(uint32_t interval) const {
+    return static_cast<uint64_t>(sizes_[interval]) * value_bytes_;
+  }
+
+ private:
+  IntervalStore() = default;
+
+  uint32_t value_bytes_ = 0;
+  std::vector<uint64_t> offsets_;  // byte offset of interval i's ping segment
+  std::vector<uint32_t> sizes_;    // vertices per interval
+  std::unique_ptr<RandomWriteFile> writer_;
+  std::unique_ptr<RandomAccessFile> reader_;
+};
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_STORAGE_INTERVAL_STORE_H_

@@ -1,0 +1,61 @@
+// The Destination-Sorted Sub-Shard (DSSS): the paper's core storage unit.
+#ifndef NXGRAPH_STORAGE_SUBSHARD_H_
+#define NXGRAPH_STORAGE_SUBSHARD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/types.h"
+#include "src/util/result.h"
+
+namespace nxgraph {
+
+/// \brief One decoded sub-shard SS_{i.j}: all edges with source in interval
+/// I_i and destination in interval I_j, in compressed sparse (CSR-like) form
+/// grouped by destination.
+///
+/// Invariants:
+///  - `dsts` is strictly ascending (each destination appears once);
+///  - `offsets.size() == dsts.size() + 1`, `offsets.front() == 0`,
+///    `offsets.back() == srcs.size()`;
+///  - within each destination group, `srcs` is ascending (the paper's
+///    secondary sort for CPU-cache-friendly source interval reads);
+///  - `weights` is empty or parallel to `srcs`.
+struct SubShard {
+  uint32_t src_interval = 0;
+  uint32_t dst_interval = 0;
+
+  std::vector<VertexId> dsts;
+  std::vector<uint32_t> offsets;
+  std::vector<VertexId> srcs;
+  std::vector<float> weights;
+
+  uint64_t num_edges() const { return srcs.size(); }
+  uint32_t num_dsts() const { return static_cast<uint32_t>(dsts.size()); }
+  bool empty() const { return srcs.empty(); }
+
+  /// Approximate decoded footprint, used for cache accounting.
+  uint64_t MemoryBytes() const {
+    return dsts.size() * sizeof(VertexId) + offsets.size() * sizeof(uint32_t) +
+           srcs.size() * sizeof(VertexId) + weights.size() * sizeof(float);
+  }
+
+  /// Serializes to the on-disk blob representation (with checksum).
+  std::string Encode() const;
+
+  /// Decodes a blob produced by Encode(). `verify_checksum` may be false
+  /// when the same blob was already verified this session (repeat streaming
+  /// reloads); structural validation still runs.
+  static Result<SubShard> Decode(const char* data, size_t size,
+                                 uint32_t src_interval, uint32_t dst_interval,
+                                 bool verify_checksum = true);
+
+  /// Index of the first entry in `dsts` with id >= `v` (for destination-
+  /// chunked scheduling).
+  uint32_t LowerBoundDst(VertexId v) const;
+};
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_STORAGE_SUBSHARD_H_

@@ -1,0 +1,98 @@
+#include <algorithm>
+#include <cstring>
+
+#include "src/storage/subshard.h"
+#include "src/util/crc32c.h"
+#include "src/util/serialize.h"
+
+namespace nxgraph {
+
+namespace {
+constexpr uint32_t kSubShardMagic = 0x3153584Eu;  // "NXS1"
+constexpr uint32_t kFlagWeighted = 1u << 0;
+}  // namespace
+
+std::string SubShard::Encode() const {
+  std::string out;
+  EncodeFixed<uint32_t>(&out, kSubShardMagic);
+  EncodeFixed<uint32_t>(&out, weights.empty() ? 0 : kFlagWeighted);
+  EncodeFixed<uint32_t>(&out, static_cast<uint32_t>(dsts.size()));
+  EncodeFixed<uint64_t>(&out, srcs.size());
+  auto append_array = [&out](const void* data, size_t bytes) {
+    out.append(static_cast<const char*>(data), bytes);
+  };
+  append_array(dsts.data(), dsts.size() * sizeof(VertexId));
+  // Offsets are stored as per-destination counts; prefix sums are
+  // reconstructed on load. Counts compress better and cannot be internally
+  // inconsistent.
+  for (size_t k = 0; k < dsts.size(); ++k) {
+    EncodeFixed<uint32_t>(&out, offsets[k + 1] - offsets[k]);
+  }
+  append_array(srcs.data(), srcs.size() * sizeof(VertexId));
+  if (!weights.empty()) {
+    append_array(weights.data(), weights.size() * sizeof(float));
+  }
+  EncodeFixed<uint32_t>(&out, crc32c::Value(out.data(), out.size()));
+  return out;
+}
+
+Result<SubShard> SubShard::Decode(const char* data, size_t size,
+                                  uint32_t src_interval,
+                                  uint32_t dst_interval,
+                                  bool verify_checksum) {
+  if (size < 24) return Status::Corruption("sub-shard blob too short");
+  if (verify_checksum) {
+    const uint32_t stored_crc = DecodeFixed<uint32_t>(data + size - 4);
+    if (stored_crc != crc32c::Value(data, size - 4)) {
+      return Status::Corruption("sub-shard checksum mismatch");
+    }
+  }
+  SliceReader r(data, size - 4);
+  uint32_t magic = 0, flags = 0, num_dsts = 0;
+  uint64_t num_edges = 0;
+  r.Read(&magic);
+  r.Read(&flags);
+  r.Read(&num_dsts);
+  r.Read(&num_edges);
+  if (magic != kSubShardMagic) {
+    return Status::Corruption("bad sub-shard magic");
+  }
+  SubShard ss;
+  ss.src_interval = src_interval;
+  ss.dst_interval = dst_interval;
+  ss.dsts.resize(num_dsts);
+  if (!r.ReadBytes(ss.dsts.data(), num_dsts * sizeof(VertexId))) {
+    return Status::Corruption("sub-shard dsts truncated");
+  }
+  ss.offsets.resize(num_dsts + 1);
+  ss.offsets[0] = 0;
+  for (uint32_t k = 0; k < num_dsts; ++k) {
+    uint32_t count = 0;
+    if (!r.Read(&count)) return Status::Corruption("sub-shard counts truncated");
+    ss.offsets[k + 1] = ss.offsets[k] + count;
+  }
+  if (ss.offsets[num_dsts] != num_edges) {
+    return Status::Corruption("sub-shard count/edge mismatch");
+  }
+  ss.srcs.resize(num_edges);
+  if (!r.ReadBytes(ss.srcs.data(), num_edges * sizeof(VertexId))) {
+    return Status::Corruption("sub-shard srcs truncated");
+  }
+  if (flags & kFlagWeighted) {
+    ss.weights.resize(num_edges);
+    if (!r.ReadBytes(ss.weights.data(), num_edges * sizeof(float))) {
+      return Status::Corruption("sub-shard weights truncated");
+    }
+  }
+  if (r.remaining() != 0) {
+    return Status::Corruption("sub-shard trailing bytes");
+  }
+  return ss;
+}
+
+uint32_t SubShard::LowerBoundDst(VertexId v) const {
+  return static_cast<uint32_t>(
+      std::lower_bound(dsts.begin(), dsts.end(), v) - dsts.begin());
+}
+
+}  // namespace nxgraph

@@ -1,0 +1,66 @@
+#include "src/util/byte_size.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace nxgraph {
+
+std::string FormatByteSize(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 5) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu%s",
+                  static_cast<unsigned long long>(bytes), kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+Result<uint64_t> ParseByteSize(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty byte-size string");
+  }
+  size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (...) {
+    return Status::InvalidArgument("unparsable byte-size: " + text);
+  }
+  if (value < 0) {
+    return Status::InvalidArgument("negative byte-size: " + text);
+  }
+  // Skip whitespace between number and unit.
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  std::string unit;
+  for (; pos < text.size(); ++pos) {
+    unit += static_cast<char>(std::tolower(static_cast<unsigned char>(text[pos])));
+  }
+  double mult = 1.0;
+  if (unit.empty() || unit == "b") {
+    mult = 1.0;
+  } else if (unit == "k" || unit == "kb" || unit == "kib") {
+    mult = 1024.0;
+  } else if (unit == "m" || unit == "mb" || unit == "mib") {
+    mult = 1024.0 * 1024.0;
+  } else if (unit == "g" || unit == "gb" || unit == "gib") {
+    mult = 1024.0 * 1024.0 * 1024.0;
+  } else if (unit == "t" || unit == "tb" || unit == "tib") {
+    mult = 1024.0 * 1024.0 * 1024.0 * 1024.0;
+  } else {
+    return Status::InvalidArgument("unknown byte-size unit: " + text);
+  }
+  return static_cast<uint64_t>(std::llround(value * mult));
+}
+
+}  // namespace nxgraph

@@ -1,0 +1,21 @@
+// Human-readable byte-size parsing and formatting ("512MB", "1.5GiB").
+#ifndef NXGRAPH_UTIL_BYTE_SIZE_H_
+#define NXGRAPH_UTIL_BYTE_SIZE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/result.h"
+
+namespace nxgraph {
+
+/// Formats a byte count with a binary-unit suffix, e.g. 1536 -> "1.5KiB".
+std::string FormatByteSize(uint64_t bytes);
+
+/// Parses strings like "64", "4K", "512MB", "1.5GiB" (case-insensitive,
+/// binary units) into a byte count.
+Result<uint64_t> ParseByteSize(const std::string& text);
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_UTIL_BYTE_SIZE_H_

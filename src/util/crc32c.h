@@ -1,0 +1,22 @@
+// CRC-32C (Castagnoli) checksums for on-disk format integrity.
+#ifndef NXGRAPH_UTIL_CRC32C_H_
+#define NXGRAPH_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nxgraph {
+namespace crc32c {
+
+/// Extends `init_crc` with `n` bytes of `data`; pass 0 to start a new CRC.
+uint32_t Extend(uint32_t init_crc, const void* data, size_t n);
+
+/// CRC-32C of a buffer.
+inline uint32_t Value(const void* data, size_t n) {
+  return Extend(0, data, n);
+}
+
+}  // namespace crc32c
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_UTIL_CRC32C_H_

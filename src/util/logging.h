@@ -1,0 +1,63 @@
+// Minimal leveled logging to stderr.
+#ifndef NXGRAPH_UTIL_LOGGING_H_
+#define NXGRAPH_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+#include "src/util/macros.h"
+
+namespace nxgraph {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace nxgraph
+
+#define NX_LOG(level)                                              \
+  ::nxgraph::internal::LogMessage(::nxgraph::LogLevel::k##level,   \
+                                  __FILE__, __LINE__)
+
+// Fatal check: always on, aborts with a message when the condition fails.
+#define NX_CHECK(cond)                                       \
+  if (NX_PREDICT_FALSE(!(cond)))                             \
+  ::nxgraph::internal::LogMessage(::nxgraph::LogLevel::kFatal, __FILE__, \
+                                  __LINE__)                  \
+      << "Check failed: " #cond " "
+
+#define NX_CHECK_OK(expr)                                         \
+  do {                                                            \
+    ::nxgraph::Status _nx_st = (expr);                            \
+    NX_CHECK(_nx_st.ok()) << _nx_st.ToString();                   \
+  } while (0)
+
+#endif  // NXGRAPH_UTIL_LOGGING_H_

@@ -1,0 +1,39 @@
+// Common macros used across NXgraph.
+#ifndef NXGRAPH_UTIL_MACROS_H_
+#define NXGRAPH_UTIL_MACROS_H_
+
+// Disallows copy construction and copy assignment.
+#define NX_DISALLOW_COPY(ClassName)      \
+  ClassName(const ClassName&) = delete;  \
+  ClassName& operator=(const ClassName&) = delete
+
+// Propagates a non-OK Status out of the current function.
+#define NX_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::nxgraph::Status _nx_status = (expr);     \
+    if (!_nx_status.ok()) return _nx_status;   \
+  } while (0)
+
+// Assigns the value of a Result<T> expression to `lhs`, or propagates its
+// error Status. `lhs` may include a declaration, e.g.
+//   NX_ASSIGN_OR_RETURN(auto file, env->NewWritableFile(path));
+#define NX_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  NX_ASSIGN_OR_RETURN_IMPL_(NX_CONCAT_(_nx_result, __LINE__), lhs, rexpr)
+
+#define NX_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                              \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+#define NX_CONCAT_(a, b) NX_CONCAT_IMPL_(a, b)
+#define NX_CONCAT_IMPL_(a, b) a##b
+
+#if defined(__GNUC__) || defined(__clang__)
+#define NX_PREDICT_TRUE(x) (__builtin_expect(!!(x), 1))
+#define NX_PREDICT_FALSE(x) (__builtin_expect(!!(x), 0))
+#else
+#define NX_PREDICT_TRUE(x) (x)
+#define NX_PREDICT_FALSE(x) (x)
+#endif
+
+#endif  // NXGRAPH_UTIL_MACROS_H_

@@ -1,0 +1,66 @@
+// Result<T>: a Status or a value (Arrow's Result idiom).
+#ifndef NXGRAPH_UTIL_RESULT_H_
+#define NXGRAPH_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace nxgraph {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Construction from a T yields an OK result; construction from a non-OK
+/// Status yields an error. Constructing from an OK Status is a programming
+/// error (asserted in debug builds, converted to InvalidArgument otherwise).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs an error result.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    assert(!status_.ok());
+    if (status_.ok()) {
+      status_ = Status::InvalidArgument("Result constructed from OK status");
+    }
+  }
+
+  /// Constructs a success result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this result is an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_UTIL_RESULT_H_

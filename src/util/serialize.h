@@ -1,0 +1,82 @@
+// Little-endian binary encode/decode helpers for on-disk formats.
+#ifndef NXGRAPH_UTIL_SERIALIZE_H_
+#define NXGRAPH_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+namespace nxgraph {
+
+// All on-disk formats are little-endian. The helpers below are correct on
+// any host byte order but compile to plain loads/stores on LE machines.
+
+template <typename T>
+inline void EncodeFixed(std::string* dst, T value) {
+  static_assert(std::is_integral_v<T> || std::is_floating_point_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  dst->append(buf, sizeof(T));
+}
+
+template <typename T>
+inline T DecodeFixed(const char* src) {
+  static_assert(std::is_integral_v<T> || std::is_floating_point_v<T>);
+  T value;
+  std::memcpy(&value, src, sizeof(T));
+  return value;
+}
+
+/// \brief Sequential reader over a byte buffer with bounds checking.
+class SliceReader {
+ public:
+  SliceReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit SliceReader(const std::string& s) : data_(s.data()), size_(s.size()) {}
+
+  /// Remaining unread bytes.
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+  /// Reads a fixed-width value; returns false on underflow.
+  template <typename T>
+  bool Read(T* out) {
+    if (remaining() < sizeof(T)) return false;
+    *out = DecodeFixed<T>(data_ + pos_);
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  /// Reads `n` raw bytes into out; returns false on underflow.
+  bool ReadBytes(void* out, size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  /// Reads a length-prefixed (uint32) string.
+  bool ReadString(std::string* out) {
+    uint32_t len = 0;
+    if (!Read(&len)) return false;
+    if (remaining() < len) return false;
+    out->assign(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Appends a length-prefixed (uint32) string.
+inline void EncodeString(std::string* dst, const std::string& s) {
+  EncodeFixed<uint32_t>(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s);
+}
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_UTIL_SERIALIZE_H_

@@ -1,0 +1,93 @@
+// Status: lightweight error propagation without exceptions (RocksDB idiom).
+#ifndef NXGRAPH_UTIL_STATUS_H_
+#define NXGRAPH_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace nxgraph {
+
+/// \brief Result of an operation that may fail.
+///
+/// A Status is cheap to copy in the OK case (no allocation); error states
+/// carry a code and a human-readable message. Library code returns Status
+/// (or Result<T>) instead of throwing exceptions.
+class Status {
+ public:
+  enum class Code : uint8_t {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kInvalidArgument = 3,
+    kIOError = 4,
+    kNotSupported = 5,
+    kAborted = 6,
+    kOutOfMemory = 7,
+  };
+
+  /// Creates an OK (success) status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(Code::kOutOfMemory, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return rep_ == nullptr; }
+  bool IsNotFound() const { return code() == Code::kNotFound; }
+  bool IsCorruption() const { return code() == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code() == Code::kInvalidArgument; }
+  bool IsIOError() const { return code() == Code::kIOError; }
+  bool IsNotSupported() const { return code() == Code::kNotSupported; }
+  bool IsAborted() const { return code() == Code::kAborted; }
+  bool IsOutOfMemory() const { return code() == Code::kOutOfMemory; }
+
+  Code code() const { return rep_ ? rep_->code : Code::kOk; }
+
+  /// Error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<code>: <message>", for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code() == other.code(); }
+
+ private:
+  struct Rep {
+    Code code;
+    std::string message;
+  };
+
+  Status(Code code, std::string msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::shared_ptr<Rep> rep_;  // null == OK
+};
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_UTIL_STATUS_H_

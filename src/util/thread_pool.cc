@@ -1,0 +1,106 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace nxgraph {
+
+void WaitGroup::Add(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ += n;
+}
+
+void WaitGroup::Done() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--count_ <= 0) cv_.notify_all();
+}
+
+void WaitGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return count_ <= 0; });
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  threads_.reserve(std::max(num_threads, 0));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  if (threads_.empty()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<size_t>(grain, 1);
+  const size_t total = end - begin;
+  if (threads_.empty() || total <= grain) {
+    fn(begin, end);
+    return;
+  }
+
+  auto next = std::make_shared<std::atomic<size_t>>(begin);
+  auto wg = std::make_shared<WaitGroup>();
+  auto worker = [next, wg, begin, end, grain, &fn] {
+    for (;;) {
+      size_t chunk_begin = next->fetch_add(grain, std::memory_order_relaxed);
+      if (chunk_begin >= end) break;
+      size_t chunk_end = std::min(chunk_begin + grain, end);
+      fn(chunk_begin, chunk_end);
+    }
+    wg->Done();
+  };
+
+  // Enough workers to cover the range, at most one per pool thread. The
+  // calling thread also participates so a pool of k threads yields k+1-way
+  // parallelism, matching "worker threads plus the issuing thread".
+  const size_t max_workers = threads_.size();
+  const size_t num_chunks = (total + grain - 1) / grain;
+  const size_t num_workers = std::min(max_workers, num_chunks);
+  wg->Add(static_cast<int>(num_workers));
+  for (size_t i = 0; i < num_workers; ++i) {
+    Submit(worker);
+  }
+  // Participate inline until the range is exhausted.
+  for (;;) {
+    size_t chunk_begin = next->fetch_add(grain, std::memory_order_relaxed);
+    if (chunk_begin >= end) break;
+    size_t chunk_end = std::min(chunk_begin + grain, end);
+    fn(chunk_begin, chunk_end);
+  }
+  wg->Wait();
+}
+
+}  // namespace nxgraph

@@ -1,0 +1,37 @@
+// Wall-clock timing helpers.
+#ifndef NXGRAPH_UTIL_TIMER_H_
+#define NXGRAPH_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace nxgraph {
+
+/// \brief Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds elapsed since construction or the last Reset().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_UTIL_TIMER_H_

@@ -1,0 +1,233 @@
+// Algorithm drivers against references, including the multi-round SCC.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/algos/reference.h"
+#include "src/core/nxgraph.h"
+#include "tests/test_util.h"
+
+namespace nxgraph {
+namespace {
+
+TEST(PageRankDriverTest, RanksSumBelowOneAndMatchReference) {
+  EdgeList edges = testing::RandomGraph(300, 3000, 41);
+  auto ms = testing::BuildMemStore(edges, 4);
+  PageRankOptions pr_opt;
+  pr_opt.iterations = 10;
+  auto result = RunPageRank(ms.store, pr_opt, RunOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.iterations, 10);
+
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  const auto expected = ReferencePageRank(*ref_graph, 0.85, 10);
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(result->ranks[v], expected[v], 1e-9);
+  }
+  const double sum =
+      std::accumulate(result->ranks.begin(), result->ranks.end(), 0.0);
+  EXPECT_GT(sum, 0.1);
+  EXPECT_LE(sum, 1.0 + 1e-6);
+}
+
+TEST(PageRankDriverTest, HigherInDegreeEarnsHigherRank) {
+  EdgeList edges;
+  // Star: everyone points at vertex 0; plus a chain so out-degrees exist.
+  for (uint32_t v = 1; v <= 20; ++v) edges.Add(v, 0);
+  for (uint32_t v = 1; v < 20; ++v) edges.Add(v, v + 1);
+  auto ms = testing::BuildMemStore(edges, 3);
+  auto result = RunPageRank(ms.store, {}, RunOptions{});
+  ASSERT_TRUE(result.ok());
+  for (size_t v = 1; v < result->ranks.size(); ++v) {
+    EXPECT_GT(result->ranks[0], result->ranks[v]);
+  }
+}
+
+TEST(BfsDriverTest, DepthsAndSummary) {
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(1, 2);
+  edges.Add(2, 3);
+  edges.Add(0, 4);
+  edges.Add(9, 9);  // self-loop island
+  auto ms = testing::BuildMemStore(edges, 2);
+  auto result = RunBfs(ms.store, 0, RunOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->depths[0], 0u);
+  EXPECT_EQ(result->depths[1], 1u);
+  EXPECT_EQ(result->depths[3], 3u);
+  EXPECT_EQ(result->depths[4], 1u);
+  EXPECT_EQ(result->max_depth, 3u);
+  EXPECT_EQ(result->reached, 5u);
+}
+
+TEST(BfsDriverTest, RootOutOfRangeRejected) {
+  EdgeList edges = testing::RandomGraph(10, 30, 42);
+  auto ms = testing::BuildMemStore(edges, 2);
+  auto result = RunBfs(ms.store, 10000, RunOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(BfsDriverTest, MatchesReferenceOnRandomGraph) {
+  EdgeList edges = testing::RandomGraph(400, 2400, 43);
+  auto ms = testing::BuildMemStore(edges, 5);
+  auto result = RunBfs(ms.store, 7, RunOptions{});
+  ASSERT_TRUE(result.ok());
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  EXPECT_EQ(result->depths, ReferenceBfs(*ref_graph, 7));
+}
+
+TEST(WccDriverTest, MatchesUnionFindAndCounts) {
+  EdgeList edges = testing::RandomGraph(300, 450, 44);  // sparse
+  auto ms = testing::BuildMemStore(edges, 4);
+  auto result = RunWcc(ms.store, RunOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  const auto expected = ReferenceWcc(*ref_graph);
+  EXPECT_EQ(result->labels, expected);
+  std::set<uint32_t> distinct(expected.begin(), expected.end());
+  EXPECT_EQ(result->num_components, distinct.size());
+}
+
+TEST(WccDriverTest, DisjointCliquesStayDisjoint) {
+  EdgeList edges;
+  for (uint32_t base : {0u, 10u, 20u}) {
+    for (uint32_t a = 0; a < 4; ++a) {
+      for (uint32_t b = 0; b < 4; ++b) {
+        if (a != b) edges.Add(base + a, base + b);
+      }
+    }
+  }
+  auto ms = testing::BuildMemStore(edges, 3);
+  auto result = RunWcc(ms.store, RunOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_components, 3u);
+}
+
+TEST(SsspDriverTest, MatchesDijkstra) {
+  EdgeList edges = testing::RandomGraph(250, 2000, 45, /*weighted=*/true);
+  auto ms = testing::BuildMemStore(edges, 4);
+  auto result = RunSssp(ms.store, 3, RunOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  const auto expected = ReferenceSssp(*ref_graph, 3);
+  for (size_t v = 0; v < expected.size(); ++v) {
+    if (std::isinf(expected[v])) {
+      EXPECT_TRUE(std::isinf(result->distances[v]));
+    } else {
+      EXPECT_NEAR(result->distances[v], expected[v], 1e-4);
+    }
+  }
+}
+
+TEST(SsspDriverTest, UnweightedEqualsBfsDepths) {
+  EdgeList edges = testing::RandomGraph(150, 900, 46);
+  auto ms = testing::BuildMemStore(edges, 3);
+  auto sssp = RunSssp(ms.store, 0, RunOptions{});
+  auto bfs = RunBfs(ms.store, 0, RunOptions{});
+  ASSERT_TRUE(sssp.ok());
+  ASSERT_TRUE(bfs.ok());
+  for (size_t v = 0; v < bfs->depths.size(); ++v) {
+    if (bfs->depths[v] == std::numeric_limits<uint32_t>::max()) {
+      EXPECT_TRUE(std::isinf(sssp->distances[v]));
+    } else {
+      EXPECT_FLOAT_EQ(sssp->distances[v],
+                      static_cast<float>(bfs->depths[v]));
+    }
+  }
+}
+
+class SccTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SccTest, MatchesTarjanOnRandomGraphs) {
+  const int seed = GetParam();
+  EdgeList edges = testing::RandomGraph(120, 360, seed);
+  auto ms = testing::BuildMemStore(edges, 4);
+  auto result = RunScc(ms.store, RunOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  EXPECT_EQ(result->component, ReferenceScc(*ref_graph));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SccTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(SccDriverTest, CycleIsOneComponent) {
+  EdgeList edges;
+  for (uint32_t v = 0; v < 10; ++v) edges.Add(v, (v + 1) % 10);
+  auto ms = testing::BuildMemStore(edges, 2);
+  auto result = RunScc(ms.store, RunOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_components, 1u);
+  EXPECT_EQ(result->largest_component, 10u);
+  for (uint32_t c : result->component) EXPECT_EQ(c, 0u);
+}
+
+TEST(SccDriverTest, DagIsAllSingletons) {
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(1, 2);
+  edges.Add(0, 2);
+  auto ms = testing::BuildMemStore(edges, 2);
+  auto result = RunScc(ms.store, RunOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_components, 3u);
+  EXPECT_EQ(result->largest_component, 1u);
+}
+
+TEST(SccDriverTest, TwoCyclesBridged) {
+  EdgeList edges;
+  // Cycle A: 0->1->2->0; cycle B: 3->4->5->3; bridge 2->3.
+  edges.Add(0, 1);
+  edges.Add(1, 2);
+  edges.Add(2, 0);
+  edges.Add(3, 4);
+  edges.Add(4, 5);
+  edges.Add(5, 3);
+  edges.Add(2, 3);
+  auto ms = testing::BuildMemStore(edges, 2);
+  auto result = RunScc(ms.store, RunOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_components, 2u);
+  EXPECT_EQ(result->component[0], result->component[2]);
+  EXPECT_EQ(result->component[3], result->component[5]);
+  EXPECT_NE(result->component[0], result->component[3]);
+}
+
+TEST(SccDriverTest, RequiresTranspose) {
+  EdgeList edges = testing::RandomGraph(20, 60, 47);
+  auto ms = testing::BuildMemStore(edges, 2, /*transpose=*/false);
+  auto result = RunScc(ms.store, RunOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(SccDriverTest, WorksUnderDpu) {
+  EdgeList edges = testing::RandomGraph(100, 300, 48);
+  auto ms = testing::BuildMemStore(edges, 4);
+  RunOptions opt;
+  opt.strategy = UpdateStrategy::kDoublePhase;
+  auto result = RunScc(ms.store, opt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  EXPECT_EQ(result->component, ReferenceScc(*ref_graph));
+}
+
+TEST(MtepsTest, ComputedFromStats) {
+  RunStats stats;
+  stats.edges_traversed = 5'000'000;
+  stats.seconds = 2.0;
+  EXPECT_DOUBLE_EQ(stats.Mteps(), 2.5);
+  RunStats empty;
+  EXPECT_EQ(empty.Mteps(), 0.0);
+}
+
+}  // namespace
+}  // namespace nxgraph

@@ -1,0 +1,196 @@
+// Baseline engines must compute the same fixpoints as the references —
+// they differ in storage layout and parallel discipline, not semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/algos/programs.h"
+#include "src/algos/reference.h"
+#include "src/baselines/graphchi_like.h"
+#include "src/baselines/turbograph_like.h"
+#include "src/baselines/xstream_like.h"
+#include "tests/test_util.h"
+
+namespace nxgraph {
+namespace {
+
+template <typename EngineT>
+void ExpectPageRankMatches(EngineT& engine,
+                           const std::vector<double>& expected) {
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(engine.values().size(), expected.size());
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(engine.values()[v], expected[v], 1e-9) << "vertex " << v;
+  }
+}
+
+class BaselinePageRankTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselinePageRankTest, GraphChiLikeMatchesReference) {
+  EdgeList edges = testing::RandomGraph(300, 3000, 61);
+  auto ms = testing::BuildMemStore(edges, 4);
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  const auto expected = ReferencePageRank(*ref_graph, 0.85, 5);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+  RunOptions opt;
+  opt.num_threads = GetParam();
+  opt.max_iterations = 5;
+  GraphChiLikeEngine<PageRankProgram> engine(ms.store, program, opt);
+  ExpectPageRankMatches(engine, expected);
+}
+
+TEST_P(BaselinePageRankTest, TurboGraphLikeMatchesReference) {
+  EdgeList edges = testing::RandomGraph(300, 3000, 62);
+  auto ms = testing::BuildMemStore(edges, 4);
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  const auto expected = ReferencePageRank(*ref_graph, 0.85, 5);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+  RunOptions opt;
+  opt.num_threads = GetParam();
+  opt.max_iterations = 5;
+  TurboGraphLikeEngine<PageRankProgram> engine(ms.store, program, opt);
+  ExpectPageRankMatches(engine, expected);
+}
+
+TEST_P(BaselinePageRankTest, XStreamLikeMatchesReference) {
+  EdgeList edges = testing::RandomGraph(300, 3000, 63);
+  auto ms = testing::BuildMemStore(edges, 4);
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  const auto expected = ReferencePageRank(*ref_graph, 0.85, 5);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+  RunOptions opt;
+  opt.num_threads = GetParam();
+  opt.max_iterations = 5;
+  XStreamLikeEngine<PageRankProgram> engine(ms.store, program, opt);
+  ExpectPageRankMatches(engine, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BaselinePageRankTest,
+                         ::testing::Values(0, 2, 4));
+
+TEST(BaselineBfsTest, GraphChiLikeMatchesReference) {
+  EdgeList edges = testing::RandomGraph(200, 1200, 64);
+  auto ms = testing::BuildMemStore(edges, 4);
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  BfsProgram program;
+  program.root = 0;
+  RunOptions opt;
+  opt.num_threads = 2;
+  GraphChiLikeEngine<BfsProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(engine.values(), ReferenceBfs(*ref_graph, 0));
+}
+
+TEST(BaselineBfsTest, TurboGraphLikeMatchesReference) {
+  EdgeList edges = testing::RandomGraph(200, 1200, 65);
+  auto ms = testing::BuildMemStore(edges, 4);
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  BfsProgram program;
+  program.root = 0;
+  RunOptions opt;
+  opt.num_threads = 2;
+  TurboGraphLikeEngine<BfsProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(engine.values(), ReferenceBfs(*ref_graph, 0));
+}
+
+TEST(BaselineBfsTest, XStreamLikeMatchesReference) {
+  EdgeList edges = testing::RandomGraph(200, 1200, 66);
+  auto ms = testing::BuildMemStore(edges, 4);
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  BfsProgram program;
+  program.root = 0;
+  RunOptions opt;
+  opt.num_threads = 2;
+  XStreamLikeEngine<BfsProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(engine.values(), ReferenceBfs(*ref_graph, 0));
+}
+
+TEST(BaselineWccTest, GraphChiLikeBothDirections) {
+  EdgeList edges = testing::RandomGraph(150, 220, 67);
+  auto ms = testing::BuildMemStore(edges, 3);
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  WccProgram program;
+  RunOptions opt;
+  opt.num_threads = 2;
+  opt.direction = EdgeDirection::kBoth;
+  GraphChiLikeEngine<WccProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(engine.values(), ReferenceWcc(*ref_graph));
+}
+
+TEST(BaselineIoTest, GraphChiLikeChargesStreamingWhenBudgetSmall) {
+  EdgeList edges = testing::RandomGraph(200, 4000, 68);
+  auto ms = testing::BuildMemStore(edges, 4);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+  RunOptions opt;
+  opt.max_iterations = 3;
+  opt.memory_budget_bytes = 2 * ms.store->num_vertices() * sizeof(double) + 1;
+  GraphChiLikeEngine<PageRankProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->bytes_read, 0u);  // shards re-streamed every iteration
+
+  RunOptions unlimited = opt;
+  unlimited.memory_budget_bytes = 0;
+  GraphChiLikeEngine<PageRankProgram> cached(ms.store, program, unlimited);
+  auto cached_stats = cached.Run();
+  ASSERT_TRUE(cached_stats.ok());
+  EXPECT_EQ(cached_stats->bytes_read, 0u);  // everything cached
+}
+
+TEST(BaselineIoTest, TurboGraphPaysIntervalPagingCosts) {
+  EdgeList edges = testing::RandomGraph(400, 4000, 69);
+  auto ms = testing::BuildMemStore(edges, 4);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+  RunOptions small;
+  small.max_iterations = 2;
+  small.memory_budget_bytes = 1;  // no page cache at all
+  TurboGraphLikeEngine<PageRankProgram> engine(ms.store, program, small);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+
+  RunOptions big;
+  big.max_iterations = 2;
+  big.memory_budget_bytes = 0;  // unlimited page cache
+  TurboGraphLikeEngine<PageRankProgram> cached(ms.store, program, big);
+  auto cached_stats = cached.Run();
+  ASSERT_TRUE(cached_stats.ok());
+  // Small budgets re-read source intervals once per interval pair.
+  EXPECT_GT(stats->bytes_read, cached_stats->bytes_read);
+}
+
+TEST(BaselineIoTest, XStreamWritesUpdateTraffic) {
+  EdgeList edges = testing::RandomGraph(100, 2000, 70);
+  auto ms = testing::BuildMemStore(edges, 4);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+  RunOptions opt;
+  opt.max_iterations = 2;
+  XStreamLikeEngine<PageRankProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  // Update records: one per edge per iteration, 12+ bytes each.
+  EXPECT_GE(stats->bytes_written, 2u * 2000u * 12u);
+}
+
+}  // namespace
+}  // namespace nxgraph

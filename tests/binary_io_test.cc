@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/binary_io.h"
+#include "src/io/env.h"
+
+namespace nxgraph {
+namespace {
+
+TEST(EdgeFileTest, UnweightedRoundTrip) {
+  auto env = NewMemEnv();
+  auto writer = EdgeFileWriter::Create(env.get(), "e.nxel", false);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Add(1, 2).ok());
+  ASSERT_TRUE((*writer)->Add(3, 4).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+
+  auto reader = EdgeFileReader::Open(env.get(), "e.nxel");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_edges(), 2u);
+  EXPECT_FALSE((*reader)->weighted());
+  std::vector<Edge> edges;
+  auto n = (*reader)->ReadBatch(10, &edges, nullptr);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+  EXPECT_EQ(edges[0], (Edge{1, 2}));
+  EXPECT_EQ(edges[1], (Edge{3, 4}));
+  n = (*reader)->ReadBatch(10, &edges, nullptr);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);  // exhausted
+}
+
+TEST(EdgeFileTest, WeightedRoundTrip) {
+  auto env = NewMemEnv();
+  auto writer = EdgeFileWriter::Create(env.get(), "w.nxel", true);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AddWeighted(1, 2, 0.5f).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+
+  auto reader = EdgeFileReader::Open(env.get(), "w.nxel");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE((*reader)->weighted());
+  std::vector<Edge> edges;
+  std::vector<float> weights;
+  auto n = (*reader)->ReadBatch(10, &edges, &weights);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, 1u);
+  EXPECT_FLOAT_EQ(weights[0], 0.5f);
+}
+
+TEST(EdgeFileTest, BatchedReads) {
+  auto env = NewMemEnv();
+  auto writer = EdgeFileWriter::Create(env.get(), "b.nxel", false);
+  ASSERT_TRUE(writer.ok());
+  for (uint32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*writer)->Add(i, i + 1).ok());
+  }
+  ASSERT_TRUE((*writer)->Finish().ok());
+
+  auto reader = EdgeFileReader::Open(env.get(), "b.nxel");
+  ASSERT_TRUE(reader.ok());
+  std::vector<Edge> edges;
+  size_t total = 0;
+  uint32_t next_src = 0;
+  for (;;) {
+    auto n = (*reader)->ReadBatch(7, &edges, nullptr);
+    ASSERT_TRUE(n.ok());
+    if (*n == 0) break;
+    for (size_t k = 0; k < *n; ++k) {
+      EXPECT_EQ(edges[k].src, next_src++);
+    }
+    total += *n;
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(EdgeFileTest, MismatchedAddIsRejected) {
+  auto env = NewMemEnv();
+  auto writer = EdgeFileWriter::Create(env.get(), "m.nxel", true);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_TRUE((*writer)->Add(1, 2).IsInvalidArgument());
+  auto writer2 = EdgeFileWriter::Create(env.get(), "m2.nxel", false);
+  ASSERT_TRUE(writer2.ok());
+  EXPECT_TRUE((*writer2)->AddWeighted(1, 2, 1.0f).IsInvalidArgument());
+}
+
+TEST(EdgeFileTest, DetectsBadMagic) {
+  auto env = NewMemEnv();
+  ASSERT_TRUE(WriteStringToFile(env.get(), "junk", std::string(64, 'j')).ok());
+  auto reader = EdgeFileReader::Open(env.get(), "junk");
+  ASSERT_FALSE(reader.ok());
+  EXPECT_TRUE(reader.status().IsCorruption());
+}
+
+TEST(EdgeFileTest, DetectsHeaderBitFlip) {
+  auto env = NewMemEnv();
+  auto writer = EdgeFileWriter::Create(env.get(), "h.nxel", false);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Add(1, 2).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env.get(), "h.nxel", &data).ok());
+  data[9] ^= 0x40;  // flip a bit inside the header
+  ASSERT_TRUE(WriteStringToFile(env.get(), "h.nxel", data).ok());
+  auto reader = EdgeFileReader::Open(env.get(), "h.nxel");
+  ASSERT_FALSE(reader.ok());
+  EXPECT_TRUE(reader.status().IsCorruption());
+}
+
+TEST(EdgeFileTest, DetectsTruncatedPayload) {
+  auto env = NewMemEnv();
+  auto writer = EdgeFileWriter::Create(env.get(), "t.nxel", false);
+  ASSERT_TRUE(writer.ok());
+  for (uint32_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE((*writer)->Add(i, i).ok());
+  }
+  ASSERT_TRUE((*writer)->Finish().ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env.get(), "t.nxel", &data).ok());
+  data.resize(data.size() - 12);  // drop 1.5 edges
+  ASSERT_TRUE(WriteStringToFile(env.get(), "t.nxel", data).ok());
+  auto reader = EdgeFileReader::Open(env.get(), "t.nxel");
+  ASSERT_TRUE(reader.ok());  // header is intact
+  std::vector<Edge> edges;
+  auto n = (*reader)->ReadBatch(100, &edges, nullptr);
+  ASSERT_FALSE(n.ok());
+  EXPECT_TRUE(n.status().IsCorruption());
+}
+
+TEST(EdgeFileTest, EmptyFileHasZeroEdges) {
+  auto env = NewMemEnv();
+  auto writer = EdgeFileWriter::Create(env.get(), "z.nxel", false);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+  auto reader = EdgeFileReader::Open(env.get(), "z.nxel");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_edges(), 0u);
+  std::vector<Edge> edges;
+  auto n = (*reader)->ReadBatch(10, &edges, nullptr);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+}  // namespace
+}  // namespace nxgraph

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/graph/binary_io.h"
+#include "src/io/env.h"
+#include "src/prep/degreer.h"
+#include "tests/test_util.h"
+
+namespace nxgraph {
+namespace {
+
+TEST(DegreerTest, AssignsDenseIdsInIndexOrder) {
+  auto env = NewMemEnv();
+  EdgeList edges;
+  edges.Add(100, 7);
+  edges.Add(7, 1000);
+  auto r = RunDegreer(env.get(), edges, "d");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_vertices, 3u);
+  // Sorted index order: 7 -> 0, 100 -> 1, 1000 -> 2.
+  EXPECT_EQ(r->mapping, (std::vector<VertexIndex>{7, 100, 1000}));
+  EXPECT_EQ(IndexToId(r->mapping, 7), 0u);
+  EXPECT_EQ(IndexToId(r->mapping, 100), 1u);
+  EXPECT_EQ(IndexToId(r->mapping, 1000), 2u);
+  EXPECT_EQ(IndexToId(r->mapping, 42), kInvalidVertex);
+}
+
+TEST(DegreerTest, ComputesDegrees) {
+  auto env = NewMemEnv();
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(0, 2);
+  edges.Add(1, 2);
+  edges.Add(2, 0);
+  auto r = RunDegreer(env.get(), edges, "d");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->out_degrees, (std::vector<uint32_t>{2, 1, 1}));
+  EXPECT_EQ(r->in_degrees, (std::vector<uint32_t>{1, 1, 2}));
+}
+
+TEST(DegreerTest, CountsParallelEdges) {
+  auto env = NewMemEnv();
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(0, 1);
+  edges.Add(0, 1);
+  auto r = RunDegreer(env.get(), edges, "d");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->out_degrees[0], 3u);
+  EXPECT_EQ(r->in_degrees[1], 3u);
+}
+
+TEST(DegreerTest, IsolatedIndicesGetNoId) {
+  auto env = NewMemEnv();
+  EdgeList edges;
+  edges.Add(5, 500000);  // huge sparse gap: everything between is isolated
+  auto r = RunDegreer(env.get(), edges, "d");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_vertices, 2u);
+}
+
+TEST(DegreerTest, SelfLoopCountsBothDegrees) {
+  auto env = NewMemEnv();
+  EdgeList edges;
+  edges.Add(3, 3);
+  auto r = RunDegreer(env.get(), edges, "d");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_vertices, 1u);
+  EXPECT_EQ(r->out_degrees[0], 1u);
+  EXPECT_EQ(r->in_degrees[0], 1u);
+}
+
+TEST(DegreerTest, EmptyEdgeListRejected) {
+  auto env = NewMemEnv();
+  EdgeList edges;
+  auto r = RunDegreer(env.get(), edges, "d");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(DegreerTest, PreShardContainsRelabelledEdges) {
+  auto env = NewMemEnv();
+  EdgeList edges;
+  edges.Add(10, 30);
+  edges.Add(30, 20);
+  auto r = RunDegreer(env.get(), edges, "d");
+  ASSERT_TRUE(r.ok());
+  auto reader = EdgeFileReader::Open(env.get(), "d/preshard.nxel");
+  ASSERT_TRUE(reader.ok());
+  std::vector<Edge> got;
+  auto n = (*reader)->ReadBatch(10, &got, nullptr);
+  ASSERT_TRUE(n.ok());
+  // ids: 10->0, 20->1, 30->2.
+  EXPECT_EQ(got[0], (Edge{0, 2}));
+  EXPECT_EQ(got[1], (Edge{2, 1}));
+}
+
+TEST(DegreerTest, MappingFileRoundTrip) {
+  auto env = NewMemEnv();
+  EdgeList edges = testing::RandomGraph(200, 1000, 5, false, 17);
+  auto r = RunDegreer(env.get(), edges, "d");
+  ASSERT_TRUE(r.ok());
+  auto mapping = LoadMapping(env.get(), "d");
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(*mapping, r->mapping);
+  EXPECT_TRUE(std::is_sorted(mapping->begin(), mapping->end()));
+}
+
+TEST(DegreerTest, DegreesFileRoundTrip) {
+  auto env = NewMemEnv();
+  EdgeList edges = testing::RandomGraph(100, 500, 6);
+  auto r = RunDegreer(env.get(), edges, "d");
+  ASSERT_TRUE(r.ok());
+  std::vector<uint32_t> out_d, in_d;
+  ASSERT_TRUE(
+      LoadDegrees(env.get(), "d", r->num_vertices, &out_d, &in_d).ok());
+  EXPECT_EQ(out_d, r->out_degrees);
+  EXPECT_EQ(in_d, r->in_degrees);
+  // Degree conservation: both sum to m.
+  uint64_t out_sum = 0, in_sum = 0;
+  for (uint32_t d : out_d) out_sum += d;
+  for (uint32_t d : in_d) in_sum += d;
+  EXPECT_EQ(out_sum, edges.num_edges());
+  EXPECT_EQ(in_sum, edges.num_edges());
+}
+
+TEST(DegreerTest, DegreesFileDetectsCountMismatch) {
+  auto env = NewMemEnv();
+  EdgeList edges = testing::RandomGraph(50, 200, 7);
+  auto r = RunDegreer(env.get(), edges, "d");
+  ASSERT_TRUE(r.ok());
+  std::vector<uint32_t> out_d;
+  Status s = LoadDegrees(env.get(), "d", r->num_vertices + 1, &out_d, nullptr);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(DegreerTest, WeightedPreShardPreservesWeights) {
+  auto env = NewMemEnv();
+  EdgeList edges;
+  edges.AddWeighted(1, 2, 0.25f);
+  edges.AddWeighted(2, 1, 4.0f);
+  auto r = RunDegreer(env.get(), edges, "d");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->weighted);
+  auto reader = EdgeFileReader::Open(env.get(), "d/preshard.nxel");
+  ASSERT_TRUE(reader.ok());
+  std::vector<Edge> got;
+  std::vector<float> weights;
+  auto n = (*reader)->ReadBatch(10, &got, &weights);
+  ASSERT_TRUE(n.ok());
+  EXPECT_FLOAT_EQ(weights[0], 0.25f);
+  EXPECT_FLOAT_EQ(weights[1], 4.0f);
+}
+
+}  // namespace
+}  // namespace nxgraph

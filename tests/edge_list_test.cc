@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/edge_list.h"
+#include "src/graph/text_loader.h"
+#include "src/io/env.h"
+
+namespace nxgraph {
+namespace {
+
+TEST(EdgeListTest, AddAndAccess) {
+  EdgeList edges;
+  edges.Add(1, 2);
+  edges.Add(3, 4);
+  EXPECT_EQ(edges.num_edges(), 2u);
+  EXPECT_EQ(edges.src(0), 1u);
+  EXPECT_EQ(edges.dst(1), 4u);
+  EXPECT_FALSE(edges.has_weights());
+  EXPECT_EQ(edges.weight(0), 1.0f);  // default weight
+}
+
+TEST(EdgeListTest, MixedWeightedBackfills) {
+  EdgeList edges;
+  edges.Add(1, 2);
+  edges.AddWeighted(3, 4, 2.5f);
+  EXPECT_TRUE(edges.has_weights());
+  EXPECT_EQ(edges.weight(0), 1.0f);
+  EXPECT_EQ(edges.weight(1), 2.5f);
+}
+
+TEST(EdgeListTest, SymmetrizeDoublesEdges) {
+  EdgeList edges;
+  edges.Add(1, 2);
+  edges.Add(2, 3);
+  edges.Symmetrize();
+  ASSERT_EQ(edges.num_edges(), 4u);
+  EXPECT_EQ(edges.src(2), 2u);
+  EXPECT_EQ(edges.dst(2), 1u);
+  EXPECT_EQ(edges.src(3), 3u);
+  EXPECT_EQ(edges.dst(3), 2u);
+}
+
+TEST(EdgeListTest, SymmetrizePreservesWeights) {
+  EdgeList edges;
+  edges.AddWeighted(1, 2, 0.5f);
+  edges.Symmetrize();
+  ASSERT_EQ(edges.num_edges(), 2u);
+  EXPECT_EQ(edges.weight(1), 0.5f);
+}
+
+TEST(EdgeListTest, CountDistinctVertices) {
+  EdgeList edges;
+  edges.Add(10, 20);
+  edges.Add(20, 30);
+  edges.Add(10, 30);
+  EXPECT_EQ(edges.CountDistinctVertices(), 3u);
+}
+
+TEST(TextLoaderTest, ParsesWhitespaceAndComments) {
+  auto r = ParseEdgeListText(
+      "# comment line\n"
+      "% matrix-market comment\n"
+      "1 2\n"
+      "\n"
+      "3\t4\n"
+      "  5 6  \n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_edges(), 3u);
+  EXPECT_EQ(r->src(0), 1u);
+  EXPECT_EQ(r->dst(2), 6u);
+}
+
+TEST(TextLoaderTest, ParsesCommaSeparated) {
+  auto r = ParseEdgeListText("1,2\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_edges(), 2u);
+}
+
+TEST(TextLoaderTest, ParsesWeights) {
+  auto r = ParseEdgeListText("1 2 0.5\n3 4 2\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->has_weights());
+  EXPECT_FLOAT_EQ(r->weight(0), 0.5f);
+  EXPECT_FLOAT_EQ(r->weight(1), 2.0f);
+}
+
+TEST(TextLoaderTest, Parses64BitIndices) {
+  auto r = ParseEdgeListText("8589934592 17179869184\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->src(0), 8589934592ULL);
+  EXPECT_EQ(r->dst(0), 17179869184ULL);
+}
+
+TEST(TextLoaderTest, RejectsMissingColumn) {
+  auto r = ParseEdgeListText("1 2\n3\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TextLoaderTest, RejectsNonNumeric) {
+  auto r = ParseEdgeListText("a b\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(TextLoaderTest, RejectsBadWeight) {
+  auto r = ParseEdgeListText("1 2 heavy\n");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(TextLoaderTest, NoTrailingNewlineOk) {
+  auto r = ParseEdgeListText("1 2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_edges(), 1u);
+}
+
+TEST(TextLoaderTest, FileRoundTrip) {
+  auto env = NewMemEnv();
+  EdgeList edges;
+  edges.Add(7, 8);
+  edges.Add(9, 10);
+  ASSERT_TRUE(WriteEdgeListText(env.get(), "g.txt", edges).ok());
+  auto r = LoadEdgeListText(env.get(), "g.txt");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_edges(), 2u);
+  EXPECT_EQ(r->src(0), 7u);
+  EXPECT_EQ(r->dst(1), 10u);
+}
+
+TEST(TextLoaderTest, WeightedFileRoundTrip) {
+  auto env = NewMemEnv();
+  EdgeList edges;
+  edges.AddWeighted(1, 2, 1.25f);
+  ASSERT_TRUE(WriteEdgeListText(env.get(), "w.txt", edges).ok());
+  auto r = LoadEdgeListText(env.get(), "w.txt");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->has_weights());
+  EXPECT_FLOAT_EQ(r->weight(0), 1.25f);
+}
+
+}  // namespace
+}  // namespace nxgraph

@@ -1,0 +1,338 @@
+// Engine correctness: every strategy (SPU/DPU/MPU) under both sync modes
+// and several thread counts must match the single-threaded references.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/algos/programs.h"
+#include "src/algos/reference.h"
+#include "src/engine/engine.h"
+#include "tests/test_util.h"
+
+namespace nxgraph {
+namespace {
+
+struct EngineConfig {
+  UpdateStrategy strategy;
+  SyncMode sync;
+  int threads;
+  uint32_t p;
+};
+
+std::string ConfigName(const ::testing::TestParamInfo<EngineConfig>& info) {
+  const auto& c = info.param;
+  std::string name;
+  switch (c.strategy) {
+    case UpdateStrategy::kSinglePhase:
+      name += "SPU";
+      break;
+    case UpdateStrategy::kDoublePhase:
+      name += "DPU";
+      break;
+    case UpdateStrategy::kMixedPhase:
+      name += "MPU";
+      break;
+    case UpdateStrategy::kAuto:
+      name += "Auto";
+      break;
+  }
+  name += c.sync == SyncMode::kCallback ? "Callback" : "Lock";
+  name += "T" + std::to_string(c.threads);
+  name += "P" + std::to_string(c.p);
+  return name;
+}
+
+class EngineStrategyTest : public ::testing::TestWithParam<EngineConfig> {
+ protected:
+  RunOptions Options() const {
+    const EngineConfig& c = GetParam();
+    RunOptions opt;
+    opt.strategy = c.strategy;
+    opt.sync_mode = c.sync;
+    opt.num_threads = c.threads;
+    if (c.strategy == UpdateStrategy::kMixedPhase) {
+      // Budget sized so roughly half the intervals stay resident.
+      opt.memory_budget_bytes = 1 << 16;
+    }
+    return opt;
+  }
+};
+
+TEST_P(EngineStrategyTest, PageRankMatchesPowerIteration) {
+  EdgeList edges = testing::RandomGraph(400, 4000, 21);
+  auto ms = testing::BuildMemStore(edges, GetParam().p);
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  const auto expected = ReferencePageRank(*ref_graph, 0.85, 5);
+
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+  RunOptions opt = Options();
+  opt.max_iterations = 5;
+  Engine<PageRankProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->iterations, 5);
+  ASSERT_EQ(engine.values().size(), expected.size());
+  for (size_t v = 0; v < expected.size(); ++v) {
+    EXPECT_NEAR(engine.values()[v], expected[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST_P(EngineStrategyTest, BfsMatchesReference) {
+  EdgeList edges = testing::RandomGraph(300, 1800, 22);
+  auto ms = testing::BuildMemStore(edges, GetParam().p);
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  const auto expected = ReferenceBfs(*ref_graph, 0);
+
+  BfsProgram program;
+  program.root = 0;
+  Engine<BfsProgram> engine(ms.store, program, Options());
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(engine.values(), expected);
+}
+
+TEST_P(EngineStrategyTest, WccMatchesUnionFind) {
+  EdgeList edges = testing::RandomGraph(250, 600, 23);  // sparse: many CCs
+  auto ms = testing::BuildMemStore(edges, GetParam().p);
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  const auto expected = ReferenceWcc(*ref_graph);
+
+  WccProgram program;
+  RunOptions opt = Options();
+  opt.direction = EdgeDirection::kBoth;
+  Engine<WccProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(engine.values(), expected);
+}
+
+TEST_P(EngineStrategyTest, SsspMatchesDijkstra) {
+  EdgeList edges = testing::RandomGraph(200, 1500, 24, /*weighted=*/true);
+  auto ms = testing::BuildMemStore(edges, GetParam().p);
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  const auto expected = ReferenceSssp(*ref_graph, 0);
+
+  SsspProgram program;
+  program.root = 0;
+  Engine<SsspProgram> engine(ms.store, program, Options());
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(engine.values().size(), expected.size());
+  for (size_t v = 0; v < expected.size(); ++v) {
+    if (std::isinf(expected[v])) {
+      EXPECT_TRUE(std::isinf(engine.values()[v])) << "vertex " << v;
+    } else {
+      EXPECT_NEAR(engine.values()[v], expected[v], 1e-4) << "vertex " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, EngineStrategyTest,
+    ::testing::Values(
+        EngineConfig{UpdateStrategy::kSinglePhase, SyncMode::kCallback, 0, 4},
+        EngineConfig{UpdateStrategy::kSinglePhase, SyncMode::kCallback, 3, 4},
+        EngineConfig{UpdateStrategy::kSinglePhase, SyncMode::kLock, 3, 4},
+        EngineConfig{UpdateStrategy::kSinglePhase, SyncMode::kLock, 1, 7},
+        EngineConfig{UpdateStrategy::kDoublePhase, SyncMode::kCallback, 0, 4},
+        EngineConfig{UpdateStrategy::kDoublePhase, SyncMode::kCallback, 3, 5},
+        EngineConfig{UpdateStrategy::kDoublePhase, SyncMode::kLock, 2, 4},
+        EngineConfig{UpdateStrategy::kMixedPhase, SyncMode::kCallback, 0, 4},
+        EngineConfig{UpdateStrategy::kMixedPhase, SyncMode::kCallback, 3, 6},
+        EngineConfig{UpdateStrategy::kMixedPhase, SyncMode::kLock, 2, 5},
+        EngineConfig{UpdateStrategy::kAuto, SyncMode::kCallback, 2, 4}),
+    ConfigName);
+
+TEST(EngineTest, BfsTerminatesByActivity) {
+  // A simple path: BFS needs exactly path-length iterations, then all
+  // intervals go inactive.
+  EdgeList edges;
+  for (uint32_t v = 0; v < 32; ++v) edges.Add(v, v + 1);
+  auto ms = testing::BuildMemStore(edges, 4);
+  BfsProgram program;
+  program.root = 0;
+  RunOptions opt;
+  opt.num_threads = 2;
+  Engine<BfsProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->iterations, 32);
+  EXPECT_LE(stats->iterations, 34);
+  EXPECT_EQ(engine.values()[32], 32u);
+}
+
+TEST(EngineTest, MonotoneSkippingTraversesFewerEdges) {
+  // With interval-activity skipping, a BFS from an isolated corner of a
+  // disconnected graph should not touch most sub-shards every iteration.
+  EdgeList edges;
+  for (uint32_t v = 0; v < 64; ++v) edges.Add(v, (v + 1) % 64);  // a cycle
+  edges.Add(100, 101);  // tiny far-away component
+  auto ms = testing::BuildMemStore(edges, 8);
+  BfsProgram program;
+  program.root = ms.store->num_vertices() - 2;  // the tiny component
+  RunOptions opt;
+  Engine<BfsProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  // Full scans would traverse 65 edges * iterations; skipping should keep
+  // the traversal close to the component size.
+  EXPECT_LT(stats->edges_traversed, 65u * stats->iterations);
+}
+
+TEST(EngineTest, MaxIterationsCapsRun) {
+  EdgeList edges = testing::RandomGraph(100, 800, 25);
+  auto ms = testing::BuildMemStore(edges, 4);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+  RunOptions opt;
+  opt.max_iterations = 3;
+  Engine<PageRankProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->iterations, 3);
+  EXPECT_EQ(stats->iteration_seconds.size(), 3u);
+}
+
+TEST(EngineTest, PageRankToleranceStopsEarly) {
+  EdgeList edges = testing::RandomGraph(100, 800, 26);
+  auto ms = testing::BuildMemStore(edges, 4);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+  program.tolerance = 1.0;  // everything counts as converged
+  RunOptions opt;
+  opt.max_iterations = 50;
+  Engine<PageRankProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->iterations, 1);  // one sweep, then all inactive
+}
+
+TEST(EngineTest, StatsAccountIo) {
+  EdgeList edges = testing::RandomGraph(200, 3000, 27);
+  auto ms = testing::BuildMemStore(edges, 4);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+  RunOptions opt;
+  opt.strategy = UpdateStrategy::kDoublePhase;
+  opt.max_iterations = 2;
+  Engine<PageRankProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->strategy, "DPU");
+  // DPU must write hubs + intervals and read them back.
+  EXPECT_GT(stats->bytes_written, 0u);
+  EXPECT_GT(stats->bytes_read, 0u);
+  EXPECT_EQ(stats->edges_traversed, 2u * 3000u);
+}
+
+TEST(EngineTest, SpuTraversesEveryEdgeEachIteration) {
+  EdgeList edges = testing::RandomGraph(100, 1000, 28);
+  auto ms = testing::BuildMemStore(edges, 4);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+  RunOptions opt;
+  opt.max_iterations = 4;
+  Engine<PageRankProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->strategy, "SPU");
+  EXPECT_EQ(stats->edges_traversed, 4u * 1000u);
+}
+
+TEST(EngineTest, TransposeDirectionRequiresTransposeStore) {
+  EdgeList edges = testing::RandomGraph(50, 300, 29);
+  auto ms = testing::BuildMemStore(edges, 2, /*transpose=*/false);
+  WccProgram program;
+  RunOptions opt;
+  opt.direction = EdgeDirection::kBoth;
+  Engine<WccProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsInvalidArgument());
+}
+
+TEST(EngineTest, SpuStreamingRowsMatchesReference) {
+  // Force SPU with a budget that fits the vertex state but none of the
+  // sub-shards: the engine must take the streamlined row-streaming path
+  // and still compute the exact fixpoint.
+  EdgeList edges = testing::RandomGraph(300, 4500, 31);
+  auto ms = testing::BuildMemStore(edges, 5);
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  const auto expected = ReferencePageRank(*ref_graph, 0.85, 6);
+
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+  RunOptions opt;
+  opt.strategy = UpdateStrategy::kSinglePhase;
+  opt.num_threads = 2;
+  opt.max_iterations = 6;
+  opt.memory_budget_bytes =
+      2 * ms.store->num_vertices() * sizeof(double) +
+      ms.store->num_vertices() * 4 + 1024;  // state + degrees + scraps
+  Engine<PageRankProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // Streaming re-reads sub-shards every iteration.
+  EXPECT_GT(stats->bytes_read,
+            5u * ms.store->TotalSubShardBytes(false));
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(engine.values()[v], expected[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(EngineTest, StreamingAndCachedRunsAgreeExactly) {
+  EdgeList edges = testing::RandomGraph(250, 3000, 32);
+  auto ms = testing::BuildMemStore(edges, 4);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+
+  RunOptions cached;
+  cached.max_iterations = 5;
+  cached.num_threads = 2;
+  Engine<PageRankProgram> cached_engine(ms.store, program, cached);
+  ASSERT_TRUE(cached_engine.Run().ok());
+
+  RunOptions streaming = cached;
+  streaming.strategy = UpdateStrategy::kSinglePhase;
+  streaming.memory_budget_bytes =
+      2 * ms.store->num_vertices() * sizeof(double) +
+      ms.store->num_vertices() * 4 + 1;
+  Engine<PageRankProgram> streaming_engine(ms.store, program, streaming);
+  ASSERT_TRUE(streaming_engine.Run().ok());
+
+  // Row-major accumulation order is identical in both schedules, so even
+  // the floating-point results match bit for bit.
+  EXPECT_EQ(cached_engine.values(), streaming_engine.values());
+}
+
+TEST(EngineTest, ResultsIdenticalAcrossThreadCounts) {
+  EdgeList edges = testing::RandomGraph(500, 6000, 30);
+  auto ms = testing::BuildMemStore(edges, 6);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+  std::vector<double> baseline;
+  for (int threads : {0, 1, 2, 4}) {
+    RunOptions opt;
+    opt.num_threads = threads;
+    opt.max_iterations = 4;
+    Engine<PageRankProgram> engine(ms.store, program, opt);
+    auto stats = engine.Run();
+    ASSERT_TRUE(stats.ok());
+    if (baseline.empty()) {
+      baseline = engine.values();
+    } else {
+      // Destination-owned accumulation makes the FP reduction order
+      // deterministic regardless of the thread count.
+      EXPECT_EQ(engine.values(), baseline) << threads << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nxgraph

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "src/io/env.h"
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace nxgraph {
+namespace {
+
+// Both Env implementations must satisfy the same contract.
+class EnvContractTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    if (std::string(GetParam()) == "mem") {
+      owned_ = NewMemEnv();
+      env_ = owned_.get();
+      root_ = "root";
+    } else {
+      env_ = Env::Default();
+      char tmpl[] = "/tmp/nxgraph_env_test_XXXXXX";
+      root_ = mkdtemp(tmpl);
+    }
+    ASSERT_TRUE(env_->CreateDirs(root_).ok());
+  }
+
+  void TearDown() override {
+    ASSERT_TRUE(env_->RemoveDirRecursively(root_).ok());
+  }
+
+  std::string Path(const std::string& name) { return root_ + "/" + name; }
+
+  std::unique_ptr<Env> owned_;
+  Env* env_ = nullptr;
+  std::string root_;
+};
+
+TEST_P(EnvContractTest, WriteReadRoundTrip) {
+  const std::string path = Path("f");
+  ASSERT_TRUE(WriteStringToFile(env_, path, "hello nxgraph").ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, path, &data).ok());
+  EXPECT_EQ(data, "hello nxgraph");
+}
+
+TEST_P(EnvContractTest, MissingFileIsNotFound) {
+  std::string data;
+  Status s = ReadFileToString(env_, Path("missing"), &data);
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+}
+
+TEST_P(EnvContractTest, FileExistsAndSize) {
+  const std::string path = Path("sized");
+  ASSERT_TRUE(WriteStringToFile(env_, path, std::string(1234, 'x')).ok());
+  EXPECT_TRUE(env_->FileExists(path));
+  EXPECT_FALSE(env_->FileExists(Path("nope")));
+  auto size = env_->GetFileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 1234u);
+}
+
+TEST_P(EnvContractTest, SequentialReadStreamsAndEofs) {
+  const std::string path = Path("seq");
+  ASSERT_TRUE(WriteStringToFile(env_, path, "abcdefghij").ok());
+  std::unique_ptr<SequentialFile> f;
+  ASSERT_TRUE(env_->NewSequentialFile(path, &f).ok());
+  char buf[4];
+  size_t n = 0;
+  ASSERT_TRUE(f->Read(4, buf, &n).ok());
+  EXPECT_EQ(std::string(buf, n), "abcd");
+  ASSERT_TRUE(f->Skip(2).ok());
+  ASSERT_TRUE(f->Read(4, buf, &n).ok());
+  EXPECT_EQ(std::string(buf, n), "ghij");
+  ASSERT_TRUE(f->Read(4, buf, &n).ok());
+  EXPECT_EQ(n, 0u);  // EOF
+}
+
+TEST_P(EnvContractTest, RandomAccessReadsAt) {
+  const std::string path = Path("rand");
+  ASSERT_TRUE(WriteStringToFile(env_, path, "0123456789").ok());
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env_->NewRandomAccessFile(path, &f).ok());
+  char buf[3];
+  size_t n = 0;
+  ASSERT_TRUE(f->ReadAt(4, 3, buf, &n).ok());
+  EXPECT_EQ(std::string(buf, n), "456");
+  ASSERT_TRUE(f->ReadAt(8, 3, buf, &n).ok());
+  EXPECT_EQ(n, 2u);  // short read at EOF
+}
+
+TEST_P(EnvContractTest, RandomWriteExtendsAndOverwrites) {
+  const std::string path = Path("rw");
+  std::unique_ptr<RandomWriteFile> f;
+  ASSERT_TRUE(env_->NewRandomWriteFile(path, &f).ok());
+  ASSERT_TRUE(f->WriteAt(4, "WXYZ", 4).ok());
+  ASSERT_TRUE(f->WriteAt(0, "abcd", 4).ok());
+  ASSERT_TRUE(f->Close().ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, path, &data).ok());
+  EXPECT_EQ(data, "abcdWXYZ");
+}
+
+TEST_P(EnvContractTest, RenameReplaces) {
+  ASSERT_TRUE(WriteStringToFile(env_, Path("a"), "A").ok());
+  ASSERT_TRUE(env_->RenameFile(Path("a"), Path("b")).ok());
+  EXPECT_FALSE(env_->FileExists(Path("a")));
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, Path("b"), &data).ok());
+  EXPECT_EQ(data, "A");
+}
+
+TEST_P(EnvContractTest, ListDirSeesFiles) {
+  ASSERT_TRUE(WriteStringToFile(env_, Path("one"), "1").ok());
+  ASSERT_TRUE(WriteStringToFile(env_, Path("two"), "2").ok());
+  std::vector<std::string> names;
+  ASSERT_TRUE(env_->ListDir(root_, &names).ok());
+  EXPECT_NE(std::find(names.begin(), names.end(), "one"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "two"), names.end());
+}
+
+TEST_P(EnvContractTest, StatsCountBytes) {
+  env_->stats()->Reset();
+  ASSERT_TRUE(WriteStringToFile(env_, Path("s"), std::string(100, 'b')).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, Path("s"), &data).ok());
+  const auto snap = env_->stats()->snapshot();
+  EXPECT_GE(snap.bytes_written, 100u);
+  EXPECT_GE(snap.bytes_read, 100u);
+  EXPECT_GT(snap.read_ops, 0u);
+  EXPECT_GT(snap.write_ops, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Envs, EnvContractTest,
+                         ::testing::Values("posix", "mem"));
+
+TEST(ThrottledEnvTest, ChargesBandwidth) {
+  auto mem = NewMemEnv();
+  // 1 MB/s with zero seek cost; 100 KB should take ~0.1 s.
+  DeviceProfile profile;
+  profile.bandwidth_bytes_per_sec = 1024 * 1024;
+  profile.seek_latency_sec = 0;
+  auto throttled = NewThrottledEnv(mem.get(), profile);
+  const std::string payload(100 * 1024, 'z');
+  Timer t;
+  ASSERT_TRUE(WriteStringToFile(throttled.get(), "f", payload).ok());
+  const double elapsed = t.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.08);
+  EXPECT_LT(elapsed, 1.0);
+}
+
+TEST(ThrottledEnvTest, HddSeeksCostMoreThanSsd) {
+  auto mem = NewMemEnv();
+  ASSERT_TRUE(
+      WriteStringToFile(mem.get(), "f", std::string(4096, 'x')).ok());
+  auto time_seeks = [&](DeviceProfile profile) {
+    auto env = NewThrottledEnv(mem.get(), profile);
+    std::unique_ptr<RandomAccessFile> f;
+    NX_CHECK_OK(env->NewRandomAccessFile("f", &f));
+    char buf[16];
+    size_t n;
+    Timer t;
+    for (int i = 0; i < 10; ++i) {
+      // Alternating offsets force a seek on every access.
+      NX_CHECK_OK(f->ReadAt((i % 2) * 2048, sizeof(buf), buf, &n));
+    }
+    return t.ElapsedSeconds();
+  };
+  const double hdd = time_seeks(DeviceProfile::Hdd());
+  const double ssd = time_seeks(DeviceProfile::Ssd());
+  EXPECT_GT(hdd, ssd * 5);
+}
+
+TEST(ThrottledEnvTest, PassesThroughMetadataOps) {
+  auto mem = NewMemEnv();
+  auto env = NewThrottledEnv(mem.get(), DeviceProfile::Ssd());
+  ASSERT_TRUE(env->CreateDirs("d").ok());
+  ASSERT_TRUE(WriteStringToFile(env.get(), "d/f", "x").ok());
+  EXPECT_TRUE(env->FileExists("d/f"));
+  EXPECT_EQ(*env->GetFileSize("d/f"), 1u);
+}
+
+}  // namespace
+}  // namespace nxgraph

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/graph/datasets.h"
+#include "src/graph/generators.h"
+
+namespace nxgraph {
+namespace {
+
+TEST(RmatTest, ProducesRequestedEdgeCount) {
+  RmatOptions opt;
+  opt.scale = 10;
+  opt.edge_factor = 8;
+  EdgeList g = GenerateRmat(opt);
+  EXPECT_EQ(g.num_edges(), (1u << 10) * 8);
+}
+
+TEST(RmatTest, Deterministic) {
+  RmatOptions opt;
+  opt.scale = 8;
+  opt.seed = 99;
+  EdgeList a = GenerateRmat(opt);
+  EdgeList b = GenerateRmat(opt);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (size_t i = 0; i < a.num_edges(); i += 97) {
+    EXPECT_EQ(a.src(i), b.src(i));
+    EXPECT_EQ(a.dst(i), b.dst(i));
+  }
+}
+
+TEST(RmatTest, IndicesWithinRange) {
+  RmatOptions opt;
+  opt.scale = 9;
+  EdgeList g = GenerateRmat(opt);
+  for (size_t i = 0; i < g.num_edges(); ++i) {
+    EXPECT_LT(g.src(i), 1u << 9);
+    EXPECT_LT(g.dst(i), 1u << 9);
+  }
+}
+
+TEST(RmatTest, SkewedDegreeDistribution) {
+  RmatOptions opt;
+  opt.scale = 12;
+  opt.edge_factor = 16;
+  EdgeList g = GenerateRmat(opt);
+  std::map<VertexIndex, uint64_t> out_degree;
+  for (size_t i = 0; i < g.num_edges(); ++i) ++out_degree[g.src(i)];
+  uint64_t max_degree = 0;
+  for (const auto& [_, d] : out_degree) max_degree = std::max(max_degree, d);
+  // R-MAT hubs should far exceed the mean degree (16); uniform graphs
+  // would stay within a small constant factor.
+  EXPECT_GT(max_degree, 16u * 8);
+}
+
+TEST(RmatTest, WeightsArePositive) {
+  RmatOptions opt;
+  opt.scale = 8;
+  opt.with_weights = true;
+  EdgeList g = GenerateRmat(opt);
+  ASSERT_TRUE(g.has_weights());
+  for (size_t i = 0; i < g.num_edges(); ++i) {
+    EXPECT_GT(g.weight(i), 0.0f);
+  }
+}
+
+TEST(ErdosRenyiTest, SizeAndRange) {
+  EdgeList g = GenerateErdosRenyi(100, 1000, 3);
+  EXPECT_EQ(g.num_edges(), 1000u);
+  for (size_t i = 0; i < g.num_edges(); ++i) {
+    EXPECT_LT(g.src(i), 100u);
+    EXPECT_LT(g.dst(i), 100u);
+  }
+}
+
+TEST(ErdosRenyiTest, RoughlyUniformDegrees) {
+  EdgeList g = GenerateErdosRenyi(64, 64 * 100, 11);
+  std::vector<uint64_t> out_degree(64, 0);
+  for (size_t i = 0; i < g.num_edges(); ++i) ++out_degree[g.src(i)];
+  for (uint64_t d : out_degree) {
+    EXPECT_GT(d, 50u);   // mean 100, generous bounds
+    EXPECT_LT(d, 200u);
+  }
+}
+
+TEST(PowerLawTest, HitsAverageDegreeApproximately) {
+  PowerLawOptions opt;
+  opt.num_vertices = 1 << 12;
+  opt.avg_degree = 8;
+  EdgeList g = GeneratePowerLaw(opt);
+  const double avg =
+      static_cast<double>(g.num_edges()) / static_cast<double>(opt.num_vertices);
+  EXPECT_GT(avg, 4.0);
+  EXPECT_LT(avg, 12.0);
+}
+
+TEST(DelaunayLikeTest, SymmetricEdges) {
+  DelaunayLikeOptions opt;
+  opt.num_points = 500;
+  EdgeList g = GenerateDelaunayLike(opt);
+  std::set<std::pair<VertexIndex, VertexIndex>> edges;
+  for (size_t i = 0; i < g.num_edges(); ++i) {
+    edges.insert({g.src(i), g.dst(i)});
+  }
+  for (const auto& [s, d] : edges) {
+    EXPECT_TRUE(edges.count({d, s})) << s << "->" << d << " missing reverse";
+  }
+}
+
+TEST(DelaunayLikeTest, AverageDegreeNearSix) {
+  DelaunayLikeOptions opt;
+  opt.num_points = 1 << 12;
+  opt.neighbors = 3;
+  EdgeList g = GenerateDelaunayLike(opt);
+  const double avg =
+      static_cast<double>(g.num_edges()) / static_cast<double>(opt.num_points);
+  // 3 nearest neighbours symmetrized: >= 6 minus dedup effects.
+  EXPECT_GT(avg, 4.5);
+  EXPECT_LT(avg, 8.0);
+}
+
+TEST(DelaunayLikeTest, Deterministic) {
+  DelaunayLikeOptions opt;
+  opt.num_points = 300;
+  EdgeList a = GenerateDelaunayLike(opt);
+  EdgeList b = GenerateDelaunayLike(opt);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (size_t i = 0; i < a.num_edges(); i += 13) {
+    EXPECT_EQ(a.src(i), b.src(i));
+    EXPECT_EQ(a.dst(i), b.dst(i));
+  }
+}
+
+TEST(DatasetsTest, RegistryListsTableThree) {
+  auto datasets = ListDatasets();
+  ASSERT_GE(datasets.size(), 8u);
+  EXPECT_EQ(datasets[0].paper_name, "Live-journal");
+  EXPECT_EQ(datasets[1].paper_name, "Twitter");
+  EXPECT_EQ(datasets[2].paper_name, "Yahoo-web");
+}
+
+TEST(DatasetsTest, MakesAllRegisteredDatasets) {
+  for (const auto& info : ListDatasets()) {
+    auto g = MakeDataset(info.name, /*scale_divisor=*/512);
+    ASSERT_TRUE(g.ok()) << info.name << ": " << g.status().ToString();
+    EXPECT_GT(g->num_edges(), 0u) << info.name;
+  }
+}
+
+TEST(DatasetsTest, UnknownNameRejected) {
+  auto g = MakeDataset("friendster");
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsInvalidArgument());
+}
+
+TEST(DatasetsTest, ScaleDivisorShrinks) {
+  auto big = MakeDataset("live-journal-sim", 256);
+  auto small = MakeDataset("live-journal-sim", 1024);
+  ASSERT_TRUE(big.ok());
+  ASSERT_TRUE(small.ok());
+  EXPECT_GT(big->num_edges(), small->num_edges());
+}
+
+}  // namespace
+}  // namespace nxgraph

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "src/algos/reference.h"
+#include "src/storage/graph_store.h"
+#include "tests/test_util.h"
+
+namespace nxgraph {
+namespace {
+
+TEST(GraphStoreTest, OpensBuiltStore) {
+  EdgeList edges = testing::RandomGraph(100, 1000, 1);
+  auto ms = testing::BuildMemStore(edges, 4);
+  EXPECT_EQ(ms.store->num_edges(), 1000u);
+  EXPECT_EQ(ms.store->num_intervals(), 4u);
+  EXPECT_TRUE(ms.store->has_transpose());
+}
+
+TEST(GraphStoreTest, MissingDirectoryIsNotFound) {
+  auto env = NewMemEnv();
+  auto store = GraphStore::Open(env.get(), "nothing-here");
+  ASSERT_FALSE(store.ok());
+  EXPECT_TRUE(store.status().IsNotFound());
+}
+
+TEST(GraphStoreTest, OutOfRangeSubShardRejected) {
+  EdgeList edges = testing::RandomGraph(50, 200, 2);
+  auto ms = testing::BuildMemStore(edges, 2);
+  auto ss = ms.store->LoadSubShard(5, 0);
+  ASSERT_FALSE(ss.ok());
+  EXPECT_TRUE(ss.status().IsInvalidArgument());
+}
+
+TEST(GraphStoreTest, TransposeUnavailableWhenNotBuilt) {
+  EdgeList edges = testing::RandomGraph(50, 200, 3);
+  auto ms = testing::BuildMemStore(edges, 2, /*transpose=*/false);
+  EXPECT_FALSE(ms.store->has_transpose());
+  auto ss = ms.store->LoadSubShard(0, 0, /*transpose=*/true);
+  ASSERT_FALSE(ss.ok());
+  EXPECT_TRUE(ss.status().IsInvalidArgument());
+}
+
+TEST(GraphStoreTest, ReassembledEdgesMatchInput) {
+  EdgeList edges = testing::RandomGraph(128, 2000, 4, false, 3);
+  auto ms = testing::BuildMemStore(edges, 4);
+  auto ref = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->edges.size(), edges.num_edges());
+  EXPECT_EQ(ref->num_vertices, ms.store->num_vertices());
+}
+
+TEST(GraphStoreTest, DegreesMatchEdgeSet) {
+  EdgeList edges = testing::RandomGraph(64, 640, 5);
+  auto ms = testing::BuildMemStore(edges, 4);
+  auto out_d = ms.store->LoadOutDegrees();
+  auto in_d = ms.store->LoadInDegrees();
+  ASSERT_TRUE(out_d.ok());
+  ASSERT_TRUE(in_d.ok());
+  auto ref = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref.ok());
+  std::vector<uint32_t> expect_out(ms.store->num_vertices(), 0);
+  std::vector<uint32_t> expect_in(ms.store->num_vertices(), 0);
+  for (const Edge& e : ref->edges) {
+    ++expect_out[e.src];
+    ++expect_in[e.dst];
+  }
+  EXPECT_EQ(*out_d, expect_out);
+  EXPECT_EQ(*in_d, expect_in);
+}
+
+TEST(GraphStoreTest, CorruptShardBlobDetected) {
+  EdgeList edges = testing::RandomGraph(50, 400, 6);
+  auto ms = testing::BuildMemStore(edges, 2);
+  // Flip a byte in the middle of the sub-shards file.
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(ms.env.get(), "g/subshards.nxs", &data).ok());
+  data[data.size() / 2] ^= 0xFF;
+  ASSERT_TRUE(WriteStringToFile(ms.env.get(), "g/subshards.nxs", data).ok());
+  auto store = GraphStore::Open(ms.env.get(), "g");
+  ASSERT_TRUE(store.ok());
+  bool saw_corruption = false;
+  for (uint32_t i = 0; i < 2 && !saw_corruption; ++i) {
+    for (uint32_t j = 0; j < 2 && !saw_corruption; ++j) {
+      auto ss = (*store)->LoadSubShard(i, j);
+      if (!ss.ok() && ss.status().IsCorruption()) saw_corruption = true;
+    }
+  }
+  EXPECT_TRUE(saw_corruption);
+}
+
+TEST(SubShardCacheTest, CachesWithinBudget) {
+  EdgeList edges = testing::RandomGraph(100, 2000, 7);
+  auto ms = testing::BuildMemStore(edges, 2);
+  SubShardCache cache(ms.store, /*budget=*/UINT64_MAX);
+  auto a = cache.Get(0, 0);
+  ASSERT_TRUE(a.ok());
+  const uint64_t loaded_once = cache.bytes_loaded_from_disk();
+  auto b = cache.Get(0, 0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(cache.bytes_loaded_from_disk(), loaded_once);  // cache hit
+  EXPECT_EQ(a->get(), b->get());
+}
+
+TEST(SubShardCacheTest, ZeroBudgetAlwaysReloads) {
+  EdgeList edges = testing::RandomGraph(100, 2000, 8);
+  auto ms = testing::BuildMemStore(edges, 2);
+  SubShardCache cache(ms.store, /*budget=*/0);
+  auto a = cache.Get(0, 0);
+  ASSERT_TRUE(a.ok());
+  const uint64_t first = cache.bytes_loaded_from_disk();
+  ASSERT_GT(first, 0u);
+  auto b = cache.Get(0, 0);
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(cache.bytes_loaded_from_disk(), first);  // transient reload
+  EXPECT_EQ(cache.bytes_cached(), 0u);
+}
+
+TEST(SubShardCacheTest, ClearEvictsEverything) {
+  EdgeList edges = testing::RandomGraph(100, 2000, 9);
+  auto ms = testing::BuildMemStore(edges, 2);
+  SubShardCache cache(ms.store, UINT64_MAX);
+  ASSERT_TRUE(cache.Get(1, 1).ok());
+  ASSERT_GT(cache.bytes_cached(), 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.bytes_cached(), 0u);
+}
+
+TEST(GraphStoreTest, TotalSubShardBytesMatchesMetas) {
+  EdgeList edges = testing::RandomGraph(90, 900, 10);
+  auto ms = testing::BuildMemStore(edges, 3);
+  uint64_t sum = 0;
+  const auto& m = ms.store->manifest();
+  for (const auto& meta : m.subshards) sum += meta.size;
+  EXPECT_EQ(ms.store->TotalSubShardBytes(false), sum);
+  auto size = ms.env->GetFileSize("g/subshards.nxs");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, sum);
+}
+
+}  // namespace
+}  // namespace nxgraph

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/algos/hits.h"
+#include "src/algos/reference.h"
+#include "src/core/nxgraph.h"
+#include "tests/test_util.h"
+
+namespace nxgraph {
+namespace {
+
+// Straightforward reference HITS on a flat edge list.
+void ReferenceHits(const ReferenceGraph& g, int iterations,
+                   std::vector<double>* authority,
+                   std::vector<double>* hub) {
+  const uint64_t n = g.num_vertices;
+  authority->assign(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  hub->assign(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  auto normalize = [](std::vector<double>* v) {
+    double norm = 0;
+    for (double x : *v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm > 0) {
+      for (double& x : *v) x /= norm;
+    }
+  };
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<double> next_auth(n, 0.0);
+    for (const Edge& e : g.edges) next_auth[e.dst] += (*hub)[e.src];
+    normalize(&next_auth);
+    *authority = next_auth;
+    std::vector<double> next_hub(n, 0.0);
+    for (const Edge& e : g.edges) next_hub[e.src] += (*authority)[e.dst];
+    normalize(&next_hub);
+    *hub = next_hub;
+  }
+}
+
+TEST(HitsTest, MatchesReferenceOnRandomGraph) {
+  EdgeList edges = testing::RandomGraph(200, 1600, 91);
+  auto ms = testing::BuildMemStore(edges, 4);
+  HitsOptions options;
+  options.iterations = 5;
+  auto result = RunHits(ms.store, options, RunOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  std::vector<double> expected_auth, expected_hub;
+  ReferenceHits(*ref_graph, 5, &expected_auth, &expected_hub);
+  for (size_t v = 0; v < expected_auth.size(); ++v) {
+    ASSERT_NEAR(result->authority[v], expected_auth[v], 1e-9) << v;
+    ASSERT_NEAR(result->hub[v], expected_hub[v], 1e-9) << v;
+  }
+}
+
+TEST(HitsTest, StarGraphSeparatesAuthorityAndHub) {
+  // All spokes point at the center: the center is the sole authority,
+  // the spokes are the hubs.
+  EdgeList edges;
+  for (uint32_t v = 1; v <= 10; ++v) edges.Add(v, 0);
+  auto ms = testing::BuildMemStore(edges, 2);
+  auto result = RunHits(ms.store, HitsOptions{}, RunOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->authority[0], 1.0, 1e-9);
+  EXPECT_NEAR(result->hub[0], 0.0, 1e-9);
+  for (size_t v = 1; v <= 10; ++v) {
+    EXPECT_NEAR(result->authority[v], 0.0, 1e-9);
+    EXPECT_NEAR(result->hub[v], 1.0 / std::sqrt(10.0), 1e-9);
+  }
+}
+
+TEST(HitsTest, ScoresAreNormalized) {
+  EdgeList edges = testing::RandomGraph(100, 700, 92);
+  auto ms = testing::BuildMemStore(edges, 3);
+  auto result = RunHits(ms.store, HitsOptions{}, RunOptions{});
+  ASSERT_TRUE(result.ok());
+  double auth_norm = 0, hub_norm = 0;
+  for (double a : result->authority) auth_norm += a * a;
+  for (double h : result->hub) hub_norm += h * h;
+  EXPECT_NEAR(std::sqrt(auth_norm), 1.0, 1e-9);
+  EXPECT_NEAR(std::sqrt(hub_norm), 1.0, 1e-9);
+}
+
+TEST(HitsTest, RequiresTranspose) {
+  EdgeList edges = testing::RandomGraph(20, 80, 93);
+  auto ms = testing::BuildMemStore(edges, 2, /*transpose=*/false);
+  auto result = RunHits(ms.store, HitsOptions{}, RunOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(HitsTest, AgreesAcrossStrategies) {
+  EdgeList edges = testing::RandomGraph(150, 1200, 94);
+  auto ms = testing::BuildMemStore(edges, 4);
+  HitsOptions options;
+  options.iterations = 3;
+  RunOptions spu;
+  auto a = RunHits(ms.store, options, spu);
+  ASSERT_TRUE(a.ok());
+  RunOptions dpu;
+  dpu.strategy = UpdateStrategy::kDoublePhase;
+  auto b = RunHits(ms.store, options, dpu);
+  ASSERT_TRUE(b.ok());
+  for (size_t v = 0; v < a->authority.size(); ++v) {
+    ASSERT_NEAR(a->authority[v], b->authority[v], 1e-12);
+    ASSERT_NEAR(a->hub[v], b->hub[v], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace nxgraph

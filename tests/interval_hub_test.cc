@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/prep/sharder.h"
+#include "src/storage/hub_file.h"
+#include "src/storage/interval_store.h"
+#include "tests/test_util.h"
+
+namespace nxgraph {
+namespace {
+
+Manifest SmallManifest(uint64_t n, uint32_t p) {
+  Manifest m;
+  m.num_vertices = n;
+  m.num_edges = 0;
+  m.num_intervals = p;
+  m.interval_offsets = MakeEqualIntervals(n, p);
+  m.subshards.assign(static_cast<size_t>(p) * p, SubShardMeta{});
+  return m;
+}
+
+TEST(IntervalStoreTest, PingPongRoundTrip) {
+  auto env = NewMemEnv();
+  Manifest m = SmallManifest(100, 4);
+  auto store = IntervalStore::Create(env.get(), "v.nxi", m, sizeof(double));
+  ASSERT_TRUE(store.ok());
+  std::vector<double> ping(m.interval_size(1), 1.5);
+  std::vector<double> pong(m.interval_size(1), -2.5);
+  ASSERT_TRUE((*store)->Write(1, 0, ping.data()).ok());
+  ASSERT_TRUE((*store)->Write(1, 1, pong.data()).ok());
+  std::vector<double> got(m.interval_size(1));
+  ASSERT_TRUE((*store)->Read(1, 0, got.data()).ok());
+  EXPECT_EQ(got, ping);
+  ASSERT_TRUE((*store)->Read(1, 1, got.data()).ok());
+  EXPECT_EQ(got, pong);
+}
+
+TEST(IntervalStoreTest, IntervalsAreIndependent) {
+  auto env = NewMemEnv();
+  Manifest m = SmallManifest(64, 4);
+  auto store = IntervalStore::Create(env.get(), "v.nxi", m, sizeof(uint32_t));
+  ASSERT_TRUE(store.ok());
+  for (uint32_t i = 0; i < 4; ++i) {
+    std::vector<uint32_t> vals(m.interval_size(i), i * 100);
+    ASSERT_TRUE((*store)->Write(i, 0, vals.data()).ok());
+  }
+  for (uint32_t i = 0; i < 4; ++i) {
+    std::vector<uint32_t> got(m.interval_size(i));
+    ASSERT_TRUE((*store)->Read(i, 0, got.data()).ok());
+    for (uint32_t v : got) EXPECT_EQ(v, i * 100);
+  }
+}
+
+TEST(IntervalStoreTest, UnevenIntervalSizes) {
+  auto env = NewMemEnv();
+  Manifest m = SmallManifest(10, 3);  // sizes 3,4,3 (equal partition of 10)
+  auto store = IntervalStore::Create(env.get(), "v.nxi", m, sizeof(float));
+  ASSERT_TRUE(store.ok());
+  for (uint32_t i = 0; i < 3; ++i) {
+    std::vector<float> vals(m.interval_size(i), static_cast<float>(i));
+    ASSERT_TRUE((*store)->Write(i, 1, vals.data()).ok());
+  }
+  for (uint32_t i = 0; i < 3; ++i) {
+    std::vector<float> got(m.interval_size(i));
+    ASSERT_TRUE((*store)->Read(i, 1, got.data()).ok());
+    for (float v : got) EXPECT_EQ(v, static_cast<float>(i));
+  }
+}
+
+TEST(IntervalStoreTest, ZeroValueBytesRejected) {
+  auto env = NewMemEnv();
+  Manifest m = SmallManifest(10, 2);
+  auto store = IntervalStore::Create(env.get(), "v.nxi", m, 0);
+  ASSERT_FALSE(store.ok());
+  EXPECT_TRUE(store.status().IsInvalidArgument());
+}
+
+TEST(HubFileTest, WriteReadRoundTrip) {
+  auto env = NewMemEnv();
+  Manifest m = SmallManifest(100, 4);
+  // Give sub-shard (2,3) capacity for 5 destinations.
+  m.subshards[2 * 4 + 3].num_dsts = 5;
+  auto hub = HubFile::Create(env.get(), "h.nxh", m, /*q=*/2, sizeof(double));
+  ASSERT_TRUE(hub.ok());
+
+  std::string payload;
+  const uint64_t count = 3;
+  payload.append(reinterpret_cast<const char*>(&count), 8);
+  for (uint32_t k = 0; k < count; ++k) {
+    const VertexId dst = 80 + k;
+    const double value = k * 1.5;
+    payload.append(reinterpret_cast<const char*>(&dst), 4);
+    payload.append(reinterpret_cast<const char*>(&value), 8);
+  }
+  ASSERT_TRUE((*hub)->WriteHub(2, 3, payload.data(), payload.size()).ok());
+
+  std::string got;
+  ASSERT_TRUE((*hub)->ReadHub(2, 3, &got).ok());
+  EXPECT_EQ(got, payload);
+}
+
+TEST(HubFileTest, OverCapacityRejected) {
+  auto env = NewMemEnv();
+  Manifest m = SmallManifest(100, 2);
+  m.subshards[0].num_dsts = 1;  // capacity: 8 + 1 * 12 bytes
+  auto hub = HubFile::Create(env.get(), "h.nxh", m, /*q=*/0, sizeof(double));
+  ASSERT_TRUE(hub.ok());
+  std::string too_big(8 + 2 * 12, 'x');
+  Status s = (*hub)->WriteHub(0, 0, too_big.data(), too_big.size());
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST(HubFileTest, SegmentsAreDisjoint) {
+  auto env = NewMemEnv();
+  Manifest m = SmallManifest(100, 2);
+  for (auto& meta : m.subshards) meta.num_dsts = 2;
+  auto hub = HubFile::Create(env.get(), "h.nxh", m, /*q=*/0, sizeof(uint32_t));
+  ASSERT_TRUE(hub.ok());
+  auto make_payload = [](uint32_t tag) {
+    std::string payload;
+    const uint64_t count = 2;
+    payload.append(reinterpret_cast<const char*>(&count), 8);
+    for (uint32_t k = 0; k < 2; ++k) {
+      const VertexId dst = tag * 10 + k;
+      const uint32_t value = tag;
+      payload.append(reinterpret_cast<const char*>(&dst), 4);
+      payload.append(reinterpret_cast<const char*>(&value), 4);
+    }
+    return payload;
+  };
+  for (uint32_t i = 0; i < 2; ++i) {
+    for (uint32_t j = 0; j < 2; ++j) {
+      const auto payload = make_payload(i * 2 + j);
+      ASSERT_TRUE((*hub)->WriteHub(i, j, payload.data(), payload.size()).ok());
+    }
+  }
+  for (uint32_t i = 0; i < 2; ++i) {
+    for (uint32_t j = 0; j < 2; ++j) {
+      std::string got;
+      ASSERT_TRUE((*hub)->ReadHub(i, j, &got).ok());
+      EXPECT_EQ(got, make_payload(i * 2 + j));
+    }
+  }
+}
+
+TEST(HubFileTest, CorruptCountDetected) {
+  auto env = NewMemEnv();
+  Manifest m = SmallManifest(100, 1);
+  m.subshards[0].num_dsts = 2;
+  auto hub = HubFile::Create(env.get(), "h.nxh", m, /*q=*/0, sizeof(uint32_t));
+  ASSERT_TRUE(hub.ok());
+  // Claim far more entries than the segment can hold.
+  std::string payload;
+  const uint64_t count = 1000;
+  payload.append(reinterpret_cast<const char*>(&count), 8);
+  ASSERT_TRUE((*hub)->WriteHub(0, 0, payload.data(), payload.size()).ok());
+  std::string got;
+  Status s = (*hub)->ReadHub(0, 0, &got);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(HubFileTest, QLargerThanPRejected) {
+  auto env = NewMemEnv();
+  Manifest m = SmallManifest(10, 2);
+  auto hub = HubFile::Create(env.get(), "h.nxh", m, /*q=*/5, 4);
+  ASSERT_FALSE(hub.ok());
+  EXPECT_TRUE(hub.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace nxgraph

@@ -1,0 +1,124 @@
+// Property sweep over the preprocessing pipeline: for random graphs of
+// varying shape and every interval count, the DSSS invariants must hold
+// and the reassembled edge multiset must equal the input.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/algos/reference.h"
+#include "src/prep/degreer.h"
+#include "tests/test_util.h"
+
+namespace nxgraph {
+namespace {
+
+struct PrepConfig {
+  uint64_t vertices;
+  uint64_t edges;
+  uint32_t p;
+  uint64_t stride;  // index sparsity
+  bool weighted;
+};
+
+class PrepPropertyTest : public ::testing::TestWithParam<PrepConfig> {};
+
+TEST_P(PrepPropertyTest, EdgeMultisetPreserved) {
+  const PrepConfig& c = GetParam();
+  EdgeList edges =
+      testing::RandomGraph(c.vertices, c.edges, 7 * c.p + c.vertices,
+                           c.weighted, c.stride);
+  auto ms = testing::BuildMemStore(edges, c.p);
+  auto ref = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  ASSERT_EQ(ref->edges.size(), edges.num_edges());
+
+  // Translate the input through the mapping and compare as multisets.
+  auto mapping = LoadMapping(ms.env.get(), "g");
+  ASSERT_TRUE(mapping.ok());
+  std::multiset<std::pair<VertexId, VertexId>> expected, actual;
+  for (size_t e = 0; e < edges.num_edges(); ++e) {
+    expected.insert({IndexToId(*mapping, edges.src(e)),
+                     IndexToId(*mapping, edges.dst(e))});
+  }
+  for (const Edge& e : ref->edges) actual.insert({e.src, e.dst});
+  EXPECT_EQ(expected, actual);
+}
+
+TEST_P(PrepPropertyTest, IntervalsPartitionVertexSpace) {
+  const PrepConfig& c = GetParam();
+  EdgeList edges = testing::RandomGraph(c.vertices, c.edges, c.p, c.weighted,
+                                        c.stride);
+  auto ms = testing::BuildMemStore(edges, c.p);
+  const Manifest& m = ms.store->manifest();
+  EXPECT_EQ(m.interval_offsets.front(), 0u);
+  EXPECT_EQ(m.interval_offsets.back(), m.num_vertices);
+  EXPECT_TRUE(std::is_sorted(m.interval_offsets.begin(),
+                             m.interval_offsets.end()));
+  // Every vertex belongs to exactly the interval IntervalOf reports.
+  for (VertexId v = 0; v < m.num_vertices;
+       v += std::max<VertexId>(1, m.num_vertices / 97)) {
+    const uint32_t i = m.IntervalOf(v);
+    EXPECT_GE(v, m.interval_begin(i));
+    EXPECT_LT(v, m.interval_end(i));
+  }
+}
+
+TEST_P(PrepPropertyTest, DegreesConserved) {
+  const PrepConfig& c = GetParam();
+  EdgeList edges = testing::RandomGraph(c.vertices, c.edges, 13 * c.p,
+                                        c.weighted, c.stride);
+  auto ms = testing::BuildMemStore(edges, c.p);
+  auto out_d = ms.store->LoadOutDegrees();
+  auto in_d = ms.store->LoadInDegrees();
+  ASSERT_TRUE(out_d.ok());
+  ASSERT_TRUE(in_d.ok());
+  uint64_t out_sum = 0, in_sum = 0;
+  for (uint32_t d : *out_d) out_sum += d;
+  for (uint32_t d : *in_d) in_sum += d;
+  EXPECT_EQ(out_sum, edges.num_edges());
+  EXPECT_EQ(in_sum, edges.num_edges());
+}
+
+TEST_P(PrepPropertyTest, SubShardsSortedAndInBounds) {
+  const PrepConfig& c = GetParam();
+  EdgeList edges = testing::RandomGraph(c.vertices, c.edges, 17 + c.p,
+                                        c.weighted, c.stride);
+  auto ms = testing::BuildMemStore(edges, c.p);
+  const Manifest& m = ms.store->manifest();
+  for (uint32_t i = 0; i < m.num_intervals; ++i) {
+    for (uint32_t j = 0; j < m.num_intervals; ++j) {
+      auto ss = ms.store->LoadSubShard(i, j);
+      ASSERT_TRUE(ss.ok());
+      EXPECT_TRUE(std::is_sorted(ss->dsts.begin(), ss->dsts.end()));
+      for (uint32_t g = 0; g < ss->num_dsts(); ++g) {
+        EXPECT_TRUE(std::is_sorted(ss->srcs.begin() + ss->offsets[g],
+                                   ss->srcs.begin() + ss->offsets[g + 1]));
+      }
+      if (c.weighted) {
+        EXPECT_EQ(ss->weights.size(), ss->srcs.size());
+      } else {
+        EXPECT_TRUE(ss->weights.empty());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PrepPropertyTest,
+    ::testing::Values(PrepConfig{10, 30, 1, 1, false},      // tiny, P=1
+                      PrepConfig{10, 30, 10, 1, false},     // P == n
+                      PrepConfig{100, 1000, 3, 1, false},   // P !| n
+                      PrepConfig{100, 1000, 16, 1000, false},  // sparse ids
+                      PrepConfig{257, 4099, 7, 3, true},    // weighted, odd
+                      PrepConfig{64, 64, 8, 1, false},      // m == n
+                      PrepConfig{500, 250, 12, 1, false}),  // m < n
+    [](const ::testing::TestParamInfo<PrepConfig>& info) {
+      const auto& c = info.param;
+      return "v" + std::to_string(c.vertices) + "e" +
+             std::to_string(c.edges) + "p" + std::to_string(c.p) + "s" +
+             std::to_string(c.stride) + (c.weighted ? "w" : "u");
+    });
+
+}  // namespace
+}  // namespace nxgraph

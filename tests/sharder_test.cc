@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/io/env.h"
+#include "src/prep/degreer.h"
+#include "src/prep/manifest.h"
+#include "src/prep/sharder.h"
+#include "src/storage/graph_store.h"
+#include "tests/test_util.h"
+
+namespace nxgraph {
+namespace {
+
+struct BuiltGraph {
+  std::unique_ptr<Env> env;
+  DegreeResult degrees;
+  Manifest manifest;
+};
+
+BuiltGraph Build(const EdgeList& edges, uint32_t p, bool transpose = true) {
+  BuiltGraph b;
+  b.env = NewMemEnv();
+  auto degrees = RunDegreer(b.env.get(), edges, "g");
+  NX_CHECK(degrees.ok()) << degrees.status().ToString();
+  b.degrees = *degrees;
+  SharderOptions opt;
+  opt.num_intervals = p;
+  opt.build_transpose = transpose;
+  auto manifest = RunSharder(b.env.get(), "g", b.degrees, opt);
+  NX_CHECK(manifest.ok()) << manifest.status().ToString();
+  b.manifest = *manifest;
+  return b;
+}
+
+TEST(MakeEqualIntervalsTest, CoversAllVertices) {
+  auto offsets = MakeEqualIntervals(100, 7);
+  ASSERT_EQ(offsets.size(), 8u);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), 100u);
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    EXPECT_GE(offsets[i], offsets[i - 1]);
+  }
+}
+
+TEST(MakeEqualIntervalsTest, BalancedSizes) {
+  auto offsets = MakeEqualIntervals(1000, 16);
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    const uint32_t size = offsets[i] - offsets[i - 1];
+    EXPECT_GE(size, 1000u / 16);
+    EXPECT_LE(size, 1000u / 16 + 1);
+  }
+}
+
+TEST(SharderTest, ManifestShape) {
+  EdgeList edges = testing::RandomGraph(200, 2000, 1);
+  BuiltGraph b = Build(edges, 4);
+  EXPECT_EQ(b.manifest.num_intervals, 4u);
+  EXPECT_EQ(b.manifest.subshards.size(), 16u);
+  EXPECT_EQ(b.manifest.subshards_transpose.size(), 16u);
+  EXPECT_EQ(b.manifest.num_edges, edges.num_edges());
+}
+
+TEST(SharderTest, EveryEdgeInExactlyOneSubShard) {
+  EdgeList edges = testing::RandomGraph(300, 3000, 2);
+  BuiltGraph b = Build(edges, 5);
+  uint64_t total = 0;
+  for (const auto& meta : b.manifest.subshards) total += meta.num_edges;
+  EXPECT_EQ(total, edges.num_edges());
+  uint64_t total_t = 0;
+  for (const auto& meta : b.manifest.subshards_transpose) {
+    total_t += meta.num_edges;
+  }
+  EXPECT_EQ(total_t, edges.num_edges());
+}
+
+TEST(SharderTest, SubShardInvariants) {
+  EdgeList edges = testing::RandomGraph(256, 4096, 3);
+  BuiltGraph b = Build(edges, 4);
+  auto store = GraphStore::Open(b.env.get(), "g");
+  ASSERT_TRUE(store.ok());
+  for (uint32_t i = 0; i < 4; ++i) {
+    for (uint32_t j = 0; j < 4; ++j) {
+      auto ss = (*store)->LoadSubShard(i, j);
+      ASSERT_TRUE(ss.ok()) << ss.status().ToString();
+      // Destinations strictly ascending and within interval j.
+      for (uint32_t g = 0; g < ss->num_dsts(); ++g) {
+        if (g > 0) EXPECT_LT(ss->dsts[g - 1], ss->dsts[g]);
+        EXPECT_GE(ss->dsts[g], b.manifest.interval_begin(j));
+        EXPECT_LT(ss->dsts[g], b.manifest.interval_end(j));
+        // Sources ascending within a destination group and within
+        // interval i.
+        for (uint32_t k = ss->offsets[g]; k < ss->offsets[g + 1]; ++k) {
+          if (k > ss->offsets[g]) {
+            EXPECT_LE(ss->srcs[k - 1], ss->srcs[k]);
+          }
+          EXPECT_GE(ss->srcs[k], b.manifest.interval_begin(i));
+          EXPECT_LT(ss->srcs[k], b.manifest.interval_end(i));
+        }
+      }
+      EXPECT_EQ(ss->offsets.size(), ss->dsts.size() + 1);
+      if (!ss->dsts.empty()) {
+        EXPECT_EQ(ss->offsets.back(), ss->srcs.size());
+      }
+    }
+  }
+}
+
+TEST(SharderTest, TransposeIsExactReverse) {
+  EdgeList edges = testing::RandomGraph(100, 800, 4);
+  BuiltGraph b = Build(edges, 3);
+  auto store = GraphStore::Open(b.env.get(), "g");
+  ASSERT_TRUE(store.ok());
+  std::multiset<std::pair<VertexId, VertexId>> forward, transposed;
+  for (uint32_t i = 0; i < 3; ++i) {
+    for (uint32_t j = 0; j < 3; ++j) {
+      auto f = (*store)->LoadSubShard(i, j, false);
+      auto t = (*store)->LoadSubShard(i, j, true);
+      ASSERT_TRUE(f.ok());
+      ASSERT_TRUE(t.ok());
+      for (uint32_t g = 0; g < f->num_dsts(); ++g) {
+        for (uint32_t k = f->offsets[g]; k < f->offsets[g + 1]; ++k) {
+          forward.insert({f->srcs[k], f->dsts[g]});
+        }
+      }
+      for (uint32_t g = 0; g < t->num_dsts(); ++g) {
+        for (uint32_t k = t->offsets[g]; k < t->offsets[g + 1]; ++k) {
+          transposed.insert({t->dsts[g], t->srcs[k]});
+        }
+      }
+    }
+  }
+  EXPECT_EQ(forward, transposed);
+}
+
+TEST(SharderTest, DedupRemovesDuplicates) {
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(0, 1);
+  edges.Add(1, 0);
+  auto env = NewMemEnv();
+  auto degrees = RunDegreer(env.get(), edges, "g");
+  ASSERT_TRUE(degrees.ok());
+  SharderOptions opt;
+  opt.num_intervals = 1;
+  opt.dedup = true;
+  opt.build_transpose = false;
+  auto manifest = RunSharder(env.get(), "g", *degrees, opt);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->subshards[0].num_edges, 2u);
+}
+
+TEST(SharderTest, ClampsIntervalsToVertexCount) {
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(1, 2);
+  auto env = NewMemEnv();
+  auto degrees = RunDegreer(env.get(), edges, "g");
+  ASSERT_TRUE(degrees.ok());
+  SharderOptions opt;
+  opt.num_intervals = 100;  // only 3 vertices exist
+  auto manifest = RunSharder(env.get(), "g", *degrees, opt);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_LE(manifest->num_intervals, 3u);
+}
+
+TEST(SharderTest, SmallBatchSizeStillCorrect) {
+  EdgeList edges = testing::RandomGraph(64, 512, 8);
+  auto env = NewMemEnv();
+  auto degrees = RunDegreer(env.get(), edges, "g");
+  ASSERT_TRUE(degrees.ok());
+  SharderOptions opt;
+  opt.num_intervals = 4;
+  opt.batch_edges = 7;  // force many tiny streaming batches
+  auto manifest = RunSharder(env.get(), "g", *degrees, opt);
+  ASSERT_TRUE(manifest.ok());
+  uint64_t total = 0;
+  for (const auto& meta : manifest->subshards) total += meta.num_edges;
+  EXPECT_EQ(total, edges.num_edges());
+}
+
+TEST(ManifestTest, EncodeDecodeRoundTrip) {
+  EdgeList edges = testing::RandomGraph(128, 1024, 9);
+  BuiltGraph b = Build(edges, 4);
+  auto decoded = Manifest::Decode(b.manifest.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->num_vertices, b.manifest.num_vertices);
+  EXPECT_EQ(decoded->num_edges, b.manifest.num_edges);
+  EXPECT_EQ(decoded->interval_offsets, b.manifest.interval_offsets);
+  EXPECT_EQ(decoded->subshards.size(), b.manifest.subshards.size());
+  for (size_t k = 0; k < decoded->subshards.size(); ++k) {
+    EXPECT_EQ(decoded->subshards[k].offset, b.manifest.subshards[k].offset);
+    EXPECT_EQ(decoded->subshards[k].num_edges,
+              b.manifest.subshards[k].num_edges);
+  }
+}
+
+TEST(ManifestTest, DetectsCorruption) {
+  EdgeList edges = testing::RandomGraph(64, 256, 10);
+  BuiltGraph b = Build(edges, 2);
+  std::string blob = b.manifest.Encode();
+  blob[blob.size() / 2] ^= 0x01;
+  auto decoded = Manifest::Decode(blob);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+TEST(ManifestTest, IntervalOfFindsOwner) {
+  EdgeList edges = testing::RandomGraph(100, 500, 11);
+  BuiltGraph b = Build(edges, 4);
+  for (uint32_t i = 0; i < b.manifest.num_intervals; ++i) {
+    EXPECT_EQ(b.manifest.IntervalOf(b.manifest.interval_begin(i)), i);
+    EXPECT_EQ(b.manifest.IntervalOf(b.manifest.interval_end(i) - 1), i);
+  }
+}
+
+}  // namespace
+}  // namespace nxgraph

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "src/engine/strategy.h"
+#include "src/prep/sharder.h"
+
+namespace nxgraph {
+namespace {
+
+Manifest TestManifest(uint64_t n, uint32_t p) {
+  Manifest m;
+  m.num_vertices = n;
+  m.num_intervals = p;
+  m.interval_offsets = MakeEqualIntervals(n, p);
+  m.subshards.assign(static_cast<size_t>(p) * p, SubShardMeta{});
+  return m;
+}
+
+TEST(StrategyTest, UnlimitedBudgetPicksSpu) {
+  RunOptions opt;
+  opt.memory_budget_bytes = 0;
+  auto d = ChooseStrategy(TestManifest(1000, 8), 8, 0, opt);
+  EXPECT_EQ(d.strategy, UpdateStrategy::kSinglePhase);
+  EXPECT_EQ(d.resident_intervals, 8u);
+  EXPECT_EQ(d.name, "SPU");
+}
+
+TEST(StrategyTest, LargeBudgetPicksSpu) {
+  RunOptions opt;
+  opt.memory_budget_bytes = 1 << 20;
+  auto d = ChooseStrategy(TestManifest(1000, 8), 8, 0, opt);
+  EXPECT_EQ(d.strategy, UpdateStrategy::kSinglePhase);
+  // Leftover budget goes to the sub-shard cache.
+  EXPECT_EQ(d.subshard_cache_budget, (1u << 20) - 2 * 1000 * 8);
+}
+
+TEST(StrategyTest, TinyBudgetPicksDpu) {
+  RunOptions opt;
+  // Less than one interval's ping-pong state.
+  opt.memory_budget_bytes = 100;
+  auto d = ChooseStrategy(TestManifest(10000, 8), 8, 0, opt);
+  EXPECT_EQ(d.strategy, UpdateStrategy::kDoublePhase);
+  EXPECT_EQ(d.resident_intervals, 0u);
+}
+
+TEST(StrategyTest, MidBudgetPicksMpuWithPaperQ) {
+  RunOptions opt;
+  const uint64_t n = 10000;
+  const uint32_t value_bytes = 8;
+  // Half the SPU requirement => Q = P/2 by Q = BM/(2 n Ba) * P.
+  opt.memory_budget_bytes = n * value_bytes;  // == 0.5 * 2*n*Ba
+  auto d = ChooseStrategy(TestManifest(n, 8), value_bytes, 0, opt);
+  EXPECT_EQ(d.strategy, UpdateStrategy::kMixedPhase);
+  EXPECT_EQ(d.resident_intervals, 4u);
+  EXPECT_EQ(d.name, "MPU(Q=4/8)");
+}
+
+TEST(StrategyTest, FixedOverheadReducesAvailable) {
+  RunOptions opt;
+  const uint64_t n = 1000;
+  opt.memory_budget_bytes = 2 * n * 8;  // exactly SPU-sized...
+  auto d = ChooseStrategy(TestManifest(n, 4), 8, /*fixed_overhead=*/4 * n,
+                          opt);  // ...but degrees eat into it
+  EXPECT_NE(d.strategy, UpdateStrategy::kSinglePhase);
+}
+
+TEST(StrategyTest, ForcedSpuHonored) {
+  RunOptions opt;
+  opt.memory_budget_bytes = 100;  // far too small, but forced
+  opt.strategy = UpdateStrategy::kSinglePhase;
+  auto d = ChooseStrategy(TestManifest(10000, 8), 8, 0, opt);
+  EXPECT_EQ(d.strategy, UpdateStrategy::kSinglePhase);
+  EXPECT_EQ(d.resident_intervals, 8u);
+  EXPECT_EQ(d.subshard_cache_budget, 0u);  // nothing left over
+}
+
+TEST(StrategyTest, ForcedDpuHonored) {
+  RunOptions opt;
+  opt.memory_budget_bytes = 0;
+  opt.strategy = UpdateStrategy::kDoublePhase;
+  auto d = ChooseStrategy(TestManifest(1000, 8), 8, 0, opt);
+  EXPECT_EQ(d.strategy, UpdateStrategy::kDoublePhase);
+  EXPECT_EQ(d.resident_intervals, 0u);
+}
+
+TEST(StrategyTest, ForcedMpuComputesQ) {
+  RunOptions opt;
+  opt.strategy = UpdateStrategy::kMixedPhase;
+  opt.memory_budget_bytes = 0;  // unlimited => Q == P
+  auto d = ChooseStrategy(TestManifest(1000, 8), 8, 0, opt);
+  EXPECT_EQ(d.strategy, UpdateStrategy::kMixedPhase);
+  EXPECT_EQ(d.resident_intervals, 8u);
+}
+
+TEST(StrategyTest, AutoMatchesPaperThresholds) {
+  const uint64_t n = 8000;
+  const uint32_t vb = 8;
+  const uint64_t spu_threshold = 2 * n * vb;
+  RunOptions opt;
+
+  opt.memory_budget_bytes = spu_threshold;
+  EXPECT_EQ(ChooseStrategy(TestManifest(n, 8), vb, 0, opt).strategy,
+            UpdateStrategy::kSinglePhase);
+
+  opt.memory_budget_bytes = spu_threshold - 1;
+  EXPECT_EQ(ChooseStrategy(TestManifest(n, 8), vb, 0, opt).strategy,
+            UpdateStrategy::kMixedPhase);
+
+  opt.memory_budget_bytes = spu_threshold / 8;  // Q == 1
+  EXPECT_EQ(ChooseStrategy(TestManifest(n, 8), vb, 0, opt).strategy,
+            UpdateStrategy::kMixedPhase);
+
+  opt.memory_budget_bytes = spu_threshold / 8 - 1;  // Q == 0
+  EXPECT_EQ(ChooseStrategy(TestManifest(n, 8), vb, 0, opt).strategy,
+            UpdateStrategy::kDoublePhase);
+}
+
+}  // namespace
+}  // namespace nxgraph

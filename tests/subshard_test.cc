@@ -1,0 +1,139 @@
+// SubShard blob format: round-trips, invariants and corruption handling,
+// including randomized property sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/storage/subshard.h"
+#include "src/util/random.h"
+
+namespace nxgraph {
+namespace {
+
+// Builds a structurally valid random sub-shard.
+SubShard RandomSubShard(uint64_t seed, bool weighted,
+                        uint32_t max_dsts = 100) {
+  Xoshiro256 rng(seed);
+  SubShard ss;
+  ss.src_interval = 1;
+  ss.dst_interval = 2;
+  const uint32_t num_dsts = 1 + rng.NextBounded(max_dsts);
+  VertexId dst = 1000;
+  ss.offsets.push_back(0);
+  for (uint32_t g = 0; g < num_dsts; ++g) {
+    dst += 1 + static_cast<VertexId>(rng.NextBounded(5));
+    ss.dsts.push_back(dst);
+    const uint32_t degree = 1 + rng.NextBounded(8);
+    VertexId src = 100;
+    for (uint32_t k = 0; k < degree; ++k) {
+      src += 1 + static_cast<VertexId>(rng.NextBounded(7));
+      ss.srcs.push_back(src);
+      if (weighted) {
+        ss.weights.push_back(static_cast<float>(rng.NextDouble()) + 0.1f);
+      }
+    }
+    ss.offsets.push_back(static_cast<uint32_t>(ss.srcs.size()));
+  }
+  return ss;
+}
+
+void ExpectEqual(const SubShard& a, const SubShard& b) {
+  EXPECT_EQ(a.dsts, b.dsts);
+  EXPECT_EQ(a.offsets, b.offsets);
+  EXPECT_EQ(a.srcs, b.srcs);
+  EXPECT_EQ(a.weights, b.weights);
+}
+
+class SubShardRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubShardRoundTripTest, UnweightedRoundTrip) {
+  SubShard ss = RandomSubShard(GetParam(), false);
+  const std::string blob = ss.Encode();
+  auto decoded = SubShard::Decode(blob.data(), blob.size(), 1, 2);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectEqual(ss, *decoded);
+  EXPECT_EQ(decoded->src_interval, 1u);
+  EXPECT_EQ(decoded->dst_interval, 2u);
+}
+
+TEST_P(SubShardRoundTripTest, WeightedRoundTrip) {
+  SubShard ss = RandomSubShard(GetParam() + 1000, true);
+  const std::string blob = ss.Encode();
+  auto decoded = SubShard::Decode(blob.data(), blob.size(), 1, 2);
+  ASSERT_TRUE(decoded.ok());
+  ExpectEqual(ss, *decoded);
+}
+
+TEST_P(SubShardRoundTripTest, AnyBitFlipIsDetected) {
+  SubShard ss = RandomSubShard(GetParam() + 2000, GetParam() % 2 == 0);
+  std::string blob = ss.Encode();
+  Xoshiro256 rng(GetParam());
+  // Flip several random bits (one at a time) across the blob.
+  for (int trial = 0; trial < 8; ++trial) {
+    const size_t byte = rng.NextBounded(blob.size());
+    const char mask = static_cast<char>(1 << rng.NextBounded(8));
+    blob[byte] ^= mask;
+    auto decoded = SubShard::Decode(blob.data(), blob.size(), 1, 2);
+    EXPECT_FALSE(decoded.ok()) << "flip at byte " << byte << " undetected";
+    blob[byte] ^= mask;  // restore
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubShardRoundTripTest,
+                         ::testing::Range(1, 9));
+
+TEST(SubShardTest, EmptyRoundTrip) {
+  SubShard ss;
+  ss.offsets.push_back(0);
+  const std::string blob = ss.Encode();
+  auto decoded = SubShard::Decode(blob.data(), blob.size(), 0, 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->num_dsts(), 0u);
+  EXPECT_EQ(decoded->num_edges(), 0u);
+}
+
+TEST(SubShardTest, SkipChecksumStillValidatesStructure) {
+  SubShard ss = RandomSubShard(7, false);
+  std::string blob = ss.Encode();
+  // Corrupt the CRC only: verify=false must still decode.
+  blob[blob.size() - 1] ^= 0xFF;
+  auto lax = SubShard::Decode(blob.data(), blob.size(), 1, 2, false);
+  ASSERT_TRUE(lax.ok());
+  auto strict = SubShard::Decode(blob.data(), blob.size(), 1, 2, true);
+  EXPECT_FALSE(strict.ok());
+  // Truncation is caught even without checksum verification.
+  auto truncated =
+      SubShard::Decode(blob.data(), blob.size() / 2, 1, 2, false);
+  EXPECT_FALSE(truncated.ok());
+}
+
+TEST(SubShardTest, TrailingGarbageDetected) {
+  SubShard ss = RandomSubShard(9, false);
+  std::string blob = ss.Encode();
+  blob.insert(blob.size() - 4, "JUNK");  // keep CRC position at end wrong
+  auto decoded = SubShard::Decode(blob.data(), blob.size(), 1, 2);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(SubShardTest, LowerBoundDst) {
+  SubShard ss;
+  ss.dsts = {10, 20, 30};
+  ss.offsets = {0, 1, 2, 3};
+  ss.srcs = {1, 2, 3};
+  EXPECT_EQ(ss.LowerBoundDst(0), 0u);
+  EXPECT_EQ(ss.LowerBoundDst(10), 0u);
+  EXPECT_EQ(ss.LowerBoundDst(11), 1u);
+  EXPECT_EQ(ss.LowerBoundDst(20), 1u);
+  EXPECT_EQ(ss.LowerBoundDst(30), 2u);
+  EXPECT_EQ(ss.LowerBoundDst(31), 3u);
+}
+
+TEST(SubShardTest, MemoryBytesTracksContent) {
+  SubShard small = RandomSubShard(11, false, 10);
+  SubShard large = RandomSubShard(11, false, 90);
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+  EXPECT_GT(small.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace nxgraph

@@ -1,0 +1,161 @@
+// Algorithms on adversarial graph shapes: complete graphs, long paths,
+// self-loop-only graphs, bipartite structures, stars — the places where
+// activity tracking, hub accumulation and termination logic tend to break.
+#include <gtest/gtest.h>
+
+#include "src/algos/reference.h"
+#include "src/core/nxgraph.h"
+#include "tests/test_util.h"
+
+namespace nxgraph {
+namespace {
+
+void ExpectAllAlgorithmsMatchReferences(const EdgeList& edges, uint32_t p,
+                                        RunOptions opt = {}) {
+  auto ms = testing::BuildMemStore(edges, p);
+  auto ref = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref.ok());
+
+  auto pr = RunPageRank(ms.store, PageRankOptions{.iterations = 5}, opt);
+  ASSERT_TRUE(pr.ok()) << pr.status().ToString();
+  const auto expected_pr = ReferencePageRank(*ref, 0.85, 5);
+  for (size_t v = 0; v < expected_pr.size(); ++v) {
+    ASSERT_NEAR(pr->ranks[v], expected_pr[v], 1e-9) << "vertex " << v;
+  }
+
+  auto bfs = RunBfs(ms.store, 0, opt);
+  ASSERT_TRUE(bfs.ok());
+  EXPECT_EQ(bfs->depths, ReferenceBfs(*ref, 0));
+
+  auto wcc = RunWcc(ms.store, opt);
+  ASSERT_TRUE(wcc.ok());
+  EXPECT_EQ(wcc->labels, ReferenceWcc(*ref));
+
+  auto scc = RunScc(ms.store, opt);
+  ASSERT_TRUE(scc.ok()) << scc.status().ToString();
+  EXPECT_EQ(scc->component, ReferenceScc(*ref));
+}
+
+TEST(TopologyTest, CompleteGraph) {
+  EdgeList edges;
+  for (uint32_t a = 0; a < 20; ++a) {
+    for (uint32_t b = 0; b < 20; ++b) {
+      if (a != b) edges.Add(a, b);
+    }
+  }
+  ExpectAllAlgorithmsMatchReferences(edges, 4);
+}
+
+TEST(TopologyTest, LongDirectedPath) {
+  // Stresses iteration counts: BFS/SCC need O(length) synchronous rounds.
+  EdgeList edges;
+  for (uint32_t v = 0; v < 200; ++v) edges.Add(v, v + 1);
+  ExpectAllAlgorithmsMatchReferences(edges, 8);
+}
+
+TEST(TopologyTest, LongCycleIsOneScc) {
+  EdgeList edges;
+  for (uint32_t v = 0; v < 150; ++v) edges.Add(v, (v + 1) % 150);
+  auto ms = testing::BuildMemStore(edges, 6);
+  auto scc = RunScc(ms.store, RunOptions{});
+  ASSERT_TRUE(scc.ok());
+  EXPECT_EQ(scc->num_components, 1u);
+  EXPECT_EQ(scc->largest_component, 150u);
+}
+
+TEST(TopologyTest, SelfLoopsOnly) {
+  EdgeList edges;
+  for (uint32_t v = 0; v < 10; ++v) edges.Add(v * 5, v * 5);
+  auto ms = testing::BuildMemStore(edges, 3);
+  auto ref = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref.ok());
+  auto scc = RunScc(ms.store, RunOptions{});
+  ASSERT_TRUE(scc.ok());
+  EXPECT_EQ(scc->component, ReferenceScc(*ref));
+  EXPECT_EQ(scc->num_components, 10u);
+  auto wcc = RunWcc(ms.store, RunOptions{});
+  ASSERT_TRUE(wcc.ok());
+  EXPECT_EQ(wcc->num_components, 10u);
+  // PageRank on pure self-loops: each vertex keeps feeding itself.
+  auto pr = RunPageRank(ms.store, PageRankOptions{.iterations = 3},
+                        RunOptions{});
+  ASSERT_TRUE(pr.ok());
+  const auto expected = ReferencePageRank(*ref, 0.85, 3);
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(pr->ranks[v], expected[v], 1e-12);
+  }
+}
+
+TEST(TopologyTest, DirectedBipartite) {
+  // All edges left -> right: two BFS levels, all-singleton SCCs, one WCC
+  // per connected pair-group.
+  EdgeList edges;
+  for (uint32_t l = 0; l < 10; ++l) {
+    for (uint32_t r = 0; r < 3; ++r) {
+      edges.Add(l, 10 + (l + r) % 10);
+    }
+  }
+  ExpectAllAlgorithmsMatchReferences(edges, 4);
+}
+
+TEST(TopologyTest, StarInAndOut) {
+  EdgeList edges;
+  for (uint32_t v = 1; v <= 30; ++v) {
+    edges.Add(0, v);   // hub out
+    edges.Add(v, 0);   // hub in
+  }
+  ExpectAllAlgorithmsMatchReferences(edges, 5);
+  // The whole star is one SCC through the hub.
+  auto ms = testing::BuildMemStore(edges, 5);
+  auto scc = RunScc(ms.store, RunOptions{});
+  ASSERT_TRUE(scc.ok());
+  EXPECT_EQ(scc->num_components, 1u);
+}
+
+TEST(TopologyTest, TwoIslandsNeverMix) {
+  EdgeList edges;
+  for (uint32_t v = 0; v < 20; ++v) edges.Add(v, (v + 1) % 20);
+  for (uint32_t v = 100; v < 120; ++v) edges.Add(v, 100 + (v + 1 - 100) % 20);
+  auto ms = testing::BuildMemStore(edges, 4);
+  auto wcc = RunWcc(ms.store, RunOptions{});
+  ASSERT_TRUE(wcc.ok());
+  EXPECT_EQ(wcc->num_components, 2u);
+  auto bfs = RunBfs(ms.store, 0, RunOptions{});
+  ASSERT_TRUE(bfs.ok());
+  EXPECT_EQ(bfs->reached, 20u);  // the second island is unreachable
+}
+
+TEST(TopologyTest, ParallelEdgesCountInPageRank) {
+  // Three parallel edges 0->1 versus one edge 0->2: vertex 1 must absorb
+  // three times the contribution share.
+  EdgeList edges;
+  edges.Add(0, 1);
+  edges.Add(0, 1);
+  edges.Add(0, 1);
+  edges.Add(0, 2);
+  edges.Add(1, 0);
+  edges.Add(2, 0);
+  auto ms = testing::BuildMemStore(edges, 2);
+  auto ref = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref.ok());
+  auto pr = RunPageRank(ms.store, PageRankOptions{.iterations = 10},
+                        RunOptions{});
+  ASSERT_TRUE(pr.ok());
+  const auto expected = ReferencePageRank(*ref, 0.85, 10);
+  for (size_t v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(pr->ranks[v], expected[v], 1e-12);
+  }
+  EXPECT_GT(pr->ranks[1], 2.0 * pr->ranks[2]);
+}
+
+TEST(TopologyTest, AllAlgorithmsUnderDpuOnPath) {
+  EdgeList edges;
+  for (uint32_t v = 0; v < 100; ++v) edges.Add(v, v + 1);
+  RunOptions opt;
+  opt.strategy = UpdateStrategy::kDoublePhase;
+  opt.num_threads = 2;
+  ExpectAllAlgorithmsMatchReferences(edges, 8, opt);
+}
+
+}  // namespace
+}  // namespace nxgraph

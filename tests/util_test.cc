@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "src/util/byte_size.h"
+#include "src/util/crc32c.h"
+#include "src/util/macros.h"
+#include "src/util/random.h"
+#include "src/util/result.h"
+#include "src/util/serialize.h"
+#include "src/util/status.h"
+
+namespace nxgraph {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IOError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::OutOfMemory("x").IsOutOfMemory());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Corruption("bad bytes");
+  Status t = s;
+  EXPECT_TRUE(t.IsCorruption());
+  EXPECT_EQ(t.message(), "bad bytes");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Status FailingHelper() { return Status::Aborted("stop"); }
+
+Status UsesReturnNotOk() {
+  NX_RETURN_NOT_OK(FailingHelper());
+  return Status::OK();
+}
+
+TEST(MacrosTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk().IsAborted());
+}
+
+Result<int> ProducesInt() { return 5; }
+
+Status UsesAssignOrReturn(int* out) {
+  NX_ASSIGN_OR_RETURN(int v, ProducesInt());
+  *out = v;
+  return Status::OK();
+}
+
+TEST(MacrosTest, AssignOrReturnExtractsValue) {
+  int v = 0;
+  ASSERT_TRUE(UsesAssignOrReturn(&v).ok());
+  EXPECT_EQ(v, 5);
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vector: 32 bytes of zeros.
+  unsigned char zeros[32] = {0};
+  EXPECT_EQ(crc32c::Value(zeros, sizeof(zeros)), 0x8a9136aau);
+  // "123456789" standard check value.
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xe3069283u);
+}
+
+TEST(Crc32cTest, ExtendMatchesWholeBuffer) {
+  const std::string data = "destination sorted sub shard";
+  uint32_t whole = crc32c::Value(data.data(), data.size());
+  uint32_t split = crc32c::Extend(crc32c::Value(data.data(), 10),
+                                  data.data() + 10, data.size() - 10);
+  EXPECT_EQ(whole, split);
+}
+
+TEST(Crc32cTest, DetectsBitFlip) {
+  std::string data(64, 'a');
+  const uint32_t before = crc32c::Value(data.data(), data.size());
+  data[17] ^= 1;
+  EXPECT_NE(before, crc32c::Value(data.data(), data.size()));
+}
+
+TEST(ByteSizeTest, Formats) {
+  EXPECT_EQ(FormatByteSize(512), "512B");
+  EXPECT_EQ(FormatByteSize(1536), "1.5KiB");
+  EXPECT_EQ(FormatByteSize(3ULL << 30), "3.0GiB");
+}
+
+TEST(ByteSizeTest, ParsesUnits) {
+  EXPECT_EQ(*ParseByteSize("64"), 64u);
+  EXPECT_EQ(*ParseByteSize("4K"), 4096u);
+  EXPECT_EQ(*ParseByteSize("512MB"), 512ULL << 20);
+  EXPECT_EQ(*ParseByteSize("1.5GiB"), (3ULL << 30) / 2);
+  EXPECT_EQ(*ParseByteSize("2 tb"), 2ULL << 40);
+}
+
+TEST(ByteSizeTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseByteSize("").ok());
+  EXPECT_FALSE(ParseByteSize("lots").ok());
+  EXPECT_FALSE(ParseByteSize("12XB").ok());
+  EXPECT_FALSE(ParseByteSize("-5K").ok());
+}
+
+TEST(SerializeTest, FixedRoundTrip) {
+  std::string buf;
+  EncodeFixed<uint32_t>(&buf, 0xdeadbeefu);
+  EncodeFixed<uint64_t>(&buf, 0x0123456789abcdefULL);
+  EncodeFixed<double>(&buf, 2.5);
+  SliceReader r(buf);
+  uint32_t a = 0;
+  uint64_t b = 0;
+  double c = 0;
+  ASSERT_TRUE(r.Read(&a));
+  ASSERT_TRUE(r.Read(&b));
+  ASSERT_TRUE(r.Read(&c));
+  EXPECT_EQ(a, 0xdeadbeefu);
+  EXPECT_EQ(b, 0x0123456789abcdefULL);
+  EXPECT_EQ(c, 2.5);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SerializeTest, UnderflowFails) {
+  std::string buf;
+  EncodeFixed<uint16_t>(&buf, 7);
+  SliceReader r(buf);
+  uint64_t big = 0;
+  EXPECT_FALSE(r.Read(&big));
+}
+
+TEST(SerializeTest, StringRoundTrip) {
+  std::string buf;
+  EncodeString(&buf, "hello");
+  EncodeString(&buf, "");
+  SliceReader r(buf);
+  std::string a, b;
+  ASSERT_TRUE(r.ReadString(&a));
+  ASSERT_TRUE(r.ReadString(&b));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+}
+
+TEST(RandomTest, DeterministicAcrossInstances) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, SeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BoundedStaysInBound) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+}  // namespace
+}  // namespace nxgraph
