@@ -30,6 +30,7 @@
 #include "src/engine/options.h"
 #include "src/engine/strategy.h"
 #include "src/engine/vertex_program.h"
+#include "src/io/prefetcher.h"
 #include "src/storage/graph_store.h"
 #include "src/storage/hub_file.h"
 #include "src/storage/interval_store.h"
@@ -102,42 +103,122 @@ class Engine {
     return r;
   }
 
-  // Streams one row range with a single sequential read; checksums are
-  // verified only on first contact (verify-once policy).
-  Result<std::vector<SubShard>> LoadRow(uint32_t i, uint32_t j_begin,
-                                        uint32_t j_end, bool transpose) {
+  // ---- prefetch streams ---------------------------------------------------
+  // All out-of-core reads (sub-shard rows, single sub-shards, interval
+  // value segments, hub payloads) go through typed PrefetchStreams: jobs
+  // are pushed for the whole phase schedule up front, at most
+  // prefetch_depth_ reads run ahead on io_pool_, blob decode rides the
+  // compute pool, and the phase driver consumes strictly in push order —
+  // so results are bit-identical to the synchronous (depth 0) path.
+
+  using RowStream = PrefetchStream<std::vector<SubShard>>;
+  using ShardStream = PrefetchStream<std::shared_ptr<const SubShard>>;
+  using ValueStream = PrefetchStream<std::vector<Value>>;
+  using HubStream = PrefetchStream<std::string>;
+
+  template <typename T>
+  PrefetchStream<T> MakeStream() {
+    return PrefetchStream<T>(io_pool_.get(), pool_.get(), prefetch_depth_);
+  }
+
+  // Queues one row-range read (single sequential I/O + off-thread decode).
+  // Checksums are verified per blob on first contact; the verify mask is
+  // snapshot at push time and the blobs marked verified, which is safe
+  // because every (direction, row) is pushed at most once per phase and a
+  // failed decode aborts the run.
+  void PushRow(RowStream& stream, uint32_t i, uint32_t j_begin,
+               uint32_t j_end, bool transpose) {
     const size_t base = (transpose ? static_cast<size_t>(p_) * p_ : 0) +
                         static_cast<size_t>(i) * p_;
-    const bool verify = !verified_[base + j_begin];
-    auto row = store_->LoadSubShardRow(i, j_begin, j_end, transpose, verify);
-    if (!row.ok()) return row;
+    std::vector<uint8_t> mask(j_end - j_begin);
     uint64_t bytes = 0;
     for (uint32_t j = j_begin; j < j_end; ++j) {
+      mask[j - j_begin] = verified_[base + j] ? 0 : 1;
       verified_[base + j] = 1;
       bytes += store_->manifest().subshard(i, j, transpose).size;
-      edges_traversed_.fetch_add((*row)[j - j_begin].num_edges(),
-                                 std::memory_order_relaxed);
     }
     bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    std::shared_ptr<const GraphStore> store = store_;
+    stream.PushStaged(
+        [store, i, j_begin, j_end, transpose]() {
+          return store->ReadSubShardRowBytes(i, j_begin, j_end, transpose);
+        },
+        [store, i, j_begin, j_end, transpose,
+         mask = std::move(mask)](std::string&& raw) {
+          return store->DecodeSubShardRow(i, j_begin, j_end, transpose, mask,
+                                          raw);
+        });
+  }
+
+  // Consumes the next row and accounts its traversed edges.
+  Result<std::vector<SubShard>> NextRow(RowStream& stream) {
+    auto row = stream.Next();
+    if (!row.ok()) return row;
+    uint64_t edges = 0;
+    for (const SubShard& ss : *row) edges += ss.num_edges();
+    edges_traversed_.fetch_add(edges, std::memory_order_relaxed);
     return row;
   }
 
-  // Loads one sub-shard: through the pinning cache when the budget can hold
-  // the graph, or as a verify-once transient read when streaming.
-  Result<std::shared_ptr<const SubShard>> LoadOne(uint32_t i, uint32_t j,
-                                                  bool transpose) {
-    if (!stream_mode_) return GetSubShard(i, j, transpose);
+  // Queues one sub-shard load: through the pinning cache when the budget
+  // can hold the graph, or as a verify-once transient read when streaming.
+  void PushOne(ShardStream& stream, uint32_t i, uint32_t j, bool transpose) {
+    if (!stream_mode_) {
+      SubShardCache* cache = cache_.get();
+      stream.Push([cache, i, j, transpose]() {
+        return cache->Get(i, j, transpose);
+      });
+      return;
+    }
     const size_t idx = (transpose ? static_cast<size_t>(p_) * p_ : 0) +
                        static_cast<size_t>(i) * p_ + j;
-    const bool verify = !verified_[idx];
-    auto loaded = store_->LoadSubShard(i, j, transpose, verify);
-    if (!loaded.ok()) return loaded.status();
+    std::vector<uint8_t> mask(1, verified_[idx] ? 0 : 1);
     verified_[idx] = 1;
     bytes_read_.fetch_add(store_->manifest().subshard(i, j, transpose).size,
                           std::memory_order_relaxed);
-    edges_traversed_.fetch_add(loaded->num_edges(),
-                               std::memory_order_relaxed);
-    return std::make_shared<const SubShard>(std::move(loaded).value());
+    std::shared_ptr<const GraphStore> store = store_;
+    stream.PushStaged(
+        [store, i, j, transpose]() {
+          return store->ReadSubShardRowBytes(i, j, j + 1, transpose);
+        },
+        [store, i, j, transpose, mask = std::move(mask)](std::string&& raw)
+            -> Result<std::shared_ptr<const SubShard>> {
+          auto row = store->DecodeSubShardRow(i, j, j + 1, transpose, mask,
+                                              raw);
+          if (!row.ok()) return row.status();
+          return std::make_shared<const SubShard>(
+              std::move((*row)[0]));
+        });
+  }
+
+  Result<std::shared_ptr<const SubShard>> NextOne(ShardStream& stream) {
+    auto ss = stream.Next();
+    if (!ss.ok()) return ss;
+    edges_traversed_.fetch_add((*ss)->num_edges(), std::memory_order_relaxed);
+    return ss;
+  }
+
+  // Queues one interval-value segment read (raw bytes, no decode stage).
+  void PushIntervalValues(ValueStream& stream, uint32_t i) {
+    const uint32_t isize = store_->manifest().interval_size(i);
+    const int parity = value_parity_[i];
+    IntervalStore* istore = interval_store_.get();
+    bytes_read_.fetch_add(static_cast<uint64_t>(isize) * sizeof(Value),
+                          std::memory_order_relaxed);
+    stream.Push([istore, i, parity, isize]() -> Result<std::vector<Value>> {
+      std::vector<Value> buf(isize);
+      NX_RETURN_NOT_OK(istore->Read(i, parity, buf.data()));
+      return buf;
+    });
+  }
+
+  // Queues one hub payload read.
+  void PushHub(HubStream& stream, HubFile* hubs, uint32_t i, uint32_t j) {
+    stream.Push([hubs, i, j]() -> Result<std::string> {
+      std::string buf;
+      NX_RETURN_NOT_OK(hubs->ReadHub(i, j, &buf));
+      return buf;
+    });
   }
 
   // ---- inputs ----
@@ -149,8 +230,10 @@ class Engine {
   StrategyDecision decision_;
   uint32_t p_ = 0;  // number of intervals
   uint32_t q_ = 0;  // resident intervals
+  size_t prefetch_depth_ = 0;  // effective read-ahead window (0 = sync)
   std::vector<DirectionPlan> directions_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> io_pool_;  // dedicated prefetch I/O threads
   std::unique_ptr<SubShardCache> cache_;
   std::unique_ptr<IntervalStore> interval_store_;   // non-resident values
   std::unique_ptr<HubFile> hubs_forward_;
@@ -171,6 +254,10 @@ class Engine {
   std::atomic<uint64_t> edges_traversed_{0};
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
+
+  // Accumulated by the (single-threaded) phase drivers.
+  double phase_seconds_[4] = {0, 0, 0, 0};  // A, B, C, D
+  double io_wait_seconds_ = 0;
 
   std::mutex error_mu_;
   Status first_error_;
@@ -224,8 +311,12 @@ Status Engine<Program>::Prepare() {
   decision_ =
       ChooseStrategy(m, sizeof(Value), fixed_overhead, options_);
   q_ = decision_.resident_intervals;
+  prefetch_depth_ = decision_.prefetch_depth;
 
   pool_ = std::make_unique<ThreadPool>(std::max(options_.num_threads, 0));
+  if (prefetch_depth_ > 0) {
+    io_pool_ = std::make_unique<ThreadPool>(std::max(options_.io_threads, 1));
+  }
   cache_ = std::make_unique<SubShardCache>(store_,
                                            decision_.subshard_cache_budget);
 
@@ -368,48 +459,66 @@ Status Engine<Program>::PhaseResidentRows() {
     // Streaming schedule: rows load with one sequential read each and are
     // processed with a barrier per row. Within a row every chunk writes a
     // distinct (column, destination-range), so no synchronization beyond
-    // the barrier is needed; the disk sees pure forward scans.
+    // the barrier is needed; the disk sees pure forward scans. The whole
+    // schedule is pushed up front so the prefetcher keeps iteration i+1's
+    // row reads in flight while row i's chunks are still computing.
+    struct RowRef {
+      const DirectionPlan* dir;
+      uint32_t i;
+    };
+    std::vector<RowRef> schedule;
     for (const DirectionPlan& dir : directions_) {
       for (uint32_t i = 0; i < q_; ++i) {
-        if (!RowShouldProcess(i)) continue;
-        NX_ASSIGN_OR_RETURN(std::vector<SubShard> row,
-                            LoadRow(i, 0, q_, dir.transpose));
-        const VertexId src_base = m.interval_begin(i);
-        const Value* src_vals = old_values_[i].data();
-        WaitGroup wg;
-        for (uint32_t j = 0; j < q_; ++j) {
-          const SubShard& ss = row[j];
-          if (ss.empty()) continue;
-          Value* acc = acc_values_[j].data();
-          const VertexId dst_base = m.interval_begin(j);
-          const std::vector<uint32_t>* degrees = dir.degrees;
-          for (auto [gb, ge] : ComputeChunks(ss)) {
-            wg.Add(1);
-            pool_->Submit([this, &ss, src_vals, src_base, acc, dst_base,
-                           degrees, gb, ge, &wg] {
-              ProcessGroups(ss, src_vals, src_base, acc, dst_base, *degrees,
-                            gb, ge);
-              wg.Done();
-            });
-          }
-        }
-        wg.Wait();
+        if (RowShouldProcess(i)) schedule.push_back({&dir, i});
       }
     }
+    RowStream rows = MakeStream<std::vector<SubShard>>();
+    for (const RowRef& r : schedule) {
+      PushRow(rows, r.i, 0, q_, r.dir->transpose);
+    }
+    for (const RowRef& r : schedule) {
+      NX_ASSIGN_OR_RETURN(std::vector<SubShard> row, NextRow(rows));
+      const VertexId src_base = m.interval_begin(r.i);
+      const Value* src_vals = old_values_[r.i].data();
+      WaitGroup wg;
+      for (uint32_t j = 0; j < q_; ++j) {
+        const SubShard& ss = row[j];
+        if (ss.empty()) continue;
+        Value* acc = acc_values_[j].data();
+        const VertexId dst_base = m.interval_begin(j);
+        const std::vector<uint32_t>* degrees = r.dir->degrees;
+        for (auto [gb, ge] : ComputeChunks(ss)) {
+          wg.Add(1);
+          pool_->Submit([this, &ss, src_vals, src_base, acc, dst_base,
+                         degrees, gb, ge, &wg] {
+            ProcessGroups(ss, src_vals, src_base, acc, dst_base, *degrees,
+                          gb, ge);
+            wg.Done();
+          });
+        }
+      }
+      wg.Wait();
+    }
+    io_wait_seconds_ += rows.io_wait_seconds();
     return Status::OK();
   }
 
   if (options_.sync_mode == SyncMode::kCallback) {
-    // Per-(direction, column) chains: rows of one column run in order, the
-    // completion callback of the last chunk dispatches the next row; rows
-    // of different columns overlap freely (paper: "worker threads for the
+    // Per-column chains: rows of one column run in order, the completion
+    // callback of the last chunk dispatches the next row; rows of
+    // different columns overlap freely (paper: "worker threads for the
     // next sub-shard can be issued before all threads for the current
-    // sub-shard are finished").
+    // sub-shard are finished"). One chain covers BOTH directions of its
+    // column — the forward and transpose sub-shards of a column write
+    // overlapping destinations, so they must not run concurrently.
     struct Chain {
+      struct RowRef {
+        const DirectionPlan* dir;
+        uint32_t i;
+      };
       Engine* engine;
-      const DirectionPlan* dir;
       uint32_t column;
-      std::vector<uint32_t> rows;
+      std::vector<RowRef> rows;
       std::atomic<size_t> next{0};
       std::atomic<uint32_t> pending{0};
       std::shared_ptr<const SubShard> current;
@@ -422,7 +531,8 @@ Status Engine<Program>::PhaseResidentRows() {
           const size_t r = next.load(std::memory_order_relaxed);
           if (r >= rows.size()) break;
           next.store(r + 1, std::memory_order_relaxed);
-          const uint32_t i = rows[r];
+          const DirectionPlan* dir = rows[r].dir;
+          const uint32_t i = rows[r].i;
           auto ss_or = e->GetSubShard(i, column, dir->transpose);
           if (!ss_or.ok()) {
             e->RecordError(ss_or.status());
@@ -448,8 +558,8 @@ Status Engine<Program>::PhaseResidentRows() {
                         std::memory_order_relaxed);
           std::shared_ptr<const SubShard> ss = current;
           for (auto [gb, ge] : chunks) {
-            e->pool_->Submit([this, e, ss, src_vals, src_base, acc, dst_base,
-                              gb, ge] {
+            e->pool_->Submit([this, e, dir, ss, src_vals, src_base, acc,
+                              dst_base, gb, ge] {
               e->ProcessGroups(*ss, src_vals, src_base, acc, dst_base,
                                *dir->degrees, gb, ge);
               if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -465,21 +575,20 @@ Status Engine<Program>::PhaseResidentRows() {
 
     std::vector<std::unique_ptr<Chain>> chains;
     WaitGroup wg;
-    for (const DirectionPlan& dir : directions_) {
-      for (uint32_t j = 0; j < q_; ++j) {
-        auto chain = std::make_unique<Chain>();
-        chain->engine = this;
-        chain->dir = &dir;
-        chain->column = j;
-        chain->wg = &wg;
+    for (uint32_t j = 0; j < q_; ++j) {
+      auto chain = std::make_unique<Chain>();
+      chain->engine = this;
+      chain->column = j;
+      chain->wg = &wg;
+      for (const DirectionPlan& dir : directions_) {
         for (uint32_t i = 0; i < q_; ++i) {
           if (RowShouldProcess(i) &&
               m.subshard(i, j, dir.transpose).num_edges > 0) {
-            chain->rows.push_back(i);
+            chain->rows.push_back({&dir, i});
           }
         }
-        chains.push_back(std::move(chain));
       }
+      chains.push_back(std::move(chain));
     }
     wg.Add(static_cast<int>(chains.size()));
     for (auto& chain : chains) {
@@ -516,9 +625,13 @@ Status Engine<Program>::PhaseResidentRows() {
             wg.Add(1);
             pool_->Submit([this, ss, src_vals, src_base, acc, dst_base,
                            degrees, gb, ge, lock, &wg] {
-              std::lock_guard<std::mutex> guard(*lock);
-              ProcessGroups(*ss, src_vals, src_base, acc, dst_base, *degrees,
-                            gb, ge);
+              {
+                std::lock_guard<std::mutex> guard(*lock);
+                ProcessGroups(*ss, src_vals, src_base, acc, dst_base,
+                              *degrees, gb, ge);
+              }
+              // Unlock before signaling: wg.Wait() may destroy the locks
+              // the moment the count reaches zero.
               wg.Done();
             });
           }
@@ -539,23 +652,30 @@ Status Engine<Program>::PhaseDiskRows() {
   const Manifest& m = store_->manifest();
   std::fill(hub_written_.begin(), hub_written_.end(), 0);
 
-  std::vector<Value> src_buf;
+  // Push the whole phase schedule — row i's interval values plus its
+  // per-direction sub-shard rows — so reads for row i+1 (and beyond, up to
+  // the window depth) are in flight while row i is computing.
+  std::vector<uint32_t> schedule;
   for (uint32_t i = q_; i < p_; ++i) {
-    if (!RowShouldProcess(i)) continue;
-    const uint32_t isize = m.interval_size(i);
+    if (RowShouldProcess(i)) schedule.push_back(i);
+  }
+  if (schedule.empty()) return Status::OK();
+  ValueStream values = MakeStream<std::vector<Value>>();
+  RowStream rows = MakeStream<std::vector<SubShard>>();
+  for (uint32_t i : schedule) {
+    PushIntervalValues(values, i);
+    for (const DirectionPlan& dir : directions_) {
+      PushRow(rows, i, 0, p_, dir.transpose);
+    }
+  }
+
+  for (uint32_t i : schedule) {
     const VertexId src_base = m.interval_begin(i);
-    src_buf.resize(isize);
-    NX_RETURN_NOT_OK(
-        interval_store_->Read(i, value_parity_[i], src_buf.data()));
-    bytes_read_.fetch_add(isize * sizeof(Value), std::memory_order_relaxed);
+    NX_ASSIGN_OR_RETURN(std::vector<Value> src_buf, values.Next());
 
     for (const DirectionPlan& dir : directions_) {
-      // Stream the whole row with one sequential read.
-      NX_ASSIGN_OR_RETURN(std::vector<SubShard> row,
-                          LoadRow(i, 0, p_, dir.transpose));
+      NX_ASSIGN_OR_RETURN(std::vector<SubShard> row, NextRow(rows));
       WaitGroup wg;
-      std::mutex hub_mu;  // serializes hub writes (segments are disjoint
-                          // but the file handle is shared)
       // SPU-like updates into resident destination columns. Within one row
       // all columns are distinct, so chunks across columns run in parallel.
       for (uint32_t j = 0; j < q_; ++j) {
@@ -576,7 +696,9 @@ Status Engine<Program>::PhaseDiskRows() {
         }
       }
       // ToHub for disk destination columns: pre-accumulate per destination
-      // and write the (dst, partial) entries to the sub-shard's hub.
+      // and write the (dst, partial) entries to the sub-shard's hub. Hub
+      // segments are disjoint and WriteHub is a positional (pwrite-style)
+      // write, so concurrent tasks need no serialization.
       for (uint32_t j = q_; j < p_; ++j) {
         const SubShard& ss = row[j];
         if (ss.empty()) continue;
@@ -586,7 +708,7 @@ Status Engine<Program>::PhaseDiskRows() {
         const Value* src_vals = src_buf.data();
         wg.Add(1);
         pool_->Submit([this, &ss, src_vals, src_base, degrees, transpose,
-                       hubs, i, j, &wg, &hub_mu] {
+                       hubs, i, j, &wg] {
           const uint32_t num_groups = ss.num_dsts();
           const bool weighted = !ss.weights.empty();
           std::string payload;
@@ -607,11 +729,7 @@ Status Engine<Program>::PhaseDiskRows() {
             payload.append(reinterpret_cast<const char*>(&dst), 4);
             payload.append(reinterpret_cast<const char*>(&a), sizeof(Value));
           }
-          {
-            std::lock_guard<std::mutex> lock(hub_mu);
-            Status s = hubs->WriteHub(i, j, payload.data(), payload.size());
-            RecordError(s);
-          }
+          RecordError(hubs->WriteHub(i, j, payload.data(), payload.size()));
           bytes_written_.fetch_add(payload.size(), std::memory_order_relaxed);
           hub_written_[(transpose ? static_cast<size_t>(p_) * p_ : 0) +
                        static_cast<size_t>(i) * p_ + j] = 1;
@@ -622,6 +740,7 @@ Status Engine<Program>::PhaseDiskRows() {
     }
     if (HasError()) break;
   }
+  io_wait_seconds_ += values.io_wait_seconds() + rows.io_wait_seconds();
   std::lock_guard<std::mutex> lock(error_mu_);
   return first_error_;
 }
@@ -633,21 +752,48 @@ Status Engine<Program>::PhaseDiskColumns() {
   if (q_ == p_) return Status::OK();
   const Manifest& m = store_->manifest();
 
-  std::vector<Value> acc_buf;
-  std::vector<Value> old_buf;
-  std::string hub_buf;
-  for (uint32_t j = q_; j < p_; ++j) {
-    // Monotone programs can skip a column when no contributing row ran.
-    bool any_source = false;
-    if (Program::kMonotoneSkippable) {
-      for (uint32_t i = 0; i < p_ && !any_source; ++i) {
-        any_source = RowShouldProcess(i);
-      }
-    } else {
-      any_source = true;
+  // Monotone programs can skip a column when no contributing row ran; the
+  // activity bitmap is stable within an iteration, so the whole phase
+  // schedule is known up front and every read — resident-row sub-shards,
+  // hub payloads, and the column's previous values — can be prefetched
+  // while earlier columns compute.
+  std::vector<uint32_t> columns;
+  bool any_source = false;
+  if (Program::kMonotoneSkippable) {
+    for (uint32_t i = 0; i < p_ && !any_source; ++i) {
+      any_source = RowShouldProcess(i);
     }
-    if (!any_source) continue;
+  } else {
+    any_source = true;
+  }
+  if (any_source) {
+    for (uint32_t j = q_; j < p_; ++j) columns.push_back(j);
+  }
+  if (columns.empty()) return Status::OK();
 
+  ShardStream shards = MakeStream<std::shared_ptr<const SubShard>>();
+  HubStream hubs = MakeStream<std::string>();
+  ValueStream olds = MakeStream<std::vector<Value>>();
+  for (uint32_t j : columns) {
+    for (const DirectionPlan& dir : directions_) {
+      for (uint32_t i = 0; i < q_; ++i) {
+        if (!RowShouldProcess(i)) continue;
+        if (m.subshard(i, j, dir.transpose).num_edges == 0) continue;
+        PushOne(shards, i, j, dir.transpose);
+      }
+      for (uint32_t i = q_; i < p_; ++i) {
+        const size_t hub_idx =
+            (dir.transpose ? static_cast<size_t>(p_) * p_ : 0) +
+            static_cast<size_t>(i) * p_ + j;
+        if (!hub_written_[hub_idx]) continue;
+        PushHub(hubs, dir.hubs, i, j);
+      }
+    }
+    PushIntervalValues(olds, j);
+  }
+
+  std::vector<Value> acc_buf;
+  for (uint32_t j : columns) {
     const uint32_t isize = m.interval_size(j);
     const VertexId dst_base = m.interval_begin(j);
     acc_buf.assign(isize, Program::Identity());
@@ -659,9 +805,8 @@ Status Engine<Program>::PhaseDiskColumns() {
       for (uint32_t i = 0; i < q_; ++i) {
         if (!RowShouldProcess(i)) continue;
         if (m.subshard(i, j, dir.transpose).num_edges == 0) continue;
-        auto ss_or = LoadOne(i, j, dir.transpose);
-        if (!ss_or.ok()) return ss_or.status();
-        std::shared_ptr<const SubShard> ss = std::move(ss_or).value();
+        NX_ASSIGN_OR_RETURN(std::shared_ptr<const SubShard> ss,
+                            NextOne(shards));
         const VertexId src_base = m.interval_begin(i);
         const Value* src_vals = old_values_[i].data();
         Value* acc = acc_buf.data();
@@ -687,7 +832,7 @@ Status Engine<Program>::PhaseDiskColumns() {
             (dir.transpose ? static_cast<size_t>(p_) * p_ : 0) +
             static_cast<size_t>(i) * p_ + j;
         if (!hub_written_[hub_idx]) continue;
-        NX_RETURN_NOT_OK(dir.hubs->ReadHub(i, j, &hub_buf));
+        NX_ASSIGN_OR_RETURN(std::string hub_buf, hubs.Next());
         bytes_read_.fetch_add(hub_buf.size(), std::memory_order_relaxed);
         uint64_t count = 0;
         std::memcpy(&count, hub_buf.data(), 8);
@@ -709,10 +854,7 @@ Status Engine<Program>::PhaseDiskColumns() {
     }
 
     // Apply + write back the destination interval.
-    old_buf.resize(isize);
-    NX_RETURN_NOT_OK(
-        interval_store_->Read(j, value_parity_[j], old_buf.data()));
-    bytes_read_.fetch_add(isize * sizeof(Value), std::memory_order_relaxed);
+    NX_ASSIGN_OR_RETURN(std::vector<Value> old_buf, olds.Next());
     std::atomic<uint8_t> changed{0};
     pool_->ParallelFor(0, isize, 4096, [&](size_t kb, size_t ke) {
       bool local_changed = false;
@@ -733,6 +875,8 @@ Status Engine<Program>::PhaseDiskColumns() {
       next_active_[j].store(1, std::memory_order_relaxed);
     }
   }
+  io_wait_seconds_ +=
+      shards.io_wait_seconds() + hubs.io_wait_seconds() + olds.io_wait_seconds();
   return Status::OK();
 }
 
@@ -778,10 +922,18 @@ Status Engine<Program>::RunIteration(int iter) {
     std::fill(acc_values_[j].begin(), acc_values_[j].end(),
               Program::Identity());
   }
+  Timer phase_timer;
   NX_RETURN_NOT_OK(PhaseResidentRows());
+  phase_seconds_[0] += phase_timer.ElapsedSeconds();
+  phase_timer.Reset();
   NX_RETURN_NOT_OK(PhaseDiskRows());
+  phase_seconds_[1] += phase_timer.ElapsedSeconds();
+  phase_timer.Reset();
   NX_RETURN_NOT_OK(PhaseDiskColumns());
+  phase_seconds_[2] += phase_timer.ElapsedSeconds();
+  phase_timer.Reset();
   NX_RETURN_NOT_OK(PhaseApplyResident());
+  phase_seconds_[3] += phase_timer.ElapsedSeconds();
   for (uint32_t i = 0; i < p_; ++i) {
     active_[i] = next_active_[i].load(std::memory_order_relaxed);
   }
@@ -819,6 +971,13 @@ Result<RunStats> Engine<Program>::Run() {
       bytes_read_.load(std::memory_order_relaxed) +
       cache_->bytes_loaded_from_disk();
   stats.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  stats.phase_a_seconds = phase_seconds_[0];
+  stats.phase_b_seconds = phase_seconds_[1];
+  stats.phase_c_seconds = phase_seconds_[2];
+  stats.phase_d_seconds = phase_seconds_[3];
+  stats.io_wait_seconds = io_wait_seconds_;
+  stats.prefetch_depth = static_cast<uint32_t>(prefetch_depth_);
+  stats.io_threads = io_pool_ != nullptr ? io_pool_->num_threads() : 0;
 
   // Collect final values.
   final_values_.resize(store_->num_vertices());

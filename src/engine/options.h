@@ -51,6 +51,26 @@ struct RunOptions {
   /// grain; paper §III-D: "several thousands of edges"). 0 = 4096.
   uint32_t chunk_width = 0;
 
+  /// Requested read-ahead window for the out-of-core phases: how many loads
+  /// (sub-shard rows, interval value segments, hub payloads) may be in
+  /// flight ahead of the consumer. 0 disables prefetching entirely (every
+  /// read is synchronous — the pre-pipeline behavior and the baseline of
+  /// bench_prefetch); 1 is double buffering, 2 triple buffering, and so on.
+  ///
+  /// The effective depth is budget-arbitrated by ChooseStrategy: the first
+  /// window slot rides in the same transient working-set allowance the
+  /// synchronous loader always used, and each deeper slot must be funded
+  /// from the sub-shard cache leftover (see
+  /// StrategyDecision::prefetch_buffer_bytes), so prefetch buffers never
+  /// silently exceed the paper's memory model. Prefetching is on by default.
+  int prefetch_depth = 2;
+
+  /// Dedicated I/O threads serving prefetch reads (in addition to
+  /// num_threads compute workers). Blob decode is offloaded to the compute
+  /// pool, so these threads do raw reads only. Clamped to >= 1 whenever the
+  /// effective prefetch depth is > 0; ignored when prefetching is off.
+  int io_threads = 1;
+
   /// Directory for engine scratch files (interval store, hubs). Empty uses
   /// "<store dir>/run".
   std::string scratch_dir;
@@ -67,6 +87,20 @@ struct RunStats {
   uint32_t resident_intervals = 0; ///< Q actually used
   std::string strategy;            ///< "SPU" / "DPU" / "MPU(Q=...)"
   std::vector<double> iteration_seconds;
+
+  // -- phase / I/O overlap accounting (summed over all iterations) --------
+  double phase_a_seconds = 0;  ///< A: resident rows x resident columns
+  double phase_b_seconds = 0;  ///< B: disk rows (SPU-like + ToHub)
+  double phase_c_seconds = 0;  ///< C: disk columns (SPU-like + FromHub)
+  double phase_d_seconds = 0;  ///< D: apply + ping-pong swap
+  /// Wall-clock time the phase drivers spent blocked waiting for reads —
+  /// the I/O latency the prefetch pipeline failed to hide. With
+  /// prefetch_depth == 0 this is simply the total synchronous read+decode
+  /// time of the out-of-core phases; depth >= 1 should push it towards 0
+  /// while phase seconds stay flat (the overlap is the difference).
+  double io_wait_seconds = 0;
+  uint32_t prefetch_depth = 0;     ///< effective (budget-arbitrated) depth
+  int io_threads = 0;              ///< dedicated I/O threads actually used
 
   /// Millions of traversed edges per second (the paper's Fig. 11 metric).
   double Mteps() const {

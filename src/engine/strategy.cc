@@ -10,7 +10,71 @@ std::string MpuName(uint32_t q, uint32_t p) {
   return "MPU(Q=" + std::to_string(q) + "/" + std::to_string(p) + ")";
 }
 
+struct DirectionUse {
+  bool forward;
+  bool transpose;
+};
+
+DirectionUse UsedDirections(const Manifest& manifest,
+                            EdgeDirection direction) {
+  return {direction == EdgeDirection::kForward ||
+              direction == EdgeDirection::kBoth,
+          (direction == EdgeDirection::kTranspose ||
+           direction == EdgeDirection::kBoth) &&
+              manifest.has_transpose};
+}
+
+// Largest encoded sub-shard row over the directions this run will read.
+// Encoded size is a close proxy for the decoded footprint (the blob is the
+// raw arrays plus a small header).
+uint64_t MaxRowBytes(const Manifest& manifest, EdgeDirection direction) {
+  const uint32_t p = manifest.num_intervals;
+  const DirectionUse use = UsedDirections(manifest, direction);
+  uint64_t max_row = 0;
+  for (int t = 0; t < 2; ++t) {
+    if ((t == 0 && !use.forward) || (t == 1 && !use.transpose)) continue;
+    for (uint32_t i = 0; i < p; ++i) {
+      uint64_t row = 0;
+      for (uint32_t j = 0; j < p; ++j) {
+        row += manifest.subshard(i, j, t == 1).size;
+      }
+      max_row = std::max(max_row, row);
+    }
+  }
+  return max_row;
+}
+
+// Every sub-shard blob byte this run will read — what the fill-once cache
+// needs to pin the whole graph decoded.
+uint64_t TotalShardBytes(const Manifest& manifest, EdgeDirection direction) {
+  const DirectionUse use = UsedDirections(manifest, direction);
+  uint64_t total = 0;
+  if (use.forward) {
+    for (const auto& meta : manifest.subshards) total += meta.size;
+  }
+  if (use.transpose) {
+    for (const auto& meta : manifest.subshards_transpose) total += meta.size;
+  }
+  return total;
+}
+
 }  // namespace
+
+uint64_t PrefetchSlotBytes(const Manifest& manifest, uint32_t value_bytes,
+                           EdgeDirection direction) {
+  // One window slot at its peak holds a row's raw bytes and its decoded
+  // sub-shards simultaneously (the decode stage overlaps the two), plus the
+  // phase's side stream may hold an interval value segment in the same
+  // slot position (Phase B pairs every row with its source values; Phase C
+  // pairs each column with its write-back values).
+  uint64_t max_segment = 0;
+  for (uint32_t i = 0; i < manifest.num_intervals; ++i) {
+    max_segment = std::max<uint64_t>(
+        max_segment,
+        static_cast<uint64_t>(manifest.interval_size(i)) * value_bytes);
+  }
+  return 2 * MaxRowBytes(manifest, direction) + max_segment;
+}
 
 StrategyDecision ChooseStrategy(const Manifest& manifest, uint32_t value_bytes,
                                 uint64_t fixed_overhead_bytes,
@@ -79,6 +143,39 @@ StrategyDecision ChooseStrategy(const Manifest& manifest, uint32_t value_bytes,
   }
   d.subshard_cache_budget =
       unlimited ? UINT64_MAX : (avail > resident_state ? avail - resident_state : 0);
+
+  // Fund the prefetch window last: one slot rides in the synchronous
+  // loader's transient-row allowance, each deeper slot is paid for out of
+  // the cache leftover so the window stays inside the memory model. When
+  // the leftover is big enough to pin the whole graph decoded (the
+  // fill-once cache will serve iterations 1+ from memory), only the
+  // surplus beyond that pin is up for grabs — the window must never demote
+  // a fully-cached run into stream mode.
+  const uint32_t requested =
+      options.prefetch_depth > 0 ? static_cast<uint32_t>(options.prefetch_depth)
+                                 : 0;
+  const uint64_t slot_bytes =
+      PrefetchSlotBytes(manifest, value_bytes, options.direction);
+  // No edge data to read ahead (empty shard tables) => the window is free.
+  const bool no_row_data = MaxRowBytes(manifest, options.direction) == 0;
+  if (requested == 0) {
+    d.prefetch_depth = 0;
+    d.prefetch_buffer_bytes = 0;
+  } else if (unlimited || no_row_data || slot_bytes == 0) {
+    d.prefetch_depth = requested;
+    d.prefetch_buffer_bytes = requested * slot_bytes;
+  } else {
+    const uint64_t total_shards = TotalShardBytes(manifest, options.direction);
+    const uint64_t fundable =
+        d.subshard_cache_budget >= total_shards
+            ? d.subshard_cache_budget - total_shards
+            : d.subshard_cache_budget;
+    const uint64_t funded_slots =
+        std::min<uint64_t>(requested - 1, fundable / slot_bytes);
+    d.prefetch_depth = 1 + static_cast<uint32_t>(funded_slots);
+    d.prefetch_buffer_bytes = d.prefetch_depth * slot_bytes;
+    d.subshard_cache_budget -= funded_slots * slot_bytes;
+  }
   return d;
 }
 

@@ -17,8 +17,20 @@ struct StrategyDecision {
   /// Number of memory-resident (ping-pong) intervals, Q. Q == P for SPU,
   /// Q == 0 for DPU.
   uint32_t resident_intervals = 0;
-  /// Leftover budget for caching decoded sub-shards in memory.
+  /// Leftover budget for caching decoded sub-shards in memory (after the
+  /// prefetch window has been funded).
   uint64_t subshard_cache_budget = 0;
+  /// Effective prefetch window: the requested RunOptions::prefetch_depth
+  /// clamped to what the budget can fund (see prefetch_buffer_bytes).
+  uint32_t prefetch_depth = 0;
+  /// Transient bytes the prefetch window may hold in flight:
+  /// prefetch_depth * PrefetchSlotBytes(). The first window slot rides in
+  /// the synchronous loader's pre-existing working-set allowance; every
+  /// deeper slot is carved out of subshard_cache_budget — but only from
+  /// the surplus beyond what the cache needs to pin the whole graph, so
+  /// funding the window can neither exceed the paper's memory model nor
+  /// demote a fully-cached run into stream mode.
+  uint64_t prefetch_buffer_bytes = 0;
   /// Human-readable name ("SPU", "DPU", "MPU(Q=3/16)").
   std::string name;
 };
@@ -28,10 +40,18 @@ struct StrategyDecision {
 ///  - fits in budget (or budget unlimited) => SPU, leftover caches shards;
 ///  - otherwise Q = floor(BM / (2 n Ba) * P); Q == 0 => DPU, else MPU.
 /// A forced strategy in `options.strategy` is honored; the budget then only
-/// sizes Q and the cache.
+/// sizes Q and the cache. Finally the prefetch window (options.prefetch_depth)
+/// is funded from the cache leftover as described on StrategyDecision.
 StrategyDecision ChooseStrategy(const Manifest& manifest, uint32_t value_bytes,
                                 uint64_t fixed_overhead_bytes,
                                 const RunOptions& options);
+
+/// Peak transient bytes one prefetch window slot can hold: a sub-shard
+/// row's raw and decoded form coexisting during the decode stage, plus the
+/// interval value segment the phase's side stream keeps in flight at the
+/// same position.
+uint64_t PrefetchSlotBytes(const Manifest& manifest, uint32_t value_bytes,
+                           EdgeDirection direction);
 
 }  // namespace nxgraph
 

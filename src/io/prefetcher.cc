@@ -1,0 +1,146 @@
+#include "src/io/prefetcher.h"
+
+#include "src/util/timer.h"
+
+namespace nxgraph {
+
+Prefetcher::Prefetcher(ThreadPool* io_pool, ThreadPool* compute_pool,
+                       size_t depth)
+    : io_pool_(io_pool), compute_pool_(compute_pool), depth_(depth) {}
+
+Prefetcher::~Prefetcher() {
+  Cancel();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return outstanding_tasks_ == 0; });
+}
+
+void Prefetcher::Push(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto slot = std::make_shared<Slot>();
+    slot->job = std::move(job);
+    queued_.push_back(std::move(slot));
+  }
+  Issue();
+}
+
+void Prefetcher::Cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cancelled_ = true;
+}
+
+size_t Prefetcher::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_.size() + inflight_.size();
+}
+
+void Prefetcher::Issue() {
+  if (depth_ == 0) return;  // synchronous mode: Next() runs jobs inline
+  for (;;) {
+    std::shared_ptr<Slot> slot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (cancelled_ || queued_.empty() || inflight_.size() >= depth_) return;
+      slot = queued_.front();
+      queued_.pop_front();
+      slot->state = State::kIssued;
+      inflight_.push_back(slot);
+      ++outstanding_tasks_;
+    }
+    // Outside mu_: a 0-thread pool runs the closure inline right here.
+    io_pool_->Submit([this, slot] { RunIo(std::move(slot)); });
+  }
+}
+
+void Prefetcher::RunIo(std::shared_ptr<Slot> slot) {
+  bool cancelled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled = cancelled_;
+  }
+  Status s = cancelled ? Status::Aborted("prefetch cancelled")
+                       : slot->job.io();
+  if (s.ok() && slot->job.decode && !cancelled) {
+    if (compute_pool_ != nullptr) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++outstanding_tasks_;
+      }
+      compute_pool_->Submit(
+          [this, slot = std::move(slot)] { RunDecode(std::move(slot)); });
+      TaskDone();
+      return;
+    }
+    s = slot->job.decode();
+  }
+  Finish(slot, std::move(s));
+  TaskDone();
+}
+
+void Prefetcher::RunDecode(std::shared_ptr<Slot> slot) {
+  Finish(slot, slot->job.decode());
+  TaskDone();
+}
+
+void Prefetcher::Finish(const std::shared_ptr<Slot>& slot, Status s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slot->status = std::move(s);
+  slot->state = State::kDone;
+  cv_.notify_all();
+}
+
+void Prefetcher::TaskDone() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--outstanding_tasks_ == 0) cv_.notify_all();
+}
+
+Status Prefetcher::RunInline(const std::shared_ptr<Slot>& slot) {
+  Status s = slot->job.io();
+  if (s.ok() && slot->job.decode) s = slot->job.decode();
+  return s;
+}
+
+Status Prefetcher::Next() {
+  Timer wait_timer;
+  if (depth_ == 0) {
+    std::shared_ptr<Slot> slot;
+    bool cancelled;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queued_.empty()) {
+        return Status::InvalidArgument("Prefetcher::Next past the last job");
+      }
+      slot = queued_.front();
+      queued_.pop_front();
+      cancelled = cancelled_;
+    }
+    Status s = cancelled ? Status::Aborted("prefetch cancelled")
+                         : RunInline(slot);
+    io_wait_micros_.fetch_add(wait_timer.ElapsedMicros(),
+                              std::memory_order_relaxed);
+    return s;
+  }
+
+  Issue();  // make sure the head job is in flight before blocking on it
+  std::shared_ptr<Slot> slot;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (inflight_.empty()) {
+      if (queued_.empty()) {
+        return Status::InvalidArgument("Prefetcher::Next past the last job");
+      }
+      // Cancelled before the head was ever issued.
+      queued_.pop_front();
+      return Status::Aborted("prefetch cancelled");
+    }
+    slot = inflight_.front();
+    cv_.wait(lock, [&] { return slot->state == State::kDone; });
+    inflight_.pop_front();
+  }
+  Issue();  // refill the window with the freed slot
+  io_wait_micros_.fetch_add(wait_timer.ElapsedMicros(),
+                            std::memory_order_relaxed);
+  return slot->status;
+}
+
+}  // namespace nxgraph

@@ -41,17 +41,17 @@ Result<SubShard> GraphStore::LoadSubShard(uint32_t i, uint32_t j,
   return SubShard::Decode(buf.data(), buf.size(), i, j, verify_checksum);
 }
 
-Result<std::vector<SubShard>> GraphStore::LoadSubShardRow(
-    uint32_t i, uint32_t j_begin, uint32_t j_end, bool transpose,
-    bool verify_checksums) const {
+Result<std::string> GraphStore::ReadSubShardRowBytes(uint32_t i,
+                                                     uint32_t j_begin,
+                                                     uint32_t j_end,
+                                                     bool transpose) const {
   if (i >= num_intervals() || j_begin > j_end || j_end > num_intervals()) {
     return Status::InvalidArgument("sub-shard row range out of bounds");
   }
   if (transpose && !manifest_.has_transpose) {
     return Status::InvalidArgument("store was built without a transpose");
   }
-  std::vector<SubShard> row;
-  if (j_begin == j_end) return row;
+  if (j_begin == j_end) return std::string();
   const SubShardMeta& first = manifest_.subshard(i, j_begin, transpose);
   const SubShardMeta& last = manifest_.subshard(i, j_end - 1, transpose);
   const uint64_t bytes = last.offset + last.size - first.offset;
@@ -63,16 +63,44 @@ Result<std::vector<SubShard>> GraphStore::LoadSubShardRow(
   if (n != bytes) {
     return Status::Corruption("sub-shard row truncated on disk");
   }
+  return buf;
+}
+
+Result<std::vector<SubShard>> GraphStore::DecodeSubShardRow(
+    uint32_t i, uint32_t j_begin, uint32_t j_end, bool transpose,
+    const std::vector<uint8_t>& verify_mask, const std::string& raw) const {
+  if (i >= num_intervals() || j_begin > j_end || j_end > num_intervals()) {
+    return Status::InvalidArgument("sub-shard row range out of bounds");
+  }
+  if (!verify_mask.empty() && verify_mask.size() != j_end - j_begin) {
+    return Status::InvalidArgument("verify mask size mismatches row range");
+  }
+  std::vector<SubShard> row;
+  if (j_begin == j_end) return row;
+  const SubShardMeta& first = manifest_.subshard(i, j_begin, transpose);
   row.reserve(j_end - j_begin);
   for (uint32_t j = j_begin; j < j_end; ++j) {
     const SubShardMeta& meta = manifest_.subshard(i, j, transpose);
+    const bool verify =
+        verify_mask.empty() || verify_mask[j - j_begin] != 0;
+    if (meta.offset - first.offset + meta.size > raw.size()) {
+      return Status::Corruption("sub-shard row buffer too short");
+    }
     NX_ASSIGN_OR_RETURN(
         SubShard ss,
-        SubShard::Decode(buf.data() + (meta.offset - first.offset), meta.size,
-                         i, j, verify_checksums));
+        SubShard::Decode(raw.data() + (meta.offset - first.offset), meta.size,
+                         i, j, verify));
     row.push_back(std::move(ss));
   }
   return row;
+}
+
+Result<std::vector<SubShard>> GraphStore::LoadSubShardRow(
+    uint32_t i, uint32_t j_begin, uint32_t j_end, bool transpose,
+    const std::vector<uint8_t>& verify_mask) const {
+  NX_ASSIGN_OR_RETURN(std::string raw,
+                      ReadSubShardRowBytes(i, j_begin, j_end, transpose));
+  return DecodeSubShardRow(i, j_begin, j_end, transpose, verify_mask, raw);
 }
 
 Result<std::vector<uint32_t>> GraphStore::LoadOutDegrees() const {
@@ -101,27 +129,73 @@ SubShardCache::SubShardCache(std::shared_ptr<const GraphStore> store,
                              uint64_t budget_bytes)
     : store_(std::move(store)), budget_bytes_(budget_bytes) {}
 
+uint64_t SubShardCache::bytes_cached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_cached_;
+}
+
+uint64_t SubShardCache::bytes_loaded_from_disk() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_loaded_;
+}
+
 Result<std::shared_ptr<const SubShard>> SubShardCache::Get(uint32_t i,
                                                            uint32_t j,
                                                            bool transpose) {
   const uint64_t p = store_->num_intervals();
   const uint64_t key = ((transpose ? p : 0) + i) * p + j;
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) return it->second;
+    auto [fit, inserted] = inflight_.try_emplace(key);
+    if (inserted) {
+      fit->second = std::make_shared<InFlight>();
+      leader = true;
+    }
+    flight = fit->second;
   }
-  NX_ASSIGN_OR_RETURN(SubShard loaded, store_->LoadSubShard(i, j, transpose));
-  auto ss = std::make_shared<const SubShard>(std::move(loaded));
-  const uint64_t bytes = ss->MemoryBytes();
-  std::lock_guard<std::mutex> lock(mu_);
-  bytes_loaded_ += bytes;
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;  // raced with another loader
-  if (bytes_cached_ + bytes <= budget_bytes_) {
-    cache_.emplace(key, ss);
-    bytes_cached_ += bytes;
+
+  if (!leader) {
+    // Another thread is already reading this blob; share its load instead
+    // of issuing a duplicate read and discarding one copy.
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (!flight->status.ok()) return flight->status;
+    return flight->subshard;
   }
+
+  // Leader path: disk I/O and decode run without holding mu_.
+  auto loaded = store_->LoadSubShard(i, j, transpose);
+  std::shared_ptr<const SubShard> ss;
+  Status status;
+  if (loaded.ok()) {
+    ss = std::make_shared<const SubShard>(std::move(loaded).value());
+  } else {
+    status = loaded.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(key);
+    if (ss != nullptr) {
+      const uint64_t bytes = ss->MemoryBytes();
+      bytes_loaded_ += bytes;
+      if (bytes_cached_ + bytes <= budget_bytes_) {
+        cache_.emplace(key, ss);
+        bytes_cached_ += bytes;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->status = status;
+    flight->subshard = ss;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  if (!status.ok()) return status;
   return ss;
 }
 

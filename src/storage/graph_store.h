@@ -2,6 +2,8 @@
 #ifndef NXGRAPH_STORAGE_GRAPH_STORE_H_
 #define NXGRAPH_STORAGE_GRAPH_STORE_H_
 
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -44,11 +46,25 @@ class GraphStore {
   /// Streams sub-shards SS_{i.j_begin} .. SS_{i.j_end-1} with a single
   /// sequential read (they are contiguous in row-major file order) — the
   /// engines' "streamlined disk access" path. Returns j_end - j_begin
-  /// decoded sub-shards (empty ones included). `verify_checksums` may be
-  /// false for blobs verified earlier in the session.
-  Result<std::vector<SubShard>> LoadSubShardRow(uint32_t i, uint32_t j_begin,
-                                                uint32_t j_end, bool transpose,
-                                                bool verify_checksums) const;
+  /// decoded sub-shards (empty ones included). `verify_mask` selects
+  /// per-blob checksum verification: entry j - j_begin must be non-zero for
+  /// blobs not yet verified this session; an empty mask verifies everything.
+  Result<std::vector<SubShard>> LoadSubShardRow(
+      uint32_t i, uint32_t j_begin, uint32_t j_end, bool transpose,
+      const std::vector<uint8_t>& verify_mask) const;
+
+  /// Raw-read half of LoadSubShardRow: one sequential positional read of
+  /// the row's undecoded bytes. Thread-safe; the prefetcher runs this on an
+  /// I/O thread and DecodeSubShardRow on the compute pool.
+  Result<std::string> ReadSubShardRowBytes(uint32_t i, uint32_t j_begin,
+                                           uint32_t j_end,
+                                           bool transpose) const;
+
+  /// Decode half of LoadSubShardRow: decodes bytes returned by
+  /// ReadSubShardRowBytes for the same range. Pure CPU work, thread-safe.
+  Result<std::vector<SubShard>> DecodeSubShardRow(
+      uint32_t i, uint32_t j_begin, uint32_t j_end, bool transpose,
+      const std::vector<uint8_t>& verify_mask, const std::string& raw) const;
 
   /// Out-degrees (or in-degrees) for all vertices, indexed by id.
   Result<std::vector<uint32_t>> LoadOutDegrees() const;
@@ -71,6 +87,9 @@ class GraphStore {
 /// \brief Byte-budgeted cache of decoded sub-shards ("if there are still
 /// memory budget left, sub-shards will also be actively loaded from disk to
 /// memory", §III-B1). Fill-once: entries are pinned until Clear().
+///
+/// Thread-safe. Concurrent misses on the same key share a single disk load
+/// (per-key in-flight tracking), and no lock is held during disk I/O.
 class SubShardCache {
  public:
   /// `budget_bytes` bounds the sum of decoded sub-shard footprints.
@@ -83,20 +102,32 @@ class SubShardCache {
   Result<std::shared_ptr<const SubShard>> Get(uint32_t i, uint32_t j,
                                               bool transpose = false);
 
-  uint64_t bytes_cached() const { return bytes_cached_; }
-  /// Bytes loaded from disk since construction (cache misses only).
-  uint64_t bytes_loaded_from_disk() const { return bytes_loaded_; }
+  uint64_t bytes_cached() const;
+  /// Bytes loaded from disk since construction (cache misses only; a load
+  /// shared by concurrent callers counts once).
+  uint64_t bytes_loaded_from_disk() const;
 
   void Clear();
 
  private:
+  /// One outstanding disk load; waiters block on cv until the leader
+  /// publishes the result.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    std::shared_ptr<const SubShard> subshard;
+  };
+
   std::shared_ptr<const GraphStore> store_;
   uint64_t budget_bytes_;
   uint64_t bytes_cached_ = 0;
   uint64_t bytes_loaded_ = 0;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   // Key: ((transpose * P) + i) * P + j.
   std::unordered_map<uint64_t, std::shared_ptr<const SubShard>> cache_;
+  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> inflight_;
 };
 
 }  // namespace nxgraph

@@ -311,6 +311,141 @@ TEST(EngineTest, StreamingAndCachedRunsAgreeExactly) {
   EXPECT_EQ(cached_engine.values(), streaming_engine.values());
 }
 
+// ---- prefetch pipeline ----------------------------------------------------
+
+TEST(EnginePrefetchTest, StreamingParityAcrossPrefetchDepths) {
+  // Streaming-vs-cached parity: under a budget that fits vertex state but
+  // no sub-shards, every prefetch depth must reproduce the cached run's
+  // values bit for bit (FIFO consumption keeps the accumulation order).
+  EdgeList edges = testing::RandomGraph(250, 3000, 41);
+  auto ms = testing::BuildMemStore(edges, 4);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+
+  RunOptions cached;
+  cached.max_iterations = 5;
+  cached.num_threads = 2;
+  Engine<PageRankProgram> cached_engine(ms.store, program, cached);
+  ASSERT_TRUE(cached_engine.Run().ok());
+
+  for (int depth : {0, 1, 4}) {
+    RunOptions streaming = cached;
+    streaming.strategy = UpdateStrategy::kSinglePhase;
+    streaming.prefetch_depth = depth;
+    streaming.memory_budget_bytes =
+        2 * ms.store->num_vertices() * sizeof(double) +
+        ms.store->num_vertices() * 4 + 1;
+    Engine<PageRankProgram> streaming_engine(ms.store, program, streaming);
+    auto stats = streaming_engine.Run();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->prefetch_depth, depth == 0 ? 0u : 1u)
+        << "tiny budget clamps the window to double buffering";
+    EXPECT_EQ(cached_engine.values(), streaming_engine.values())
+        << "depth " << depth;
+  }
+}
+
+TEST(EnginePrefetchTest, WccStreamingParityAcrossPrefetchDepths) {
+  EdgeList edges = testing::RandomGraph(200, 900, 42);
+  auto ms = testing::BuildMemStore(edges, 4);
+  WccProgram program;
+
+  RunOptions cached;
+  cached.direction = EdgeDirection::kBoth;
+  cached.num_threads = 2;
+  Engine<WccProgram> cached_engine(ms.store, program, cached);
+  ASSERT_TRUE(cached_engine.Run().ok());
+
+  for (int depth : {0, 1, 4}) {
+    RunOptions streaming = cached;
+    streaming.strategy = UpdateStrategy::kSinglePhase;
+    streaming.prefetch_depth = depth;
+    streaming.memory_budget_bytes =
+        2 * ms.store->num_vertices() * sizeof(uint32_t) +
+        2 * ms.store->num_vertices() * 4 + 1;
+    Engine<WccProgram> streaming_engine(ms.store, program, streaming);
+    auto stats = streaming_engine.Run();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(cached_engine.values(), streaming_engine.values())
+        << "depth " << depth;
+  }
+}
+
+TEST(EnginePrefetchTest, DpuParityAcrossPrefetchDepths) {
+  // Forced DPU exercises the Phase B (interval values + rows) and Phase C
+  // (hub reads + write-back values) pipelines.
+  EdgeList edges = testing::RandomGraph(300, 4000, 43);
+  auto ms = testing::BuildMemStore(edges, 5);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+
+  std::vector<double> baseline;
+  for (int depth : {0, 2, 4}) {
+    RunOptions opt;
+    opt.strategy = UpdateStrategy::kDoublePhase;
+    opt.max_iterations = 4;
+    opt.num_threads = 3;
+    opt.prefetch_depth = depth;
+    opt.io_threads = 2;
+    Engine<PageRankProgram> engine(ms.store, program, opt);
+    auto stats = engine.Run();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->strategy, "DPU");
+    if (baseline.empty()) {
+      baseline = engine.values();
+    } else {
+      EXPECT_EQ(engine.values(), baseline) << "depth " << depth;
+    }
+  }
+}
+
+TEST(EnginePrefetchTest, StatsReportPhaseAndIoWaitSeconds) {
+  EdgeList edges = testing::RandomGraph(200, 2500, 44);
+  auto ms = testing::BuildMemStore(edges, 4);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+  RunOptions opt;
+  opt.strategy = UpdateStrategy::kDoublePhase;
+  opt.max_iterations = 2;
+  opt.num_threads = 2;
+  Engine<PageRankProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  // DPU spends all edge work in phases B and C (A and D are no-op calls
+  // whose timing is scheduler noise, so no ratio assertion).
+  EXPECT_GT(stats->phase_b_seconds, 0.0);
+  EXPECT_GT(stats->phase_c_seconds, 0.0);
+  EXPECT_GE(stats->io_wait_seconds, 0.0);
+  // Prefetch is on by default for out-of-core runs.
+  EXPECT_GE(stats->prefetch_depth, 1u);
+  EXPECT_GE(stats->io_threads, 1);
+}
+
+TEST(EnginePrefetchTest, CorruptBlobFailsCleanlyMidPipeline) {
+  // A checksum failure deep in a prefetched run must surface as a
+  // Corruption error and shut the pipeline down without hanging.
+  EdgeList edges = testing::RandomGraph(200, 3000, 45);
+  auto ms = testing::BuildMemStore(edges, 4);
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(ms.env.get(), "g/subshards.nxs", &data).ok());
+  data[data.size() * 3 / 4] ^= 0xFF;
+  ASSERT_TRUE(WriteStringToFile(ms.env.get(), "g/subshards.nxs", data).ok());
+  auto store = OpenGraphStore("g", ms.env.get());
+  ASSERT_TRUE(store.ok());
+
+  PageRankProgram program;
+  program.num_vertices = (*store)->num_vertices();
+  RunOptions opt;
+  opt.strategy = UpdateStrategy::kDoublePhase;
+  opt.max_iterations = 2;
+  opt.num_threads = 2;
+  opt.prefetch_depth = 4;
+  Engine<PageRankProgram> engine(*store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsCorruption()) << stats.status().ToString();
+}
+
 TEST(EngineTest, ResultsIdenticalAcrossThreadCounts) {
   EdgeList edges = testing::RandomGraph(500, 6000, 30);
   auto ms = testing::BuildMemStore(edges, 6);

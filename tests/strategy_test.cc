@@ -91,6 +91,87 @@ TEST(StrategyTest, ForcedMpuComputesQ) {
   EXPECT_EQ(d.resident_intervals, 8u);
 }
 
+// ---- prefetch window funding ----------------------------------------------
+
+Manifest SizedManifest(uint64_t n, uint32_t p, uint64_t row_bytes) {
+  Manifest m = TestManifest(n, p);
+  for (auto& meta : m.subshards) meta.size = row_bytes / p;
+  return m;
+}
+
+TEST(StrategyTest, UnlimitedBudgetHonorsRequestedPrefetchDepth) {
+  RunOptions opt;
+  opt.memory_budget_bytes = 0;
+  opt.prefetch_depth = 3;
+  Manifest m = SizedManifest(1000, 8, 4096);
+  auto d = ChooseStrategy(m, 8, 0, opt);
+  EXPECT_EQ(d.prefetch_depth, 3u);
+  EXPECT_EQ(d.prefetch_buffer_bytes,
+            3u * PrefetchSlotBytes(m, 8, opt.direction));
+}
+
+TEST(StrategyTest, PrefetchDepthZeroDisablesWindow) {
+  RunOptions opt;
+  opt.prefetch_depth = 0;
+  auto d = ChooseStrategy(SizedManifest(1000, 8, 4096), 8, 0, opt);
+  EXPECT_EQ(d.prefetch_depth, 0u);
+  EXPECT_EQ(d.prefetch_buffer_bytes, 0u);
+}
+
+TEST(StrategyTest, PrefetchSlotCoversRawDecodeAndValueSegment) {
+  Manifest m = SizedManifest(1000, 8, 4096);  // 8 equal intervals of 125
+  EXPECT_EQ(PrefetchSlotBytes(m, 8, EdgeDirection::kForward),
+            2 * 4096u + 125 * 8u);
+}
+
+TEST(StrategyTest, DeepPrefetchWindowFundedFromCacheLeftover) {
+  const uint64_t n = 1000;
+  const uint64_t row = 4096;
+  RunOptions opt;
+  opt.prefetch_depth = 3;
+  Manifest m = SizedManifest(n, 8, row);
+  const uint64_t slot = PrefetchSlotBytes(m, 8, opt.direction);
+  const uint64_t total = 8 * row;  // all rows pinnable
+  // SPU state + room to pin the whole graph + 5 spare slots.
+  opt.memory_budget_bytes = 2 * n * 8 + total + 5 * slot;
+  auto d = ChooseStrategy(m, 8, 0, opt);
+  EXPECT_EQ(d.strategy, UpdateStrategy::kSinglePhase);
+  EXPECT_EQ(d.prefetch_depth, 3u);
+  EXPECT_EQ(d.prefetch_buffer_bytes, 3 * slot);
+  // Slots beyond the first are carved out of the cache surplus.
+  EXPECT_EQ(d.subshard_cache_budget, total + 5 * slot - 2 * slot);
+}
+
+TEST(StrategyTest, WindowNeverDemotesCachedRunToStreaming) {
+  const uint64_t n = 1000;
+  const uint64_t row = 4096;
+  RunOptions opt;
+  opt.prefetch_depth = 4;
+  Manifest m = SizedManifest(n, 8, row);
+  const uint64_t total = 8 * row;
+  // Leftover exactly pins the decoded graph: no surplus to fund deep
+  // slots, and the cache budget must stay >= total (cached mode).
+  opt.memory_budget_bytes = 2 * n * 8 + total + 100;
+  auto d = ChooseStrategy(m, 8, 0, opt);
+  EXPECT_EQ(d.prefetch_depth, 1u);
+  EXPECT_GE(d.subshard_cache_budget, total);
+}
+
+TEST(StrategyTest, TightBudgetClampsPrefetchToDoubleBuffering) {
+  const uint64_t n = 1000;
+  const uint64_t row = 4096;
+  RunOptions opt;
+  opt.prefetch_depth = 4;
+  opt.memory_budget_bytes = 2 * n * 8 + row / 2;  // not even one spare slot
+  Manifest m = SizedManifest(n, 8, row);
+  auto d = ChooseStrategy(m, 8, 0, opt);
+  // The first window slot rides in the synchronous loader's working-set
+  // allowance, so prefetch stays on (double buffering) but no deeper.
+  EXPECT_EQ(d.prefetch_depth, 1u);
+  EXPECT_EQ(d.prefetch_buffer_bytes, PrefetchSlotBytes(m, 8, opt.direction));
+  EXPECT_EQ(d.subshard_cache_budget, row / 2);
+}
+
 TEST(StrategyTest, AutoMatchesPaperThresholds) {
   const uint64_t n = 8000;
   const uint32_t vb = 8;
