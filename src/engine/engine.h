@@ -31,6 +31,7 @@
 #include "src/engine/strategy.h"
 #include "src/engine/vertex_program.h"
 #include "src/io/prefetcher.h"
+#include "src/io/writeback.h"
 #include "src/storage/graph_store.h"
 #include "src/storage/hub_file.h"
 #include "src/storage/interval_store.h"
@@ -91,6 +92,23 @@ class Engine {
   bool HasError();
   uint32_t grain_edges() const {
     return options_.chunk_width > 0 ? options_.chunk_width : 4096;
+  }
+
+  // Rows of the resident block this iteration processes, per direction —
+  // the Phase A schedule, shared by the streaming driver and the
+  // first-touch cache warm-up.
+  struct ResidentRow {
+    const DirectionPlan* dir;
+    uint32_t i;
+  };
+  std::vector<ResidentRow> ResidentRowSchedule() const {
+    std::vector<ResidentRow> rows;
+    for (const DirectionPlan& dir : directions_) {
+      for (uint32_t i = 0; i < q_; ++i) {
+        if (RowShouldProcess(i)) rows.push_back({&dir, i});
+      }
+    }
+    return rows;
   }
 
   Result<std::shared_ptr<const SubShard>> GetSubShard(uint32_t i, uint32_t j,
@@ -234,10 +252,16 @@ class Engine {
   std::vector<DirectionPlan> directions_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<ThreadPool> io_pool_;  // dedicated prefetch I/O threads
+  std::unique_ptr<ThreadPool> wb_pool_;  // dedicated write-behind threads
   std::unique_ptr<SubShardCache> cache_;
   std::unique_ptr<IntervalStore> interval_store_;   // non-resident values
   std::unique_ptr<HubFile> hubs_forward_;
   std::unique_ptr<HubFile> hubs_transpose_;
+  // Write-behind queue for all out-of-core writes (hub payloads, interval
+  // write-backs). Every phase that writes ends with a Drain() barrier, so
+  // later reads never race an in-flight write and results stay
+  // bit-identical to the synchronous path (budget 0).
+  std::unique_ptr<WritebackQueue> writeback_;
   std::vector<uint32_t> out_degrees_;
   std::vector<uint32_t> in_degrees_;
 
@@ -250,6 +274,7 @@ class Engine {
   std::vector<uint8_t> hub_written_;  // (direction, i, j) hubs valid this iter
   std::vector<uint8_t> verified_;     // (direction, i, j) checksum verified
   bool stream_mode_ = false;  // cache cannot hold the graph: stream rows
+  bool cache_warmed_ = false;  // Phase A first-touch warm-up done
 
   std::atomic<uint64_t> edges_traversed_{0};
   std::atomic<uint64_t> bytes_read_{0};
@@ -342,6 +367,14 @@ Status Engine<Program>::Prepare() {
                                           sizeof(Value),
                                           /*transpose=*/true));
     }
+    // Writers get their own pool: a slow device write must never occupy a
+    // prefetch thread and starve the read window.
+    if (decision_.writeback_buffer_bytes > 0) {
+      wb_pool_ = std::make_unique<ThreadPool>(
+          std::max(options_.writeback_threads, 1));
+    }
+    writeback_ = std::make_unique<WritebackQueue>(
+        wb_pool_.get(), decision_.writeback_buffer_bytes);
   }
 
   directions_.clear();
@@ -393,11 +426,16 @@ Status Engine<Program>::InitValues() {
       old_values_[i] = std::move(init);
       acc_values_[i].assign(size, Program::Identity());
     } else {
-      NX_RETURN_NOT_OK(interval_store_->Write(i, 0, init.data()));
+      NX_RETURN_NOT_OK(
+          interval_store_->Write(writeback_.get(), i, 0, init.data()));
       bytes_written_.fetch_add(size * sizeof(Value),
                                std::memory_order_relaxed);
       value_parity_[i] = 0;
     }
+  }
+  // Ordering barrier: the first iteration's Phase B reads these segments.
+  if (writeback_ != nullptr) {
+    NX_RETURN_NOT_OK(writeback_->Drain(/*sync=*/false));
   }
   return Status::OK();
 }
@@ -462,21 +500,12 @@ Status Engine<Program>::PhaseResidentRows() {
     // the barrier is needed; the disk sees pure forward scans. The whole
     // schedule is pushed up front so the prefetcher keeps iteration i+1's
     // row reads in flight while row i's chunks are still computing.
-    struct RowRef {
-      const DirectionPlan* dir;
-      uint32_t i;
-    };
-    std::vector<RowRef> schedule;
-    for (const DirectionPlan& dir : directions_) {
-      for (uint32_t i = 0; i < q_; ++i) {
-        if (RowShouldProcess(i)) schedule.push_back({&dir, i});
-      }
-    }
+    const std::vector<ResidentRow> schedule = ResidentRowSchedule();
     RowStream rows = MakeStream<std::vector<SubShard>>();
-    for (const RowRef& r : schedule) {
+    for (const ResidentRow& r : schedule) {
       PushRow(rows, r.i, 0, q_, r.dir->transpose);
     }
-    for (const RowRef& r : schedule) {
+    for (const ResidentRow& r : schedule) {
       NX_ASSIGN_OR_RETURN(std::vector<SubShard> row, NextRow(rows));
       const VertexId src_base = m.interval_begin(r.i);
       const Value* src_vals = old_values_[r.i].data();
@@ -501,6 +530,34 @@ Status Engine<Program>::PhaseResidentRows() {
     }
     io_wait_seconds_ += rows.io_wait_seconds();
     return Status::OK();
+  }
+
+  // First-touch warm-up (ROADMAP item): iteration 0 of a cached run used
+  // to pay every sub-shard load as a synchronous miss inside the
+  // callback/lock chains. Load the resident block as whole rows through
+  // the prefetch pipeline instead — one sequential read per row on the I/O
+  // pool, decode on the compute pool, bounded by the usual window — and
+  // deposit the decoded sub-shards in the cache, which the schedulers
+  // below then hit.
+  if (!cache_warmed_) {
+    cache_warmed_ = true;
+    if (prefetch_depth_ > 0) {
+      const std::vector<ResidentRow> warm_rows = ResidentRowSchedule();
+      RowStream warm = MakeStream<std::vector<SubShard>>();
+      for (const ResidentRow& r : warm_rows) {
+        PushRow(warm, r.i, 0, q_, r.dir->transpose);
+      }
+      for (const ResidentRow& r : warm_rows) {
+        auto row = warm.Next();
+        if (!row.ok()) return row.status();
+        for (uint32_t j = 0; j < q_; ++j) {
+          if ((*row)[j].empty()) continue;
+          cache_->Put(r.i, j, r.dir->transpose,
+                      std::make_shared<const SubShard>(std::move((*row)[j])));
+        }
+      }
+      io_wait_seconds_ += warm.io_wait_seconds();
+    }
   }
 
   if (options_.sync_mode == SyncMode::kCallback) {
@@ -729,8 +786,12 @@ Status Engine<Program>::PhaseDiskRows() {
             payload.append(reinterpret_cast<const char*>(&dst), 4);
             payload.append(reinterpret_cast<const char*>(&a), sizeof(Value));
           }
-          RecordError(hubs->WriteHub(i, j, payload.data(), payload.size()));
           bytes_written_.fetch_add(payload.size(), std::memory_order_relaxed);
+          // Hand the serialized payload to the write-behind queue: the
+          // compute task moves on immediately, an I/O thread lands the
+          // pwrite, and any failure surfaces from the end-of-phase Drain.
+          RecordError(
+              hubs->WriteHub(writeback_.get(), i, j, std::move(payload)));
           hub_written_[(transpose ? static_cast<size_t>(p_) * p_ : 0) +
                        static_cast<size_t>(i) * p_ + j] = 1;
           wg.Done();
@@ -741,6 +802,12 @@ Status Engine<Program>::PhaseDiskRows() {
     if (HasError()) break;
   }
   io_wait_seconds_ += values.io_wait_seconds() + rows.io_wait_seconds();
+  // Ordering barrier: Phase C reads every hub written above, so all hub
+  // payloads must have landed before this phase ends. A failed write
+  // surfaces here instead of being dropped; the flush debt is settled by
+  // the iteration-boundary drain (hubs are re-written every iteration, so
+  // syncing them mid-iteration would buy no durability).
+  if (writeback_ != nullptr) RecordError(writeback_->Drain(/*sync=*/false));
   std::lock_guard<std::mutex> lock(error_mu_);
   return first_error_;
 }
@@ -866,8 +933,9 @@ Status Engine<Program>::PhaseDiskColumns() {
       }
       if (local_changed) changed.store(1, std::memory_order_relaxed);
     });
-    NX_RETURN_NOT_OK(
-        interval_store_->Write(j, 1 - value_parity_[j], acc_buf.data()));
+    NX_RETURN_NOT_OK(interval_store_->Write(writeback_.get(), j,
+                                            1 - value_parity_[j],
+                                            acc_buf.data()));
     bytes_written_.fetch_add(isize * sizeof(Value),
                              std::memory_order_relaxed);
     value_parity_[j] = 1 - value_parity_[j];
@@ -877,6 +945,12 @@ Status Engine<Program>::PhaseDiskColumns() {
   }
   io_wait_seconds_ +=
       shards.io_wait_seconds() + hubs.io_wait_seconds() + olds.io_wait_seconds();
+  // Iteration barrier, with durability: the next Phase B (and the final
+  // value collection) reads the interval segments written above, and the
+  // interval store's ping-pong parity makes every iteration boundary a
+  // consistent on-disk snapshot — so this is where the accumulated flush
+  // debt (hubs included) is settled and flush failures surface.
+  if (writeback_ != nullptr) NX_RETURN_NOT_OK(writeback_->Drain());
   return Status::OK();
 }
 
@@ -976,7 +1050,10 @@ Result<RunStats> Engine<Program>::Run() {
   stats.phase_c_seconds = phase_seconds_[2];
   stats.phase_d_seconds = phase_seconds_[3];
   stats.io_wait_seconds = io_wait_seconds_;
+  stats.write_wait_seconds =
+      writeback_ != nullptr ? writeback_->write_wait_seconds() : 0;
   stats.prefetch_depth = static_cast<uint32_t>(prefetch_depth_);
+  stats.writeback_buffer_bytes = decision_.writeback_buffer_bytes;
   stats.io_threads = io_pool_ != nullptr ? io_pool_->num_threads() : 0;
 
   // Collect final values.

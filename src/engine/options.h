@@ -69,7 +69,32 @@ struct RunOptions {
   /// num_threads compute workers). Blob decode is offloaded to the compute
   /// pool, so these threads do raw reads only. Clamped to >= 1 whenever the
   /// effective prefetch depth is > 0; ignored when prefetching is off.
+  /// Write-behind drains on its own pool — see writeback_threads.
   int io_threads = 1;
+
+  /// Requested write-behind buffer for the out-of-core writes (Phase B hub
+  /// payloads, interval value write-backs): producers serialize payloads on
+  /// the compute pool and enqueue owned buffers, dedicated I/O threads
+  /// drain them as positional writes, and every phase/iteration boundary
+  /// ends with a Drain() barrier — so results are bit-identical to the
+  /// synchronous path. 0 disables write-behind entirely (each write blocks
+  /// its compute task — the pre-writeback behavior and the baseline of
+  /// bench_writeback).
+  ///
+  /// Like the prefetch window, the effective budget is arbitrated by
+  /// ChooseStrategy out of the sub-shard cache leftover (see
+  /// StrategyDecision::writeback_buffer_bytes), so write buffers never
+  /// silently exceed the paper's memory model; a leftover too small to
+  /// hold even one payload falls back to synchronous mode rather than
+  /// taking a degenerate window. Write-behind is on by default.
+  uint64_t writeback_buffer_bytes = 8ull << 20;
+
+  /// Dedicated threads draining the write-behind queue. Separate from
+  /// io_threads so throttled/slow writes can never starve the prefetch
+  /// read window; 1 keeps the device stream sequential (the queue already
+  /// issues writes in elevator order). Clamped to >= 1 whenever the
+  /// effective writeback budget is > 0.
+  int writeback_threads = 1;
 
   /// Directory for engine scratch files (interval store, hubs). Empty uses
   /// "<store dir>/run".
@@ -99,7 +124,14 @@ struct RunStats {
   /// time of the out-of-core phases; depth >= 1 should push it towards 0
   /// while phase seconds stay flat (the overlap is the difference).
   double io_wait_seconds = 0;
+  /// Wall-clock time compute tasks and phase barriers spent blocked on the
+  /// write-behind queue (Push backpressure plus Drain) — the write latency
+  /// the pipeline failed to hide. With writeback_buffer_bytes == 0 this is
+  /// simply the total synchronous write time of the out-of-core phases.
+  double write_wait_seconds = 0;
   uint32_t prefetch_depth = 0;     ///< effective (budget-arbitrated) depth
+  /// Effective (budget-arbitrated) write-behind buffer actually used.
+  uint64_t writeback_buffer_bytes = 0;
   int io_threads = 0;              ///< dedicated I/O threads actually used
 
   /// Millions of traversed edges per second (the paper's Fig. 11 metric).

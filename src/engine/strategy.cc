@@ -58,6 +58,36 @@ uint64_t TotalShardBytes(const Manifest& manifest, EdgeDirection direction) {
   return total;
 }
 
+// Largest single payload a run with q resident intervals can hand the
+// write-behind queue: a hub segment (count prefix + one pre-accumulated
+// entry per destination; only sub-shards with i, j >= q have hubs) or a
+// non-resident interval's value segment. A budget below this forces every
+// push through the oversized-admission path — serialized writes plus
+// queue overhead, strictly worse than synchronous mode.
+uint64_t MaxWritePayloadBytes(const Manifest& manifest, uint32_t value_bytes,
+                              EdgeDirection direction, uint32_t q) {
+  const DirectionUse use = UsedDirections(manifest, direction);
+  const uint32_t p = manifest.num_intervals;
+  uint64_t max_payload = 0;
+  for (int t = 0; t < 2; ++t) {
+    if ((t == 0 && !use.forward) || (t == 1 && !use.transpose)) continue;
+    for (uint32_t i = q; i < p; ++i) {
+      for (uint32_t j = q; j < p; ++j) {
+        const auto& meta = manifest.subshard(i, j, t == 1);
+        max_payload = std::max<uint64_t>(
+            max_payload, 8 + static_cast<uint64_t>(meta.num_dsts) *
+                                 (4 + value_bytes));
+      }
+    }
+  }
+  for (uint32_t i = q; i < p; ++i) {
+    max_payload = std::max<uint64_t>(
+        max_payload,
+        static_cast<uint64_t>(manifest.interval_size(i)) * value_bytes);
+  }
+  return max_payload;
+}
+
 }  // namespace
 
 uint64_t PrefetchSlotBytes(const Manifest& manifest, uint32_t value_bytes,
@@ -144,13 +174,21 @@ StrategyDecision ChooseStrategy(const Manifest& manifest, uint32_t value_bytes,
   d.subshard_cache_budget =
       unlimited ? UINT64_MAX : (avail > resident_state ? avail - resident_state : 0);
 
-  // Fund the prefetch window last: one slot rides in the synchronous
+  // Cache leftover fundable for the I/O windows without demoting a cached
+  // run: when the leftover is big enough to pin the whole graph decoded
+  // (the fill-once cache will serve iterations 1+ from memory), only the
+  // surplus beyond that pin is up for grabs. Shared by the prefetch and
+  // writeback funding below so the two windows obey one rule.
+  const uint64_t total_shards = TotalShardBytes(manifest, options.direction);
+  auto fundable = [&d, total_shards] {
+    return d.subshard_cache_budget >= total_shards
+               ? d.subshard_cache_budget - total_shards
+               : d.subshard_cache_budget;
+  };
+
+  // Fund the prefetch window first: one slot rides in the synchronous
   // loader's transient-row allowance, each deeper slot is paid for out of
-  // the cache leftover so the window stays inside the memory model. When
-  // the leftover is big enough to pin the whole graph decoded (the
-  // fill-once cache will serve iterations 1+ from memory), only the
-  // surplus beyond that pin is up for grabs — the window must never demote
-  // a fully-cached run into stream mode.
+  // the cache leftover so the window stays inside the memory model.
   const uint32_t requested =
       options.prefetch_depth > 0 ? static_cast<uint32_t>(options.prefetch_depth)
                                  : 0;
@@ -165,16 +203,34 @@ StrategyDecision ChooseStrategy(const Manifest& manifest, uint32_t value_bytes,
     d.prefetch_depth = requested;
     d.prefetch_buffer_bytes = requested * slot_bytes;
   } else {
-    const uint64_t total_shards = TotalShardBytes(manifest, options.direction);
-    const uint64_t fundable =
-        d.subshard_cache_budget >= total_shards
-            ? d.subshard_cache_budget - total_shards
-            : d.subshard_cache_budget;
     const uint64_t funded_slots =
-        std::min<uint64_t>(requested - 1, fundable / slot_bytes);
+        std::min<uint64_t>(requested - 1, fundable() / slot_bytes);
     d.prefetch_depth = 1 + static_cast<uint32_t>(funded_slots);
     d.prefetch_buffer_bytes = d.prefetch_depth * slot_bytes;
     d.subshard_cache_budget -= funded_slots * slot_bytes;
+  }
+
+  // Fund the write-behind buffer the same way, after the read window: a
+  // fully resident run (Q == P) performs no out-of-core writes, so it gets
+  // no write buffer and pays nothing; otherwise the requested budget is
+  // clamped to what is still fundable after the prefetch spend.
+  const uint64_t wb_requested = options.writeback_buffer_bytes;
+  if (wb_requested == 0 || d.resident_intervals == p) {
+    d.writeback_buffer_bytes = 0;
+  } else if (unlimited) {
+    d.writeback_buffer_bytes = wb_requested;
+  } else {
+    uint64_t funded = std::min(wb_requested, fundable());
+    // Floor: a window too small for the largest single payload degrades
+    // to serialized oversized admissions — synchronous writes plus queue
+    // overhead — so fall back to plain synchronous mode instead.
+    if (funded < MaxWritePayloadBytes(manifest, value_bytes,
+                                      options.direction,
+                                      d.resident_intervals)) {
+      funded = 0;
+    }
+    d.writeback_buffer_bytes = funded;
+    d.subshard_cache_budget -= funded;
   }
   return d;
 }

@@ -31,6 +31,14 @@ struct StrategyDecision {
   /// funding the window can neither exceed the paper's memory model nor
   /// demote a fully-cached run into stream mode.
   uint64_t prefetch_buffer_bytes = 0;
+  /// Effective write-behind budget: RunOptions::writeback_buffer_bytes
+  /// clamped to what the cache leftover can fund after the prefetch window
+  /// is paid for. Funding follows the same rule as the read window: when
+  /// the leftover can pin the whole decoded graph, only the surplus beyond
+  /// that pin is spent — funding write buffers never demotes a fully
+  /// cached run into stream mode. 0 when the run has no out-of-core
+  /// writes (Q == P) or write-behind is disabled.
+  uint64_t writeback_buffer_bytes = 0;
   /// Human-readable name ("SPU", "DPU", "MPU(Q=3/16)").
   std::string name;
 };

@@ -101,6 +101,10 @@ class RandomWriteFile {
   virtual ~RandomWriteFile() = default;
 
   virtual Status WriteAt(uint64_t offset, const void* data, size_t n) = 0;
+  /// Durability barrier: pushes every preceding WriteAt to the device
+  /// (fdatasync on Posix). The write-behind queue calls this per target at
+  /// each Drain(); device models charge it a seek.
+  virtual Status Flush() { return Status::OK(); }
   virtual Status Truncate(uint64_t size) = 0;
   virtual Status Close() = 0;
 };

@@ -171,6 +171,11 @@ class PosixRandomWriteFile : public RandomWriteFile {
     return Status::OK();
   }
 
+  Status Flush() override {
+    if (::fdatasync(fd_) < 0) return PosixError("fdatasync", errno);
+    return Status::OK();
+  }
+
   Status Truncate(uint64_t size) override {
     if (::ftruncate(fd_, static_cast<off_t>(size)) < 0) {
       return PosixError("ftruncate", errno);

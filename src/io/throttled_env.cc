@@ -99,13 +99,26 @@ class ThrottledRandomWriteFile : public RandomWriteFile {
       : base_(std::move(base)), throttler_(t) {}
 
   Status WriteAt(uint64_t offset, const void* data, size_t n) override {
+    Status s = base_->WriteAt(offset, data, n);
+    if (!s.ok()) return s;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (offset != next_expected_offset_) throttler_->ChargeSeek();
       next_expected_offset_ = offset + n;
     }
     throttler_->ChargeBytes(n);
-    return base_->WriteAt(offset, data, n);
+    return s;
+  }
+  Status Flush() override {
+    // A durability flush forces the device's write cache out: model it as
+    // one seek, and reset the head position so the next positional write
+    // pays its own seek like the first write after open does.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      next_expected_offset_ = ~0ull;
+    }
+    throttler_->ChargeSeek();
+    return base_->Flush();
   }
   Status Truncate(uint64_t size) override { return base_->Truncate(size); }
   Status Close() override { return base_->Close(); }

@@ -1,0 +1,208 @@
+#include "src/io/writeback.h"
+
+#include <algorithm>
+
+#include "src/util/timer.h"
+
+namespace nxgraph {
+
+WritebackQueue::WritebackQueue(ThreadPool* io_pool, uint64_t budget_bytes)
+    : io_pool_(io_pool),
+      budget_bytes_(budget_bytes),
+      issue_cap_(io_pool != nullptr && io_pool->num_threads() > 0
+                     ? static_cast<size_t>(io_pool->num_threads())
+                     : 1) {}
+
+WritebackQueue::~WritebackQueue() {
+  // Writes are never dropped: a write-behind queue that discarded pending
+  // data on shutdown would silently corrupt the interval/hub files.
+  (void)Drain();
+  // The pool thread that landed the last write may still be inside its
+  // trailing Issue() call; wait until no closure references this object.
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return outstanding_tasks_ == 0; });
+}
+
+bool WritebackQueue::OverlapsPendingLocked(const FileState& fs,
+                                           const Pending& w) const {
+  // Queued entries are pairwise disjoint, so only the map neighbors can
+  // intersect the new range.
+  auto it = fs.queued.lower_bound(w.offset);
+  if (it != fs.queued.end() && it->second->offset < w.end()) return true;
+  if (it != fs.queued.begin() && std::prev(it)->second->end() > w.offset) {
+    return true;
+  }
+  for (const auto& f : fs.inflight) {
+    if (w.offset < f->end() && f->offset < w.end()) return true;
+  }
+  for (const auto& d : fs.deferred) {
+    if (w.offset < d->end() && d->offset < w.end()) return true;
+  }
+  return false;
+}
+
+Status WritebackQueue::Push(RandomWriteFile* file, uint64_t offset,
+                            const void* data, size_t n) {
+  if (budget_bytes_ == 0) {
+    // Synchronous mode: the write happens right here on the producer
+    // thread, straight from the caller's buffer, and its whole duration
+    // counts as unhidden write latency. No flush target is recorded —
+    // budget 0 reproduces the pre-writeback path exactly, which never
+    // synced these files.
+    Timer timer;
+    Status s = file->WriteAt(offset, data, n);
+    write_wait_micros_.fetch_add(timer.ElapsedMicros(),
+                                 std::memory_order_relaxed);
+    return s;
+  }
+  return Push(file, offset, std::string(static_cast<const char*>(data), n));
+}
+
+Status WritebackQueue::Push(RandomWriteFile* file, uint64_t offset,
+                            std::string data) {
+  if (budget_bytes_ == 0) return Push(file, offset, data.data(), data.size());
+
+  auto w = std::make_shared<Pending>();
+  w->file = file;
+  w->offset = offset;
+  w->data = std::move(data);
+  const uint64_t bytes = w->data.size();
+  Timer timer;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Backpressure: admit once the payload fits the budget. A payload
+    // larger than the whole budget is admitted alone (empty queue), so a
+    // producer can never deadlock against its own oversized write.
+    cv_.wait(lock, [&] {
+      return pending_bytes_ == 0 || pending_bytes_ + bytes <= budget_bytes_;
+    });
+    pending_bytes_ += bytes;
+    ++pending_writes_;
+    FileState& fs = files_[file];
+    if (OverlapsPendingLocked(fs, *w) ||
+        !fs.queued.emplace(w->offset, w).second) {
+      // Overlapping (or zero-length duplicate-offset) writes keep push
+      // order: parked until the file quiesces, then issued FIFO.
+      fs.deferred.push_back(std::move(w));
+    }
+    if (std::find(targets_.begin(), targets_.end(), file) == targets_.end()) {
+      targets_.push_back(file);
+    }
+  }
+  write_wait_micros_.fetch_add(timer.ElapsedMicros(),
+                               std::memory_order_relaxed);
+  Issue();
+  return Status::OK();
+}
+
+std::shared_ptr<WritebackQueue::Pending> WritebackQueue::PickLocked() {
+  // Keep the pool fed with exactly one write per writer thread; the rest
+  // of the window waits in the sorted maps so each completion can pick
+  // the elevator-best successor instead of a FIFO-frozen one.
+  if (inflight_writes_ >= issue_cap_) return nullptr;
+  for (auto& [file, fs] : files_) {
+    if (!fs.queued.empty()) {
+      // Elevator sweep: the queued write at or after the device position
+      // model, wrapping to the lowest offset when the sweep runs out.
+      auto it = fs.queued.lower_bound(fs.head);
+      if (it == fs.queued.end()) it = fs.queued.begin();
+      auto w = it->second;
+      fs.queued.erase(it);
+      fs.head = w->end();
+      fs.inflight.push_back(w);
+      ++inflight_writes_;
+      return w;
+    }
+    // Deferred writes wait for full quiescence of their file, which
+    // guarantees every earlier overlapping write has landed; they then go
+    // out one at a time, preserving push order among themselves.
+    if (!fs.deferred.empty() && fs.inflight.empty()) {
+      auto w = fs.deferred.front();
+      fs.deferred.pop_front();
+      fs.head = w->end();
+      fs.inflight.push_back(w);
+      ++inflight_writes_;
+      return w;
+    }
+  }
+  return nullptr;
+}
+
+void WritebackQueue::Issue() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // One thread runs the issue loop at a time; it re-checks the queues
+    // under mu_ every round, so state changes made before a concurrent
+    // Issue() call are always observed either by that loop or by the next
+    // caller after `issuing_` clears.
+    if (issuing_) return;
+    issuing_ = true;
+  }
+  for (;;) {
+    std::shared_ptr<Pending> w;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      w = PickLocked();
+      if (w == nullptr) {
+        issuing_ = false;
+        return;
+      }
+      ++outstanding_tasks_;
+    }
+    // Outside mu_: a 0-thread pool runs the closure inline right here.
+    io_pool_->Submit([this, w]() mutable { RunWrite(std::move(w)); });
+  }
+}
+
+void WritebackQueue::RunWrite(std::shared_ptr<Pending> w) {
+  Status s = w->file->WriteAt(w->offset, w->data.data(), w->data.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!s.ok() && first_error_.ok()) first_error_ = std::move(s);
+    FileState& fs = files_[w->file];
+    fs.inflight.erase(
+        std::find(fs.inflight.begin(), fs.inflight.end(), w));
+    pending_bytes_ -= w->data.size();
+    --pending_writes_;
+    --inflight_writes_;
+    cv_.notify_all();
+  }
+  Issue();  // the landed write may have released a deferred write
+  TaskDone();
+}
+
+void WritebackQueue::TaskDone() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--outstanding_tasks_ == 0) cv_.notify_all();
+}
+
+Status WritebackQueue::Drain(bool sync) {
+  Timer timer;
+  std::vector<RandomWriteFile*> targets;
+  Status s;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return pending_writes_ == 0; });
+    s = std::move(first_error_);
+    first_error_ = Status::OK();
+    // Ordering-only barriers leave targets_ accumulating; the next
+    // syncing Drain (or destruction) settles the flush debt.
+    if (sync) targets.swap(targets_);
+  }
+  // Durability barrier: per-target flush, first error wins (write errors
+  // precede flush errors chronologically, so they take precedence).
+  for (RandomWriteFile* f : targets) {
+    Status fs = f->Flush();
+    if (s.ok() && !fs.ok()) s = std::move(fs);
+  }
+  write_wait_micros_.fetch_add(timer.ElapsedMicros(),
+                               std::memory_order_relaxed);
+  return s;
+}
+
+uint64_t WritebackQueue::pending_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_bytes_;
+}
+
+}  // namespace nxgraph

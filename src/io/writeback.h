@@ -1,0 +1,165 @@
+// Asynchronous write-behind I/O pipeline — the write-side twin of the
+// prefetcher (paper §IV: the Destination-Sorted Sub-Shard phases overlap
+// disk access with computation; PR 1 made the reads asynchronous, this
+// queue does the same for hub payloads and interval write-backs).
+//
+// Producers serialize their payload on the compute pool and enqueue the
+// owned buffer; dedicated I/O threads drain the queue as positional
+// WriteAt calls, so compute tasks never block on device write latency.
+// The queue is bounded by bytes, not entries: Push applies backpressure
+// once `budget_bytes` of payload are queued or in flight, which caps the
+// transient memory exactly like the prefetch window caps read-ahead.
+//
+//   budget == 0  — fully synchronous: Push performs the WriteAt inline and
+//                  charges its whole duration to write_wait_seconds (the
+//                  pre-writeback engine behavior and the baseline of
+//                  bench_writeback);
+//   budget  > 0  — asynchronous: Push blocks only on backpressure, errors
+//                  surface at the next Drain().
+//
+// Ordering: disjoint writes (the only kind the engine produces between
+// barriers) may drain in any order, so the queue issues them with a
+// per-file elevator sweep — ascending offset from the last issued write,
+// wrapping around — which turns the scrambled completion order of Phase B
+// compute tasks back into a near-sequential device stream (hub segments
+// are contiguous by (i, j)). A write that overlaps a pending write on the
+// same file is deferred until that file quiesces and then applied in push
+// order, so overlapping writes always land exactly as the synchronous
+// path would have written them.
+//
+// Drain() is the durability barrier the engine places at every phase and
+// iteration boundary: it blocks until the queue is empty, Flush()es every
+// distinct target file written since the previous barrier, and returns the
+// first error any write or flush produced — a failed flush surfaces here,
+// never silently dropped.
+#ifndef NXGRAPH_IO_WRITEBACK_H_
+#define NXGRAPH_IO_WRITEBACK_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/io/env.h"
+#include "src/util/macros.h"
+#include "src/util/status.h"
+#include "src/util/thread_pool.h"
+
+namespace nxgraph {
+
+/// \brief Bounded-byte write-behind queue over an I/O thread pool.
+///
+/// Thread contract: Push may be called concurrently from any number of
+/// producer threads; Drain from one driver thread at a time (concurrent
+/// Push while another thread Drains is allowed — the barrier covers every
+/// write enqueued before it returns). Target files must outlive the queue.
+class WritebackQueue {
+ public:
+  /// `io_pool` is not owned and may be null when `budget_bytes == 0`.
+  /// Synchronous mode never touches the pool and never records flush
+  /// targets either — budget 0 is exactly the pre-writeback write path,
+  /// which issued no durability syncs.
+  WritebackQueue(ThreadPool* io_pool, uint64_t budget_bytes);
+
+  /// Drains outstanding writes (they are completed, never dropped — this
+  /// is a write path; cancellation would lose data). Flush errors during
+  /// destruction are swallowed; call Drain() first to observe them.
+  ~WritebackQueue();
+  NX_DISALLOW_COPY(WritebackQueue);
+
+  /// Enqueues one positional write of `data` to `file` at `offset`,
+  /// transferring ownership of the buffer. Blocks while the queue holds
+  /// `budget_bytes` or more of pending payload (a single payload larger
+  /// than the whole budget is admitted once the queue is empty, so Push
+  /// can never deadlock). In synchronous mode returns the WriteAt status
+  /// directly; in asynchronous mode always returns OK — failures surface
+  /// from the next Drain().
+  Status Push(RandomWriteFile* file, uint64_t offset, std::string data);
+
+  /// As above, but copies `data` into an owned buffer only when the queue
+  /// is asynchronous — synchronous mode writes inline straight from the
+  /// caller's buffer, so budget 0 adds no allocation over the old path.
+  Status Push(RandomWriteFile* file, uint64_t offset, const void* data,
+              size_t n);
+
+  /// Barrier: blocks until every write enqueued so far has landed. With
+  /// `sync` (the default) it then Flush()es each distinct target touched
+  /// since the last syncing Drain — the durability barrier; `sync = false`
+  /// is an ordering-only barrier (reads issued after it see every write)
+  /// and leaves the flush debt to the next syncing Drain. Returns the
+  /// first write error, else the first flush error, and resets the error
+  /// state so the queue can be reused for the next phase.
+  Status Drain(bool sync = true);
+
+  /// Bytes queued or in flight right now.
+  uint64_t pending_bytes() const;
+
+  /// Total wall-clock time producers spent blocked in Push (backpressure,
+  /// or the inline write when synchronous) plus time Drain spent waiting —
+  /// the residual write latency the pipeline failed to hide.
+  double write_wait_seconds() const {
+    return static_cast<double>(
+               write_wait_micros_.load(std::memory_order_relaxed)) /
+           1e6;
+  }
+
+ private:
+  struct Pending {
+    RandomWriteFile* file;
+    uint64_t offset;
+    std::string data;
+    uint64_t end() const { return offset + data.size(); }
+  };
+
+  /// Per-target issue state. Disjoint queued writes live in an
+  /// offset-ordered map served by the elevator; writes that overlap any
+  /// pending write are parked in `deferred` and issued FIFO once the file
+  /// has fully quiesced. At most one write per writer thread is submitted
+  /// to the pool at a time (`issue_cap_`), so the reorder window stays in
+  /// the sorted map instead of degenerating into the pool's FIFO queue —
+  /// each completion picks the next write by offset.
+  struct FileState {
+    std::map<uint64_t, std::shared_ptr<Pending>> queued;  // disjoint, by offset
+    std::deque<std::shared_ptr<Pending>> deferred;        // overlapping, FIFO
+    std::vector<std::shared_ptr<Pending>> inflight;
+    uint64_t head = 0;  // device position model: end of the last issue
+  };
+
+  /// Moves issuable queued writes onto the I/O pool in elevator order. A
+  /// single thread runs the issue loop at a time (`issuing_`); the loop
+  /// re-examines the queues each round, so completions during the loop are
+  /// picked up without a separate wakeup. Called without mu_ held (Submit
+  /// may run the write inline on a 0-thread pool).
+  void Issue();
+  void RunWrite(std::shared_ptr<Pending> w);
+  /// Next elevator candidate across all files, or null. Called under mu_.
+  std::shared_ptr<Pending> PickLocked();
+  bool OverlapsPendingLocked(const FileState& fs, const Pending& w) const;
+  void TaskDone();
+
+  ThreadPool* io_pool_;
+  const uint64_t budget_bytes_;
+  const size_t issue_cap_;  // max writes submitted to the pool at once
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<RandomWriteFile*, FileState> files_;
+  uint64_t pending_bytes_ = 0;   // backpressure (payload bytes)
+  uint64_t pending_writes_ = 0;  // barrier (covers zero-length writes too)
+  size_t inflight_writes_ = 0;   // issued to the pool, not yet landed
+  size_t outstanding_tasks_ = 0;  // pool closures still referencing this
+  bool issuing_ = false;
+  Status first_error_;
+  std::vector<RandomWriteFile*> targets_;  // distinct files since last Drain
+
+  std::atomic<int64_t> write_wait_micros_{0};
+};
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_IO_WRITEBACK_H_

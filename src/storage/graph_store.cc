@@ -182,8 +182,10 @@ Result<std::shared_ptr<const SubShard>> SubShardCache::Get(uint32_t i,
     if (ss != nullptr) {
       const uint64_t bytes = ss->MemoryBytes();
       bytes_loaded_ += bytes;
-      if (bytes_cached_ + bytes <= budget_bytes_) {
-        cache_.emplace(key, ss);
+      // A warm-up Put may have landed this key while the load was in
+      // flight; only account bytes for an insert that actually happened.
+      if (bytes_cached_ + bytes <= budget_bytes_ &&
+          cache_.emplace(key, ss).second) {
         bytes_cached_ += bytes;
       }
     }
@@ -197,6 +199,18 @@ Result<std::shared_ptr<const SubShard>> SubShardCache::Get(uint32_t i,
   flight->cv.notify_all();
   if (!status.ok()) return status;
   return ss;
+}
+
+void SubShardCache::Put(uint32_t i, uint32_t j, bool transpose,
+                        std::shared_ptr<const SubShard> subshard) {
+  const uint64_t p = store_->num_intervals();
+  const uint64_t key = ((transpose ? p : 0) + i) * p + j;
+  const uint64_t bytes = subshard->MemoryBytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes_cached_ + bytes <= budget_bytes_ &&
+      cache_.emplace(key, std::move(subshard)).second) {
+    bytes_cached_ += bytes;
+  }
 }
 
 void SubShardCache::Clear() {

@@ -102,6 +102,14 @@ class SubShardCache {
   Result<std::shared_ptr<const SubShard>> Get(uint32_t i, uint32_t j,
                                               bool transpose = false);
 
+  /// Inserts a sub-shard decoded externally (the engine's first-iteration
+  /// warm-up loads whole rows through the prefetch pipeline and deposits
+  /// them here). Budget-checked like Get; a no-op if the key is already
+  /// cached or the budget cannot hold it. Does not count towards
+  /// bytes_loaded_from_disk() — the caller accounts its own read.
+  void Put(uint32_t i, uint32_t j, bool transpose,
+           std::shared_ptr<const SubShard> subshard);
+
   uint64_t bytes_cached() const;
   /// Bytes loaded from disk since construction (cache misses only; a load
   /// shared by concurrent callers counts once).

@@ -1,7 +1,9 @@
 #include "src/storage/hub_file.h"
 
 #include <cstring>
+#include <utility>
 
+#include "src/io/writeback.h"
 #include "src/util/serialize.h"
 
 namespace nxgraph {
@@ -60,6 +62,16 @@ Status HubFile::WriteHub(uint32_t i, uint32_t j, const void* data,
     return Status::InvalidArgument("hub payload exceeds segment capacity");
   }
   return writer_->WriteAt(offsets_[idx], data, bytes);
+}
+
+Status HubFile::WriteHub(WritebackQueue* wb, uint32_t i, uint32_t j,
+                         std::string payload) {
+  if (wb == nullptr) return WriteHub(i, j, payload.data(), payload.size());
+  const size_t idx = SegmentIndex(i, j);
+  if (payload.size() > capacities_[idx]) {
+    return Status::InvalidArgument("hub payload exceeds segment capacity");
+  }
+  return wb->Push(writer_.get(), offsets_[idx], std::move(payload));
 }
 
 Status HubFile::ReadHub(uint32_t i, uint32_t j, std::string* out) const {

@@ -15,6 +15,8 @@
 
 namespace nxgraph {
 
+class WritebackQueue;
+
 /// \brief Hub storage for the sub-shards SS_{i.j} with i >= q and j >= q
 /// (q = number of memory-resident intervals; q = 0 for pure DPU).
 ///
@@ -38,6 +40,12 @@ class HubFile {
   /// Writes the hub payload for SS_{i.j}. `data` is the serialized entry
   /// array (count-prefixed); its size must not exceed the segment capacity.
   Status WriteHub(uint32_t i, uint32_t j, const void* data, size_t bytes);
+
+  /// Write-behind variant: validates the payload against the segment
+  /// capacity, then hands the owned buffer to `wb` (write errors surface
+  /// from the queue's next Drain()). `wb == nullptr` writes synchronously.
+  Status WriteHub(WritebackQueue* wb, uint32_t i, uint32_t j,
+                  std::string payload);
 
   /// Reads the hub payload for SS_{i.j} into `out` (resized to the
   /// count-prefixed payload length).

@@ -1,5 +1,7 @@
 #include "src/storage/interval_store.h"
 
+#include "src/io/writeback.h"
+
 namespace nxgraph {
 
 Result<std::unique_ptr<IntervalStore>> IntervalStore::Create(
@@ -44,6 +46,14 @@ Status IntervalStore::Write(uint32_t interval, int parity, const void* buf) {
   const uint64_t offset =
       offsets_[interval] + (parity ? bytes : 0);
   return writer_->WriteAt(offset, buf, bytes);
+}
+
+Status IntervalStore::Write(WritebackQueue* wb, uint32_t interval, int parity,
+                            const void* buf) {
+  if (wb == nullptr) return Write(interval, parity, buf);
+  const uint64_t bytes = segment_bytes(interval);
+  const uint64_t offset = offsets_[interval] + (parity ? bytes : 0);
+  return wb->Push(writer_.get(), offset, buf, bytes);
 }
 
 }  // namespace nxgraph

@@ -14,6 +14,8 @@
 
 namespace nxgraph {
 
+class WritebackQueue;
+
 /// \brief Raw attribute file: for each interval i, two fixed segments
 /// ("ping" and "pong") of interval_size(i) * value_bytes bytes. The engine
 /// reads the previous iteration's parity and writes the next one, so a
@@ -34,6 +36,13 @@ class IntervalStore {
 
   /// Writes interval `i`'s segment of the given parity from `buf`.
   Status Write(uint32_t interval, int parity, const void* buf);
+
+  /// Write-behind variant: `buf` (segment_bytes(interval) long) is copied
+  /// into the queue only when `wb` is asynchronous — write errors then
+  /// surface from its next Drain(). `wb == nullptr` or a synchronous
+  /// queue writes inline straight from `buf`.
+  Status Write(WritebackQueue* wb, uint32_t interval, int parity,
+               const void* buf);
 
   uint64_t segment_bytes(uint32_t interval) const {
     return static_cast<uint64_t>(sizes_[interval]) * value_bytes_;

@@ -172,6 +172,33 @@ TEST(ThrottledEnvTest, HddSeeksCostMoreThanSsd) {
   EXPECT_GT(hdd, ssd * 5);
 }
 
+TEST(ThrottledEnvTest, RandomWritesPaySeeksAndFlushPaysSeek) {
+  auto mem = NewMemEnv();
+  auto time_writes = [&](DeviceProfile profile, bool adjacent, int flushes) {
+    auto env = NewThrottledEnv(mem.get(), profile);
+    std::unique_ptr<RandomWriteFile> f;
+    NX_CHECK_OK(env->NewRandomWriteFile("w", &f));
+    NX_CHECK_OK(f->Truncate(1 << 20));
+    char buf[16] = {0};
+    Timer t;
+    for (int i = 0; i < 10; ++i) {
+      // Adjacent writes stream; alternating offsets seek every time.
+      const uint64_t off = adjacent ? static_cast<uint64_t>(i) * sizeof(buf)
+                                    : (i % 2) * 65536;
+      NX_CHECK_OK(f->WriteAt(off, buf, sizeof(buf)));
+    }
+    for (int i = 0; i < flushes; ++i) NX_CHECK_OK(f->Flush());
+    return t.ElapsedSeconds();
+  };
+  // Non-adjacent writes must pay the HDD seek penalty like reads do.
+  const double scattered = time_writes(DeviceProfile::Hdd(), false, 0);
+  const double sequential = time_writes(DeviceProfile::Hdd(), true, 0);
+  EXPECT_GT(scattered, sequential * 5);
+  // Durability flushes are charged a seek each.
+  const double flushed = time_writes(DeviceProfile::Hdd(), true, 10);
+  EXPECT_GT(flushed, sequential + 10 * 0.008 * 0.5);
+}
+
 TEST(ThrottledEnvTest, PassesThroughMetadataOps) {
   auto mem = NewMemEnv();
   auto env = NewThrottledEnv(mem.get(), DeviceProfile::Ssd());

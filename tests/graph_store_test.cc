@@ -148,6 +148,36 @@ TEST(SubShardCacheTest, ConcurrentMissesShareOneLoad) {
   EXPECT_EQ(cache.bytes_loaded_from_disk(), seen[0]->MemoryBytes());
 }
 
+TEST(SubShardCacheTest, PutWarmsGetWithoutDiskLoad) {
+  EdgeList edges = testing::RandomGraph(100, 2000, 12);
+  auto ms = testing::BuildMemStore(edges, 2);
+  SubShardCache cache(ms.store, UINT64_MAX);
+  auto loaded = ms.store->LoadSubShard(0, 0);
+  ASSERT_TRUE(loaded.ok());
+  auto ss = std::make_shared<const SubShard>(std::move(loaded).value());
+  cache.Put(0, 0, false, ss);
+  EXPECT_EQ(cache.bytes_cached(), ss->MemoryBytes());
+  auto got = cache.Get(0, 0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->get(), ss.get());
+  // The warmed entry served the Get: nothing was loaded from disk and a
+  // second Put of the same key does not double-count.
+  EXPECT_EQ(cache.bytes_loaded_from_disk(), 0u);
+  cache.Put(0, 0, false, ss);
+  EXPECT_EQ(cache.bytes_cached(), ss->MemoryBytes());
+}
+
+TEST(SubShardCacheTest, PutRespectsBudget) {
+  EdgeList edges = testing::RandomGraph(100, 2000, 13);
+  auto ms = testing::BuildMemStore(edges, 2);
+  SubShardCache cache(ms.store, /*budget=*/1);
+  auto loaded = ms.store->LoadSubShard(0, 0);
+  ASSERT_TRUE(loaded.ok());
+  cache.Put(0, 0, false,
+            std::make_shared<const SubShard>(std::move(loaded).value()));
+  EXPECT_EQ(cache.bytes_cached(), 0u);  // over budget: dropped
+}
+
 TEST(GraphStoreTest, PerBlobVerifyMaskControlsChecksums) {
   EdgeList edges = testing::RandomGraph(80, 1200, 12);
   auto ms = testing::BuildMemStore(edges, 2);

@@ -172,6 +172,87 @@ TEST(StrategyTest, TightBudgetClampsPrefetchToDoubleBuffering) {
   EXPECT_EQ(d.subshard_cache_budget, row / 2);
 }
 
+// ---- write-behind funding -------------------------------------------------
+
+TEST(StrategyTest, FullyResidentRunGetsNoWritebackBuffer) {
+  RunOptions opt;
+  opt.memory_budget_bytes = 0;  // unlimited => SPU, no out-of-core writes
+  auto d = ChooseStrategy(SizedManifest(1000, 8, 4096), 8, 0, opt);
+  EXPECT_EQ(d.resident_intervals, 8u);
+  EXPECT_EQ(d.writeback_buffer_bytes, 0u);
+}
+
+TEST(StrategyTest, UnlimitedBudgetHonorsRequestedWriteback) {
+  RunOptions opt;
+  opt.strategy = UpdateStrategy::kDoublePhase;
+  opt.memory_budget_bytes = 0;
+  opt.writeback_buffer_bytes = 1 << 20;
+  auto d = ChooseStrategy(SizedManifest(1000, 8, 4096), 8, 0, opt);
+  EXPECT_EQ(d.writeback_buffer_bytes, 1u << 20);
+}
+
+TEST(StrategyTest, WritebackZeroDisablesQueue) {
+  RunOptions opt;
+  opt.strategy = UpdateStrategy::kDoublePhase;
+  opt.writeback_buffer_bytes = 0;
+  auto d = ChooseStrategy(SizedManifest(1000, 8, 4096), 8, 0, opt);
+  EXPECT_EQ(d.writeback_buffer_bytes, 0u);
+}
+
+TEST(StrategyTest, WritebackFundedFromCacheLeftoverAfterPrefetch) {
+  const uint64_t n = 1000;
+  const uint64_t row = 4096;
+  RunOptions opt;
+  // Forced DPU with a budget big enough to pin the whole decoded graph in
+  // the sub-shard cache plus 10000 bytes of surplus.
+  opt.strategy = UpdateStrategy::kDoublePhase;
+  opt.prefetch_depth = 1;  // first slot rides free: no cache spend
+  opt.writeback_buffer_bytes = 3000;
+  Manifest m = SizedManifest(n, 8, row);
+  const uint64_t total = 8 * row;
+  opt.memory_budget_bytes = total + 10000;
+  auto d = ChooseStrategy(m, 8, 0, opt);
+  ASSERT_EQ(d.resident_intervals, 0u);
+  // The request fits the surplus beyond pinning the graph, so it is fully
+  // funded out of the cache leftover.
+  EXPECT_EQ(d.writeback_buffer_bytes, 3000u);
+  EXPECT_GE(d.subshard_cache_budget, total);
+}
+
+TEST(StrategyTest, WritebackNeverDemotesCachedRunToStreaming) {
+  const uint64_t n = 1000;
+  const uint64_t row = 4096;
+  RunOptions opt;
+  opt.strategy = UpdateStrategy::kDoublePhase;
+  opt.prefetch_depth = 1;
+  opt.writeback_buffer_bytes = 1 << 20;  // far more than the surplus
+  Manifest m = SizedManifest(n, 8, row);
+  const uint64_t total = 8 * row;
+  opt.memory_budget_bytes = total + 100;  // surplus of 100 bytes
+  auto d = ChooseStrategy(m, 8, 0, opt);
+  ASSERT_EQ(d.resident_intervals, 0u);
+  // The 100-byte surplus is below the largest single payload (an interval
+  // segment), so write-behind degrades to synchronous instead of taking a
+  // degenerate window — and the cache can still hold every decoded
+  // sub-shard, so the run stays cached.
+  EXPECT_EQ(d.writeback_buffer_bytes, 0u);
+  EXPECT_GE(d.subshard_cache_budget, total);
+}
+
+TEST(StrategyTest, TightBudgetClampsWriteback) {
+  const uint64_t n = 10000;
+  RunOptions opt;
+  opt.strategy = UpdateStrategy::kDoublePhase;
+  opt.prefetch_depth = 1;
+  opt.writeback_buffer_bytes = 1 << 20;
+  opt.memory_budget_bytes = 500;  // streaming: cache budget is tiny
+  Manifest m = SizedManifest(n, 8, 4096);
+  auto d = ChooseStrategy(m, 8, 0, opt);
+  // The tiny leftover cannot hold even one payload, so the window is not
+  // worth its overhead: write-behind falls back to synchronous mode.
+  EXPECT_EQ(d.writeback_buffer_bytes, 0u);
+}
+
 TEST(StrategyTest, AutoMatchesPaperThresholds) {
   const uint64_t n = 8000;
   const uint32_t vb = 8;

@@ -1,0 +1,409 @@
+// Write-behind queue tests: FIFO-per-offset ordering, byte-budget
+// backpressure, error propagation (write and flush), Drain-then-reuse,
+// early shutdown with writes still queued, and engine-level parity between
+// synchronous (budget 0) and write-behind runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <thread>
+
+#include "src/algos/programs.h"
+#include "src/engine/engine.h"
+#include "src/io/writeback.h"
+#include "tests/test_util.h"
+
+namespace nxgraph {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// RandomWriteFile fake: applies writes to an in-memory buffer, records the
+/// order they landed in, and can inject delays, write errors, flush errors,
+/// and a start gate.
+class FakeWriteFile : public RandomWriteFile {
+ public:
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override {
+    const int seq = started_.fetch_add(1);
+    if (gate_ != nullptr) gate_->wait();
+    if (delay_per_write_count_ > 0) {
+      // Earlier writes sleep longer, so any ordering the queue does not
+      // enforce would scramble.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds((delay_per_write_count_ - seq) * 2));
+    }
+    if (!write_status_.ok()) return write_status_;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (buffer_.size() < offset + n) buffer_.resize(offset + n);
+    std::memcpy(buffer_.data() + offset, data, n);
+    applied_.emplace_back(offset,
+                          std::string(static_cast<const char*>(data), n));
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    flushes_.fetch_add(1);
+    return flush_status_;
+  }
+  Status Truncate(uint64_t size) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer_.resize(size);
+    return Status::OK();
+  }
+  Status Close() override { return Status::OK(); }
+
+  std::string buffer() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buffer_;
+  }
+  std::vector<std::pair<uint64_t, std::string>> applied() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return applied_;
+  }
+  int started() const { return started_.load(); }
+  int flushes() const { return flushes_.load(); }
+
+  Status write_status_;
+  Status flush_status_;
+  std::shared_future<void>* gate_ = nullptr;
+  int delay_per_write_count_ = 0;
+
+ private:
+  std::mutex mu_;
+  std::string buffer_;
+  std::vector<std::pair<uint64_t, std::string>> applied_;
+  std::atomic<int> started_{0};
+  std::atomic<int> flushes_{0};
+};
+
+TEST(WritebackQueueTest, FifoPerOffsetOrdering) {
+  ThreadPool io(4);
+  FakeWriteFile file;
+  constexpr int kWrites = 8;
+  file.delay_per_write_count_ = kWrites;
+  WritebackQueue wb(&io, /*budget=*/1 << 20);
+  for (int k = 0; k < kWrites; ++k) {
+    ASSERT_TRUE(wb.Push(&file, 0, std::string(4, 'a' + k)).ok());
+  }
+  ASSERT_TRUE(wb.Drain().ok());
+  // Overlapping writes must land in push order, so the last one wins and
+  // the applied sequence is exactly the push sequence.
+  EXPECT_EQ(file.buffer(), std::string(4, 'a' + kWrites - 1));
+  auto applied = file.applied();
+  ASSERT_EQ(applied.size(), static_cast<size_t>(kWrites));
+  for (int k = 0; k < kWrites; ++k) {
+    EXPECT_EQ(applied[k].second, std::string(4, 'a' + k)) << "write " << k;
+  }
+}
+
+TEST(WritebackQueueTest, DisjointWritesDrainConcurrently) {
+  ThreadPool io(4);
+  FakeWriteFile file;
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  file.gate_ = &open;
+  WritebackQueue wb(&io, 1 << 20);
+  for (int k = 0; k < 3; ++k) {
+    ASSERT_TRUE(wb.Push(&file, k * 100, std::string(10, 'x')).ok());
+  }
+  // All three writes are disjoint, so all should be in flight at once.
+  for (int spin = 0; spin < 1000 && file.started() < 3; ++spin) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(file.started(), 3);
+  gate.set_value();
+  ASSERT_TRUE(wb.Drain().ok());
+  EXPECT_EQ(wb.pending_bytes(), 0u);
+}
+
+TEST(WritebackQueueTest, ByteBudgetAppliesBackpressure) {
+  ThreadPool io(2);
+  FakeWriteFile file;
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  file.gate_ = &open;
+  WritebackQueue wb(&io, /*budget=*/100);
+  ASSERT_TRUE(wb.Push(&file, 0, std::string(60, 'a')).ok());
+  std::atomic<bool> second_admitted{false};
+  std::thread producer([&] {
+    // 60 + 50 exceeds the budget: this Push must block until the first
+    // write lands.
+    ASSERT_TRUE(wb.Push(&file, 100, std::string(50, 'b')).ok());
+    second_admitted.store(true);
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(second_admitted.load())
+      << "Push must block while the budget is full";
+  gate.set_value();
+  producer.join();
+  EXPECT_TRUE(second_admitted.load());
+  ASSERT_TRUE(wb.Drain().ok());
+  EXPECT_GT(wb.write_wait_seconds(), 0.0);
+}
+
+TEST(WritebackQueueTest, OversizedPayloadAdmittedAlone) {
+  ThreadPool io(1);
+  FakeWriteFile file;
+  WritebackQueue wb(&io, /*budget=*/16);
+  // A payload larger than the whole budget must not deadlock the producer.
+  ASSERT_TRUE(wb.Push(&file, 0, std::string(1000, 'z')).ok());
+  ASSERT_TRUE(wb.Drain().ok());
+  EXPECT_EQ(file.buffer().size(), 1000u);
+}
+
+TEST(WritebackQueueTest, WriteErrorSurfacesFromDrain) {
+  ThreadPool io(2);
+  FakeWriteFile file;
+  file.write_status_ = Status::IOError("disk fell over");
+  WritebackQueue wb(&io, 1 << 20);
+  ASSERT_TRUE(wb.Push(&file, 0, "payload").ok());
+  Status s = wb.Drain();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError());
+}
+
+TEST(WritebackQueueTest, FlushErrorSurfacesFromDrain) {
+  ThreadPool io(2);
+  FakeWriteFile good;
+  FakeWriteFile bad;
+  bad.flush_status_ = Status::IOError("flush lost power");
+  WritebackQueue wb(&io, 1 << 20);
+  ASSERT_TRUE(wb.Push(&good, 0, "ok").ok());
+  ASSERT_TRUE(wb.Push(&bad, 0, "doomed").ok());
+  Status s = wb.Drain();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError());
+  // Both targets were flushed even though one failed.
+  EXPECT_EQ(good.flushes(), 1);
+  EXPECT_EQ(bad.flushes(), 1);
+}
+
+TEST(WritebackQueueTest, DrainThenReuse) {
+  ThreadPool io(2);
+  FakeWriteFile file;
+  WritebackQueue wb(&io, 1 << 20);
+  ASSERT_TRUE(wb.Push(&file, 0, "first").ok());
+  ASSERT_TRUE(wb.Drain().ok());
+  EXPECT_EQ(file.flushes(), 1);
+  ASSERT_TRUE(wb.Push(&file, 0, "secnd").ok());
+  ASSERT_TRUE(wb.Drain().ok());
+  EXPECT_EQ(file.buffer(), "secnd");
+  // Each barrier flushes targets written since the previous one.
+  EXPECT_EQ(file.flushes(), 2);
+}
+
+TEST(WritebackQueueTest, OrderingDrainDefersFlushToSyncingDrain) {
+  ThreadPool io(2);
+  FakeWriteFile file;
+  WritebackQueue wb(&io, 1 << 20);
+  ASSERT_TRUE(wb.Push(&file, 0, "first").ok());
+  ASSERT_TRUE(wb.Drain(/*sync=*/false).ok());
+  EXPECT_EQ(file.buffer(), "first") << "ordering drains still wait for writes";
+  EXPECT_EQ(file.flushes(), 0) << "flush debt is deferred";
+  ASSERT_TRUE(wb.Push(&file, 8, "later").ok());
+  ASSERT_TRUE(wb.Drain().ok());
+  EXPECT_EQ(file.flushes(), 1) << "the syncing drain settles the debt";
+}
+
+TEST(WritebackQueueTest, ErrorResetsAfterDrainReportsIt) {
+  ThreadPool io(2);
+  FakeWriteFile file;
+  file.write_status_ = Status::IOError("transient");
+  WritebackQueue wb(&io, 1 << 20);
+  ASSERT_TRUE(wb.Push(&file, 0, "fails").ok());
+  ASSERT_FALSE(wb.Drain().ok());
+  file.write_status_ = Status::OK();
+  ASSERT_TRUE(wb.Push(&file, 0, "works").ok());
+  EXPECT_TRUE(wb.Drain().ok()) << "a reported error must not stay sticky";
+}
+
+TEST(WritebackQueueTest, EarlyShutdownCompletesQueuedWrites) {
+  ThreadPool io(1);
+  FakeWriteFile file;
+  constexpr int kWrites = 16;
+  {
+    WritebackQueue wb(&io, 1 << 20);
+    for (int k = 0; k < kWrites; ++k) {
+      ASSERT_TRUE(
+          wb.Push(&file, static_cast<uint64_t>(k) * 8, std::string(8, 'w'))
+              .ok());
+    }
+    // Destructor: a write-behind queue must never drop enqueued data.
+  }
+  EXPECT_EQ(file.applied().size(), static_cast<size_t>(kWrites));
+  EXPECT_EQ(file.buffer().size(), static_cast<size_t>(kWrites) * 8);
+  EXPECT_EQ(file.flushes(), 1);
+}
+
+TEST(WritebackQueueTest, BudgetZeroWritesSynchronouslyInline) {
+  FakeWriteFile file;
+  WritebackQueue wb(nullptr, /*budget=*/0);
+  ASSERT_TRUE(wb.Push(&file, 0, "sync").ok());
+  // The write landed before Push returned; no pool, no pending bytes.
+  EXPECT_EQ(file.buffer(), "sync");
+  EXPECT_EQ(wb.pending_bytes(), 0u);
+  // Synchronous write time is charged as unhidden write wait.
+  EXPECT_GE(wb.write_wait_seconds(), 0.0);
+  file.write_status_ = Status::IOError("nope");
+  EXPECT_TRUE(wb.Push(&file, 0, "fails").IsIOError())
+      << "synchronous mode returns the write status directly";
+  ASSERT_TRUE(wb.Drain().ok());
+  // Budget 0 reproduces the pre-writeback path exactly: no durability
+  // flushes are issued on its behalf.
+  EXPECT_EQ(file.flushes(), 0);
+}
+
+TEST(WritebackQueueTest, ConcurrentProducersAllLand) {
+  ThreadPool io(3);
+  FakeWriteFile file;
+  WritebackQueue wb(&io, /*budget=*/256);  // tight: forces backpressure
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 32;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (int k = 0; k < kPerProducer; ++k) {
+        const uint64_t off =
+            (static_cast<uint64_t>(t) * kPerProducer + k) * 16;
+        ASSERT_TRUE(wb.Push(&file, off, std::string(16, 'a' + t)).ok());
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  ASSERT_TRUE(wb.Drain().ok());
+  EXPECT_EQ(file.applied().size(),
+            static_cast<size_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(file.buffer().size(),
+            static_cast<size_t>(kProducers) * kPerProducer * 16);
+}
+
+// ---- engine parity --------------------------------------------------------
+
+// Out-of-core PageRank results must be bit-identical at every write-behind
+// budget: 0 (synchronous), a tiny 64 KiB window, and effectively unbounded.
+TEST(EngineWritebackTest, DpuPageRankParityAcrossBudgets) {
+  EdgeList edges = testing::RandomGraph(300, 4000, 51);
+  auto ms = testing::BuildMemStore(edges, 5);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+
+  // Cached in-memory baseline (no out-of-core writes at all).
+  RunOptions cached;
+  cached.max_iterations = 4;
+  cached.num_threads = 2;
+  Engine<PageRankProgram> cached_engine(ms.store, program, cached);
+  ASSERT_TRUE(cached_engine.Run().ok());
+
+  for (uint64_t budget : {uint64_t{0}, uint64_t{64} << 10, ~uint64_t{0}}) {
+    RunOptions opt;
+    opt.strategy = UpdateStrategy::kDoublePhase;
+    opt.max_iterations = 4;
+    opt.num_threads = 3;
+    opt.io_threads = 2;
+    opt.writeback_buffer_bytes = budget;
+    Engine<PageRankProgram> engine(ms.store, program, opt);
+    auto stats = engine.Run();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->strategy, "DPU");
+    EXPECT_EQ(stats->writeback_buffer_bytes, budget);
+    EXPECT_GE(stats->write_wait_seconds, 0.0);
+    EXPECT_EQ(engine.values(), cached_engine.values())
+        << "writeback budget " << budget;
+  }
+}
+
+TEST(EngineWritebackTest, DpuWccParityAcrossBudgets) {
+  EdgeList edges = testing::RandomGraph(200, 900, 52);
+  auto ms = testing::BuildMemStore(edges, 4);
+  WccProgram program;
+
+  RunOptions cached;
+  cached.direction = EdgeDirection::kBoth;
+  cached.num_threads = 2;
+  Engine<WccProgram> cached_engine(ms.store, program, cached);
+  ASSERT_TRUE(cached_engine.Run().ok());
+
+  for (uint64_t budget : {uint64_t{0}, uint64_t{64} << 10, ~uint64_t{0}}) {
+    RunOptions opt;
+    opt.strategy = UpdateStrategy::kDoublePhase;
+    opt.direction = EdgeDirection::kBoth;
+    opt.num_threads = 3;
+    opt.io_threads = 2;
+    opt.writeback_buffer_bytes = budget;
+    Engine<WccProgram> engine(ms.store, program, opt);
+    auto stats = engine.Run();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(engine.values(), cached_engine.values())
+        << "writeback budget " << budget;
+  }
+}
+
+// MPU under a limited memory budget exercises writeback on the streaming
+// read path too (Phase B rows stream while hubs and intervals write back).
+TEST(EngineWritebackTest, MpuStreamingParityAcrossBudgets) {
+  EdgeList edges = testing::RandomGraph(400, 5000, 53);
+  auto ms = testing::BuildMemStore(edges, 6);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+
+  std::vector<double> baseline;
+  for (uint64_t budget : {uint64_t{0}, uint64_t{64} << 10, ~uint64_t{0}}) {
+    RunOptions opt;
+    opt.strategy = UpdateStrategy::kMixedPhase;
+    // Roughly half the intervals resident; too small to cache sub-shards,
+    // so reads stream while writes go through the write-behind queue.
+    opt.memory_budget_bytes = ms.store->num_vertices() * sizeof(double) +
+                              ms.store->num_vertices() * 4;
+    opt.max_iterations = 4;
+    opt.num_threads = 2;
+    opt.writeback_buffer_bytes = budget;
+    Engine<PageRankProgram> engine(ms.store, program, opt);
+    auto stats = engine.Run();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_GT(stats->resident_intervals, 0u);
+    EXPECT_LT(stats->resident_intervals, 6u);
+    if (baseline.empty()) {
+      baseline = engine.values();
+    } else {
+      EXPECT_EQ(engine.values(), baseline) << "writeback budget " << budget;
+    }
+  }
+}
+
+TEST(EngineWritebackTest, SpuRunsReportNoWritebackBuffer) {
+  EdgeList edges = testing::RandomGraph(100, 800, 54);
+  auto ms = testing::BuildMemStore(edges, 4);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+  RunOptions opt;
+  opt.max_iterations = 2;
+  Engine<PageRankProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->strategy, "SPU");
+  // Fully resident runs have no out-of-core writes to hide.
+  EXPECT_EQ(stats->writeback_buffer_bytes, 0u);
+  EXPECT_EQ(stats->write_wait_seconds, 0.0);
+}
+
+TEST(EngineWritebackTest, DefaultOutOfCoreRunUsesWriteback) {
+  EdgeList edges = testing::RandomGraph(200, 2500, 55);
+  auto ms = testing::BuildMemStore(edges, 4);
+  PageRankProgram program;
+  program.num_vertices = ms.store->num_vertices();
+  RunOptions opt;
+  opt.strategy = UpdateStrategy::kDoublePhase;
+  opt.max_iterations = 2;
+  opt.num_threads = 2;
+  Engine<PageRankProgram> engine(ms.store, program, opt);
+  auto stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  // Write-behind is on by default for out-of-core runs.
+  EXPECT_EQ(stats->writeback_buffer_bytes, opt.writeback_buffer_bytes);
+  EXPECT_GT(stats->bytes_written, 0u);
+}
+
+}  // namespace
+}  // namespace nxgraph
