@@ -1,0 +1,92 @@
+// Checkpoint overhead benchmark: forced-DPU PageRank on a throttled SSD
+// Env, sweeping the checkpoint interval. At interval 1 the checkpoint adds
+// only a durability flush and the atomic record commit per iteration (DPU
+// has no resident intervals to persist), so the target is < 3% wall-clock
+// over a run with checkpointing off; sparser checkpoints additionally copy
+// the non-resident segments into the side snapshot store, paying more per
+// checkpoint but less often.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/util/byte_size.h"
+
+namespace nxgraph {
+namespace {
+
+int g_scratch_counter = 0;
+
+RunStats RunAtInterval(std::shared_ptr<GraphStore> throttled, int interval,
+                       int iterations) {
+  PageRankProgram program;
+  program.num_vertices = throttled->num_vertices();
+  RunOptions opt;
+  opt.strategy = UpdateStrategy::kDoublePhase;  // every iteration on disk
+  opt.max_iterations = iterations;
+  opt.num_threads = 2;
+  opt.io_threads = 2;
+  opt.writeback_threads = 4;
+  opt.checkpoint_interval = interval;
+  // Fresh scratch per run: a leftover checkpoint would turn the next run
+  // into an instant resume and measure nothing.
+  opt.scratch_dir = throttled->dir() + "/bench_ckpt_" +
+                    std::to_string(g_scratch_counter++);
+  throttled->env()->RemoveDirRecursively(opt.scratch_dir);
+  Engine<PageRankProgram> engine(throttled, program, opt);
+  auto stats = engine.Run();
+  NX_CHECK(stats.ok()) << stats.status().ToString();
+  return *stats;
+}
+
+void BM_CheckpointInterval(benchmark::State& state) {
+  auto store = bench::GetStore("live-journal-sim", 32, false);
+  auto env = NewThrottledEnv(Env::Default(), DeviceProfile::Ssd());
+  auto throttled = OpenGraphStore(store->dir(), env.get());
+  NX_CHECK(throttled.ok());
+  for (auto _ : state) {
+    auto r = RunAtInterval(*throttled, static_cast<int>(state.range(0)), 3);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CheckpointInterval)->Arg(0)->Arg(1)->Unit(benchmark::kSecond);
+
+}  // namespace
+}  // namespace nxgraph
+
+int main(int argc, char** argv) {
+  using namespace nxgraph;
+  const bool full = bench::FullMode(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  std::printf(
+      "\n=== Checkpoint overhead: forced-DPU PageRank on a throttled SSD Env "
+      "(live-journal-sim, P=32, 2 compute threads) ===\n\n");
+  auto store = bench::GetStore("live-journal-sim", 32, full);
+  auto env = NewThrottledEnv(Env::Default(), DeviceProfile::Ssd());
+  auto throttled = OpenGraphStore(store->dir(), env.get());
+  NX_CHECK(throttled.ok()) << throttled.status().ToString();
+
+  const int iterations = full ? 10 : 5;
+  bench::Table table({"Interval", "Wall (s)", "Ckpt (s)", "Ckpts", "MTEPS",
+                      "Overhead vs off"});
+  double off_seconds = 0;
+  for (int interval : {0, 1, 4}) {
+    RunStats stats = RunAtInterval(*throttled, interval, iterations);
+    if (interval == 0) off_seconds = stats.seconds;
+    const double overhead =
+        off_seconds > 0 ? (stats.seconds / off_seconds - 1.0) * 100.0 : 0.0;
+    table.AddRow({interval == 0 ? "off" : std::to_string(interval),
+                  bench::Fmt(stats.seconds, 3),
+                  bench::Fmt(stats.checkpoint_seconds, 3),
+                  std::to_string(stats.checkpoints_written),
+                  bench::Fmt(stats.Mteps(), 1),
+                  interval == 0 ? "-" : bench::Fmt(overhead, 1) + "%"});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: interval 1 adds only the durability flush and the "
+      "atomic record commit per iteration (target < 3%% wall-clock); "
+      "interval 4 pays the side snapshot copy but only every 4th "
+      "boundary.\n");
+  return 0;
+}

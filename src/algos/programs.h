@@ -5,9 +5,26 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 
 #include "src/engine/vertex_program.h"
+
+namespace nxgraph::internal {
+
+/// Folds a raw value's bytes into a parameter fingerprint (FNV-1a step);
+/// used by the programs' StateFingerprint hooks, which the engine's
+/// checkpoint subsystem consults so a resumed run provably carries the
+/// same parameters as the interrupted one.
+template <typename T>
+inline uint64_t FoldFingerprint(uint64_t h, T value) {
+  unsigned char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  for (unsigned char b : bytes) h = (h ^ b) * 1099511628211ull;
+  return h;
+}
+
+}  // namespace nxgraph::internal
 
 namespace nxgraph {
 
@@ -39,6 +56,12 @@ struct PageRankProgram {
     return std::fabs(new_value - old_value) > tolerance;
   }
   bool InitiallyActive(VertexId) const { return true; }
+  uint64_t StateFingerprint() const {
+    uint64_t h = internal::FoldFingerprint(1469598103934665603ull,
+                                           num_vertices);
+    h = internal::FoldFingerprint(h, damping);
+    return internal::FoldFingerprint(h, tolerance);
+  }
 };
 
 /// \brief BFS depth from a root (paper Algorithms 2-4).
@@ -64,6 +87,9 @@ struct BfsProgram {
     return old_value != new_value;
   }
   bool InitiallyActive(VertexId v) const { return v == root; }
+  uint64_t StateFingerprint() const {
+    return internal::FoldFingerprint(1469598103934665603ull, root);
+  }
 };
 
 /// \brief Weakly connected components by min-label propagation. Run with
@@ -113,6 +139,9 @@ struct SsspProgram {
     return old_value != new_value;
   }
   bool InitiallyActive(VertexId v) const { return v == root; }
+  uint64_t StateFingerprint() const {
+    return internal::FoldFingerprint(1469598103934665603ull, root);
+  }
 };
 
 /// \brief Forward min-color propagation for the SCC coloring algorithm.

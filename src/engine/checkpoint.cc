@@ -1,0 +1,90 @@
+#include "src/engine/checkpoint.h"
+
+#include "src/util/crc32c.h"
+#include "src/util/serialize.h"
+
+namespace nxgraph {
+
+std::string CheckpointState::Encode() const {
+  std::string out;
+  EncodeFixed<uint32_t>(&out, kCheckpointMagic);
+  EncodeFixed<uint32_t>(&out, kCheckpointVersion);
+  EncodeFixed<uint64_t>(&out, graph_fingerprint);
+  EncodeFixed<uint64_t>(&out, program_id);
+  EncodeFixed<uint64_t>(&out, program_state);
+  EncodeFixed<uint8_t>(&out, direction);
+  EncodeFixed<uint32_t>(&out, value_bytes);
+  EncodeFixed<uint32_t>(&out, num_intervals);
+  EncodeFixed<uint32_t>(&out, resident_intervals);
+  EncodeFixed<uint32_t>(&out, iteration);
+  EncodeFixed<uint8_t>(&out, has_snapshot);
+  EncodeFixed<uint8_t>(&out, snapshot_parity);
+  out.append(reinterpret_cast<const char*>(value_parity.data()),
+             value_parity.size());
+  out.append(reinterpret_cast<const char*>(active.data()), active.size());
+  EncodeFixed<uint32_t>(&out, crc32c::Value(out.data(), out.size()));
+  return out;
+}
+
+Result<CheckpointState> CheckpointState::Decode(const std::string& data) {
+  if (data.size() < 4) return Status::Corruption("checkpoint too short");
+  const uint32_t stored_crc =
+      DecodeFixed<uint32_t>(data.data() + data.size() - 4);
+  if (stored_crc != crc32c::Value(data.data(), data.size() - 4)) {
+    return Status::Corruption("checkpoint checksum mismatch");
+  }
+  SliceReader r(data.data(), data.size() - 4);
+  CheckpointState s;
+  uint32_t magic = 0, version = 0;
+  if (!r.Read(&magic) || !r.Read(&version) || !r.Read(&s.graph_fingerprint) ||
+      !r.Read(&s.program_id) || !r.Read(&s.program_state) ||
+      !r.Read(&s.direction) ||
+      !r.Read(&s.value_bytes) || !r.Read(&s.num_intervals) ||
+      !r.Read(&s.resident_intervals) || !r.Read(&s.iteration) ||
+      !r.Read(&s.has_snapshot) || !r.Read(&s.snapshot_parity)) {
+    return Status::Corruption("checkpoint truncated");
+  }
+  if (magic != kCheckpointMagic) {
+    return Status::Corruption("bad checkpoint magic");
+  }
+  if (version != kCheckpointVersion) {
+    return Status::NotSupported("checkpoint version " +
+                                std::to_string(version));
+  }
+  if (r.remaining() != 2 * static_cast<size_t>(s.num_intervals)) {
+    return Status::Corruption("checkpoint vector size mismatch");
+  }
+  s.value_parity.resize(s.num_intervals);
+  s.active.resize(s.num_intervals);
+  if (!r.ReadBytes(s.value_parity.data(), s.num_intervals) ||
+      !r.ReadBytes(s.active.data(), s.num_intervals)) {
+    return Status::Corruption("checkpoint truncated");
+  }
+  for (uint8_t parity : s.value_parity) {
+    if (parity > 1) return Status::Corruption("checkpoint parity out of range");
+  }
+  return s;
+}
+
+CheckpointManager::CheckpointManager(Env* env, std::string scratch_dir)
+    : env_(env),
+      path_(std::move(scratch_dir) + "/" + kCheckpointFileName) {}
+
+Status CheckpointManager::Write(const CheckpointState& state) {
+  return WriteStringToFileDurable(env_, path_, state.Encode());
+}
+
+Result<CheckpointState> CheckpointManager::Load() const {
+  if (!env_->FileExists(path_)) return Status::NotFound(path_);
+  std::string data;
+  NX_RETURN_NOT_OK(ReadFileToString(env_, path_, &data));
+  if (data.empty()) return Status::NotFound(path_ + " (tombstone)");
+  return CheckpointState::Decode(data);
+}
+
+Status CheckpointManager::Remove() {
+  if (!env_->FileExists(path_)) return Status::OK();
+  return WriteStringToFileDurable(env_, path_, "");
+}
+
+}  // namespace nxgraph

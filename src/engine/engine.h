@@ -19,14 +19,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <concepts>
 #include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <typeinfo>
 #include <utility>
 #include <vector>
 
+#include "src/engine/checkpoint.h"
 #include "src/engine/options.h"
 #include "src/engine/strategy.h"
 #include "src/engine/vertex_program.h"
@@ -70,6 +73,15 @@ class Engine {
   // ---- setup ----
   Status Prepare();
   Status InitValues();
+
+  // ---- checkpoint/restart ----
+  // Attempts to seed this run from the scratch directory's checkpoint;
+  // returns true on success. Any validation failure (missing/corrupt
+  // record, wrong graph/P/Q/value size, unusable value files) logs a
+  // warning and returns false — the caller then starts from iteration 0.
+  bool TryResume(Env* env, const std::string& scratch);
+  // Commits a checkpoint if `completed_iterations` lands on the interval.
+  Status MaybeCheckpoint(int completed_iterations);
 
   // ---- one iteration ----
   Status RunIteration(int iter);
@@ -255,6 +267,10 @@ class Engine {
   std::unique_ptr<ThreadPool> wb_pool_;  // dedicated write-behind threads
   std::unique_ptr<SubShardCache> cache_;
   std::unique_ptr<IntervalStore> interval_store_;   // non-resident values
+  // Snapshot store for checkpoint_interval > 1. Declared (like the stores
+  // above) BEFORE writeback_: the queue's destructor drains writes still
+  // targeting these files, so it must be destroyed first.
+  std::unique_ptr<IntervalStore> ckpt_store_;
   std::unique_ptr<HubFile> hubs_forward_;
   std::unique_ptr<HubFile> hubs_transpose_;
   // Write-behind queue for all out-of-core writes (hub payloads, interval
@@ -264,6 +280,50 @@ class Engine {
   std::unique_ptr<WritebackQueue> writeback_;
   std::vector<uint32_t> out_degrees_;
   std::vector<uint32_t> in_degrees_;
+
+  // ---- checkpoint/restart state ----
+  // The record manager plus (ckpt_store_, declared with the other stores
+  // above) a side snapshot store for checkpoint_interval > 1: the live
+  // interval store's ping-pong only protects ONE iteration of history, so
+  // checkpoints further apart must copy the non-resident segments
+  // somewhere the intervening iterations never write. Resident intervals
+  // always checkpoint into the live store — the engine reads them purely
+  // from memory, so their on-disk segments belong to the checkpoint alone
+  // and alternate parity per checkpoint.
+  std::unique_ptr<CheckpointManager> ckpt_;
+  uint64_t fingerprint_ = 0;       // Manifest::Fingerprint of store_
+
+  // Program identity for checkpoint validation: the record must never seed
+  // a different algorithm that happens to share the value size (BFS and
+  // WCC are both uint32_t). The mangled type name is stable for a given
+  // program type; a record written by a differently-compiled binary at
+  // worst mismatches and falls back to a fresh start.
+  static uint64_t ProgramId() {
+    const char* name = typeid(Program).name();
+    uint64_t h = 1469598103934665603ull;  // FNV-1a
+    for (const char* c = name; *c != '\0'; ++c) {
+      h = (h ^ static_cast<uint8_t>(*c)) * 1099511628211ull;
+    }
+    return h;
+  }
+
+  // Parameter fingerprint: programs expose `uint64_t StateFingerprint()
+  // const` so a checkpoint is only resumed by a run with the same
+  // parameters (SSSP rooted at 7 must not continue a checkpoint rooted at
+  // 0). Programs without the hook checkpoint with 0 — their behavior is
+  // fully determined by their type.
+  static uint64_t ProgramState(const Program& p) {
+    if constexpr (requires { { p.StateFingerprint() } -> std::same_as<uint64_t>; }) {
+      return p.StateFingerprint();
+    } else {
+      return 0;
+    }
+  }
+  int ckpt_snapshot_parity_ = 1;   // last snapshot parity written
+  int resume_iter_ = 0;            // iteration the run continues from
+  bool resumed_ = false;
+  int checkpoints_written_ = 0;
+  double checkpoint_seconds_ = 0;
 
   // ---- per-run state ----
   std::vector<std::vector<Value>> old_values_;  // resident ping
@@ -345,16 +405,51 @@ Status Engine<Program>::Prepare() {
   cache_ = std::make_unique<SubShardCache>(store_,
                                            decision_.subshard_cache_budget);
 
+  active_.assign(p_, 0);
+  next_active_ = std::make_unique<std::atomic<uint8_t>[]>(p_);
+  value_parity_.assign(p_, 0);
+  hub_written_.assign(2 * static_cast<size_t>(p_) * p_, 0);
+  verified_.assign(2 * static_cast<size_t>(p_) * p_, 0);
+
   std::string scratch = options_.scratch_dir.empty()
                             ? store_->dir() + "/run"
                             : options_.scratch_dir;
   Env* env = store_->env();
-  if (q_ < p_) {
+  const bool checkpointing = options_.checkpoint_interval > 0;
+  if (q_ < p_ || checkpointing) {
     NX_RETURN_NOT_OK(env->CreateDirs(scratch));
+    // The manager exists whenever the scratch directory does, so even a
+    // non-checkpointing run can invalidate a stale record below;
+    // checkpoint writes stay gated on checkpoint_interval.
+    ckpt_ = std::make_unique<CheckpointManager>(env, scratch);
+  }
+  if (checkpointing) {
+    fingerprint_ = m.Fingerprint();
+    resumed_ = TryResume(env, scratch);
+  }
+  if ((q_ < p_ || checkpointing) && !resumed_) {
+    // Fresh start: drop any stale record BEFORE truncating the value
+    // stores — a crash between the two steps must never leave a record
+    // pointing at zeroed data. Done even when checkpointing is off: a
+    // non-checkpointing run overwrites the same scratch files, and a
+    // leftover record from an earlier run would otherwise validate
+    // against data it never described.
+    NX_RETURN_NOT_OK(ckpt_->Remove());
     NX_ASSIGN_OR_RETURN(
         interval_store_,
         IntervalStore::Create(env, scratch + "/values.nxi", m,
                               sizeof(Value)));
+  }
+  if (checkpointing && options_.checkpoint_interval > 1 && q_ < p_ &&
+      ckpt_store_ == nullptr) {
+    // TryResume leaves the snapshot store open when the record references
+    // it; truncating here is safe exactly because it does not.
+    NX_ASSIGN_OR_RETURN(
+        ckpt_store_,
+        IntervalStore::Create(env, scratch + "/values_ckpt.nxi", m,
+                              sizeof(Value)));
+  }
+  if (q_ < p_) {
     if (use_forward) {
       NX_ASSIGN_OR_RETURN(hubs_forward_,
                           HubFile::Create(env, scratch + "/hubs_f.nxh", m, q_,
@@ -387,12 +482,6 @@ Status Engine<Program>::Prepare() {
         DirectionPlan{true, &in_degrees_, hubs_transpose_.get()});
   }
 
-  active_.assign(p_, 0);
-  next_active_ = std::make_unique<std::atomic<uint8_t>[]>(p_);
-  value_parity_.assign(p_, 0);
-  hub_written_.assign(2 * static_cast<size_t>(p_) * p_, 0);
-  verified_.assign(2 * static_cast<size_t>(p_) * p_, 0);
-
   // If the cache budget cannot pin the decoded graph, switch to streaming:
   // whole-row sequential reads in row-major order (paper: "streamlined
   // disk access pattern").
@@ -404,6 +493,145 @@ Status Engine<Program>::Prepare() {
 }
 
 template <VertexProgram Program>
+bool Engine<Program>::TryResume(Env* env, const std::string& scratch) {
+  auto record_or = ckpt_->Load();
+  if (!record_or.ok()) {
+    if (!record_or.status().IsNotFound()) {
+      NX_LOG(Warn) << "checkpoint unreadable ("
+                   << record_or.status().ToString()
+                   << "); starting from iteration 0";
+    }
+    return false;
+  }
+  CheckpointState rec = std::move(record_or).value();
+  if (rec.graph_fingerprint != fingerprint_ || rec.program_id != ProgramId() ||
+      rec.program_state != ProgramState(program_) ||
+      rec.direction != static_cast<uint8_t>(options_.direction) ||
+      rec.value_bytes != sizeof(Value) || rec.num_intervals != p_ ||
+      rec.resident_intervals != q_) {
+    NX_LOG(Warn) << "checkpoint does not match this run "
+                 << "(graph fingerprint / program / parameters / direction "
+                 << "/ P / Q / value size); starting from iteration 0";
+    return false;
+  }
+  if (options_.max_iterations > 0 &&
+      rec.iteration > static_cast<uint32_t>(options_.max_iterations)) {
+    // The record is past this run's cap: "resuming" would return more
+    // iterations than asked for. A fresh capped run is the only answer
+    // that matches an uninterrupted one.
+    NX_LOG(Warn) << "checkpoint at iteration " << rec.iteration
+                 << " is beyond max_iterations = " << options_.max_iterations
+                 << "; starting from iteration 0";
+    return false;
+  }
+  auto live = IntervalStore::Open(env, scratch + "/values.nxi",
+                                  store_->manifest(), sizeof(Value));
+  if (!live.ok()) {
+    NX_LOG(Warn) << "checkpoint value store unusable ("
+                 << live.status().ToString() << "); starting from iteration 0";
+    return false;
+  }
+  if (rec.has_snapshot) {
+    // Checkpoints further apart than one iteration park the non-resident
+    // segments in the side snapshot store; restore them into the live
+    // store at the recorded parity. A crash mid-copy is harmless — the
+    // record stays valid and the next attempt redoes the copy.
+    auto snap = IntervalStore::Open(env, scratch + "/values_ckpt.nxi",
+                                    store_->manifest(), sizeof(Value));
+    if (!snap.ok()) {
+      NX_LOG(Warn) << "checkpoint snapshot store unusable ("
+                   << snap.status().ToString()
+                   << "); starting from iteration 0";
+      return false;
+    }
+    std::vector<char> buf;
+    for (uint32_t i = q_; i < p_; ++i) {
+      buf.resize((*live)->segment_bytes(i));
+      Status s = (*snap)->Read(i, rec.snapshot_parity, buf.data());
+      if (s.ok()) s = (*live)->Write(i, rec.value_parity[i], buf.data());
+      if (!s.ok()) {
+        NX_LOG(Warn) << "checkpoint snapshot restore failed (" << s.ToString()
+                     << "); starting from iteration 0";
+        return false;
+      }
+    }
+    ckpt_store_ = std::move(*snap);
+  }
+  interval_store_ = std::move(*live);
+  ckpt_snapshot_parity_ = rec.snapshot_parity;
+  for (uint32_t i = 0; i < p_; ++i) {
+    value_parity_[i] = rec.value_parity[i];
+    active_[i] = rec.active[i];
+  }
+  resume_iter_ = static_cast<int>(rec.iteration);
+  NX_LOG(Info) << "resuming from checkpoint at iteration " << resume_iter_;
+  return true;
+}
+
+template <VertexProgram Program>
+Status Engine<Program>::MaybeCheckpoint(int completed_iterations) {
+  if (options_.checkpoint_interval <= 0 ||
+      completed_iterations % options_.checkpoint_interval != 0) {
+    return Status::OK();
+  }
+  Timer timer;
+  // Resident intervals have no disk copy outside the checkpoint: write the
+  // freshly applied values into their opposite parity. The engine never
+  // reads resident segments, so the parity the current record points at is
+  // untouched until the new record commits.
+  for (uint32_t i = 0; i < q_; ++i) {
+    const int parity = 1 - value_parity_[i];
+    NX_RETURN_NOT_OK(interval_store_->Write(writeback_.get(), i, parity,
+                                            old_values_[i].data()));
+    value_parity_[i] = parity;
+  }
+  // With checkpoints further apart than the ping-pong history (interval
+  // > 1), copy the non-resident segments into the side snapshot store,
+  // alternating ITS parity per checkpoint for the same protection.
+  bool wrote_snapshot = false;
+  int snap_parity = ckpt_snapshot_parity_;
+  if (ckpt_store_ != nullptr && options_.checkpoint_interval > 1) {
+    snap_parity = 1 - ckpt_snapshot_parity_;
+    std::vector<char> buf;
+    for (uint32_t i = q_; i < p_; ++i) {
+      buf.resize(interval_store_->segment_bytes(i));
+      NX_RETURN_NOT_OK(interval_store_->Read(i, value_parity_[i], buf.data()));
+      NX_RETURN_NOT_OK(
+          ckpt_store_->Write(writeback_.get(), i, snap_parity, buf.data()));
+    }
+    wrote_snapshot = true;
+  }
+  // Durability barrier: everything the record will point at must be on the
+  // device before the record exists. The queue's Drain lands and flushes
+  // the writes pushed through it, but a zero writeback budget records no
+  // flush targets (it is the pre-writeback synchronous path) and the
+  // resume path's snapshot restore writes directly — so the stores are
+  // synced explicitly as well; a redundant fdatasync is cheap.
+  if (writeback_ != nullptr) NX_RETURN_NOT_OK(writeback_->Drain(/*sync=*/true));
+  NX_RETURN_NOT_OK(interval_store_->Sync());
+  if (wrote_snapshot) NX_RETURN_NOT_OK(ckpt_store_->Sync());
+
+  CheckpointState rec;
+  rec.graph_fingerprint = fingerprint_;
+  rec.program_id = ProgramId();
+  rec.program_state = ProgramState(program_);
+  rec.direction = static_cast<uint8_t>(options_.direction);
+  rec.value_bytes = sizeof(Value);
+  rec.num_intervals = p_;
+  rec.resident_intervals = q_;
+  rec.iteration = static_cast<uint32_t>(completed_iterations);
+  rec.has_snapshot = wrote_snapshot ? 1 : 0;
+  rec.snapshot_parity = static_cast<uint8_t>(snap_parity);
+  rec.value_parity.assign(value_parity_.begin(), value_parity_.end());
+  rec.active = active_;
+  NX_RETURN_NOT_OK(ckpt_->Write(rec));
+  ckpt_snapshot_parity_ = snap_parity;
+  checkpoint_seconds_ += timer.ElapsedSeconds();
+  ++checkpoints_written_;
+  return Status::OK();
+}
+
+template <VertexProgram Program>
 Status Engine<Program>::InitValues() {
   const Manifest& m = store_->manifest();
   const std::vector<uint32_t>& degrees =
@@ -411,6 +639,18 @@ Status Engine<Program>::InitValues() {
 
   old_values_.assign(p_, {});
   acc_values_.assign(p_, {});
+  if (resumed_) {
+    // The checkpoint seeded parity and activity; only the resident
+    // intervals' values need to come back into memory.
+    for (uint32_t i = 0; i < q_; ++i) {
+      const uint32_t size = m.interval_size(i);
+      old_values_[i].resize(size);
+      NX_RETURN_NOT_OK(
+          interval_store_->Read(i, value_parity_[i], old_values_[i].data()));
+      acc_values_[i].assign(size, Program::Identity());
+    }
+    return Status::OK();
+  }
   for (uint32_t i = 0; i < p_; ++i) {
     const VertexId begin = m.interval_begin(i);
     const uint32_t size = m.interval_size(i);
@@ -1011,6 +1251,9 @@ Status Engine<Program>::RunIteration(int iter) {
   for (uint32_t i = 0; i < p_; ++i) {
     active_[i] = next_active_[i].load(std::memory_order_relaxed);
   }
+  // Iteration boundary: the ping-pong snapshot on disk is consistent and
+  // the activity bitmap final — commit a checkpoint if one is due.
+  NX_RETURN_NOT_OK(MaybeCheckpoint(iter + 1));
   return Status::OK();
 }
 
@@ -1025,7 +1268,7 @@ Result<RunStats> Engine<Program>::Run() {
   stats.resident_intervals = q_;
 
   Timer loop;
-  int iter = 0;
+  int iter = resume_iter_;
   for (;;) {
     if (options_.max_iterations > 0 && iter >= options_.max_iterations) break;
     bool any_active = false;
@@ -1055,6 +1298,9 @@ Result<RunStats> Engine<Program>::Run() {
   stats.prefetch_depth = static_cast<uint32_t>(prefetch_depth_);
   stats.writeback_buffer_bytes = decision_.writeback_buffer_bytes;
   stats.io_threads = io_pool_ != nullptr ? io_pool_->num_threads() : 0;
+  stats.resumed_from_iteration = resume_iter_;
+  stats.checkpoints_written = checkpoints_written_;
+  stats.checkpoint_seconds = checkpoint_seconds_;
 
   // Collect final values.
   final_values_.resize(store_->num_vertices());

@@ -17,14 +17,29 @@ Status ReadFileToString(Env* env, const std::string& path, std::string* out) {
   return Status::OK();
 }
 
-Status WriteStringToFile(Env* env, const std::string& path,
-                         const std::string& contents) {
+namespace {
+
+Status WriteTempAndRename(Env* env, const std::string& path,
+                          const std::string& contents, bool durable) {
   const std::string tmp = path + ".tmp";
   std::unique_ptr<WritableFile> file;
   NX_RETURN_NOT_OK(env->NewWritableFile(tmp, &file));
   NX_RETURN_NOT_OK(file->Append(contents));
+  if (durable) NX_RETURN_NOT_OK(file->Sync());
   NX_RETURN_NOT_OK(file->Close());
   return env->RenameFile(tmp, path);
+}
+
+}  // namespace
+
+Status WriteStringToFile(Env* env, const std::string& path,
+                         const std::string& contents) {
+  return WriteTempAndRename(env, path, contents, /*durable=*/false);
+}
+
+Status WriteStringToFileDurable(Env* env, const std::string& path,
+                                const std::string& contents) {
+  return WriteTempAndRename(env, path, contents, /*durable=*/true);
 }
 
 }  // namespace nxgraph

@@ -81,14 +81,30 @@ class RandomAccessFile {
 };
 
 /// \brief Append-only writer.
+///
+/// Durability contract (shared by every Env implementation and honored by
+/// FaultInjectionEnv's crash model):
+///   - Append() may buffer; the data is not even guaranteed to be visible
+///     to readers until Flush().
+///   - Flush() pushes buffered data to the OS (page cache): subsequent
+///     reads through the same Env see it, but a crash may still lose it.
+///   - Sync() makes everything appended so far durable (fdatasync on
+///     Posix): the data survives a crash.
+///   - Close() flushes but does NOT sync — exactly like POSIX close(2).
+///     A file that must survive a crash needs an explicit Sync() first.
 class WritableFile {
  public:
   virtual ~WritableFile() = default;
 
   virtual Status Append(const void* data, size_t n) = 0;
   virtual Status Flush() = 0;
-  /// Flushes and durably closes the file; must be called before destruction
-  /// for the write to be considered complete.
+  /// Durability barrier: flushes, then forces the appended data to the
+  /// device. Implementations must not silently equate this with Flush()
+  /// unless the medium genuinely has no volatile cache (MemEnv documents
+  /// its model at NewMemEnv()).
+  virtual Status Sync() = 0;
+  /// Flushes and closes the file; must be called before destruction for
+  /// the write to be considered complete. Not a durability barrier.
   virtual Status Close() = 0;
 
   Status Append(const std::string& s) { return Append(s.data(), s.size()); }
@@ -110,6 +126,17 @@ class RandomWriteFile {
 };
 
 /// \brief Filesystem interface.
+///
+/// Metadata contract relied on by the checkpoint commit protocol
+/// (write-temp + Sync + RenameFile):
+///   - RenameFile() atomically replaces `to`: readers observe either the
+///     old or the new file, never a mixture or a missing file.
+///   - A rename is durable once it returns: PosixEnv fsyncs the parent
+///     directory (POSIX does not promise directory metadata commits with
+///     a file's own fdatasync on every filesystem). The renamed file's
+///     *contents* are only as durable as the last Sync()/Flush() on it —
+///     renaming an unsynced file can surface a torn or empty file after a
+///     crash, which is exactly what FaultInjectionEnv simulates.
 class Env {
  public:
   virtual ~Env() = default;
@@ -145,11 +172,26 @@ class Env {
 /// Reads an entire file into `out`.
 Status ReadFileToString(Env* env, const std::string& path, std::string* out);
 
-/// Atomically (write + rename) replaces `path` with `contents`.
+/// Atomically (write + rename) replaces `path` with `contents`. Not a
+/// durability barrier: after a crash the new contents may be torn or lost.
 Status WriteStringToFile(Env* env, const std::string& path,
                          const std::string& contents);
 
+/// Atomic AND durable replacement: write-temp + Sync + rename. After it
+/// returns, a crash leaves either the complete old file or the complete
+/// new one — the checkpoint commit protocol.
+Status WriteStringToFileDurable(Env* env, const std::string& path,
+                                const std::string& contents);
+
 /// Returns a fresh in-memory Env (paths are flat keys; dirs are implicit).
+///
+/// Durability model: writes become visible to readers immediately (the
+/// backing string is shared with open file objects — the "page cache"),
+/// Flush()/Sync() are accepted no-ops, and nothing is ever lost because
+/// MemEnv has no crash model of its own. Code that needs honest
+/// crash-durability semantics in memory must wrap it in
+/// NewFaultInjectionEnv (fault_env.h), which tracks the synced-vs-unsynced
+/// distinction the raw MemEnv intentionally does not fake.
 std::unique_ptr<Env> NewMemEnv();
 
 /// \brief Device model for ThrottledEnv.

@@ -73,7 +73,12 @@ class MemWritableFile : public WritableFile {
     stats_->RecordWrite(n);
     return Status::OK();
   }
+  // MemEnv has no crash model (see NewMemEnv() in env.h): writes are
+  // already visible through the shared backing string, so Flush/Sync have
+  // nothing to push. FaultInjectionEnv supplies the durable-vs-volatile
+  // distinction when tests need it.
   Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
   Status Close() override { return Status::OK(); }
 
  private:

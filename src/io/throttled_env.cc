@@ -86,6 +86,12 @@ class ThrottledWritableFile : public WritableFile {
     return base_->Append(data, n);
   }
   Status Flush() override { return base_->Flush(); }
+  Status Sync() override {
+    // Durability sync forces the device's write cache out; charge a seek,
+    // matching RandomWriteFile::Flush's model.
+    throttler_->ChargeSeek();
+    return base_->Sync();
+  }
   Status Close() override { return base_->Close(); }
 
  private:

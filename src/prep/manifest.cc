@@ -95,6 +95,13 @@ Result<Manifest> Manifest::Decode(const std::string& data) {
   return m;
 }
 
+uint64_t Manifest::Fingerprint() const {
+  const std::string encoded = Encode();
+  const uint64_t crc = crc32c::Value(encoded.data(), encoded.size());
+  // Mix in the counts so the high half is not constant.
+  return (crc << 32) ^ (num_vertices * 0x9E3779B97F4A7C15ull) ^ num_edges;
+}
+
 uint32_t Manifest::IntervalOf(VertexId v) const {
   // interval_offsets is ascending; find the last offset <= v.
   auto it = std::upper_bound(interval_offsets.begin(), interval_offsets.end(),

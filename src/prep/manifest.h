@@ -56,6 +56,13 @@ struct Manifest {
   /// Parses and validates a manifest blob.
   static Result<Manifest> Decode(const std::string& data);
 
+  /// Stable identity of the prepared graph: a hash over the full encoded
+  /// manifest (interval boundaries and every sub-shard segment included),
+  /// salted with the vertex/edge counts. Two stores with the same
+  /// fingerprint are layout-identical, which is what the checkpoint
+  /// subsystem validates before resuming a run against a store.
+  uint64_t Fingerprint() const;
+
   const SubShardMeta& subshard(uint32_t i, uint32_t j,
                                bool transpose = false) const {
     const auto& table = transpose ? subshards_transpose : subshards;

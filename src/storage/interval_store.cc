@@ -4,9 +4,8 @@
 
 namespace nxgraph {
 
-Result<std::unique_ptr<IntervalStore>> IntervalStore::Create(
-    Env* env, const std::string& path, const Manifest& manifest,
-    uint32_t value_bytes) {
+Result<std::unique_ptr<IntervalStore>> IntervalStore::Layout(
+    const Manifest& manifest, uint32_t value_bytes) {
   if (value_bytes == 0) {
     return Status::InvalidArgument("value_bytes must be positive");
   }
@@ -21,12 +20,36 @@ Result<std::unique_ptr<IntervalStore>> IntervalStore::Create(
     store->sizes_[i] = manifest.interval_size(i);
     offset += 2ULL * store->sizes_[i] * value_bytes;  // ping + pong
   }
+  store->total_bytes_ = offset;
+  return store;
+}
+
+Result<std::unique_ptr<IntervalStore>> IntervalStore::Create(
+    Env* env, const std::string& path, const Manifest& manifest,
+    uint32_t value_bytes) {
+  NX_ASSIGN_OR_RETURN(std::unique_ptr<IntervalStore> store,
+                      Layout(manifest, value_bytes));
   // Truncate any stale file, then preallocate by extending to full size.
   std::unique_ptr<WritableFile> init;
   NX_RETURN_NOT_OK(env->NewWritableFile(path, &init));
   NX_RETURN_NOT_OK(init->Close());
   NX_RETURN_NOT_OK(env->NewRandomWriteFile(path, &store->writer_));
-  NX_RETURN_NOT_OK(store->writer_->Truncate(offset));
+  NX_RETURN_NOT_OK(store->writer_->Truncate(store->total_bytes_));
+  NX_RETURN_NOT_OK(env->NewRandomAccessFile(path, &store->reader_));
+  return store;
+}
+
+Result<std::unique_ptr<IntervalStore>> IntervalStore::Open(
+    Env* env, const std::string& path, const Manifest& manifest,
+    uint32_t value_bytes) {
+  NX_ASSIGN_OR_RETURN(std::unique_ptr<IntervalStore> store,
+                      Layout(manifest, value_bytes));
+  if (!env->FileExists(path)) return Status::NotFound(path);
+  NX_ASSIGN_OR_RETURN(const uint64_t size, env->GetFileSize(path));
+  if (size != store->total_bytes_) {
+    return Status::Corruption("interval store size mismatch: " + path);
+  }
+  NX_RETURN_NOT_OK(env->NewRandomWriteFile(path, &store->writer_));
   NX_RETURN_NOT_OK(env->NewRandomAccessFile(path, &store->reader_));
   return store;
 }

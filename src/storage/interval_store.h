@@ -30,6 +30,14 @@ class IntervalStore {
       Env* env, const std::string& path, const Manifest& manifest,
       uint32_t value_bytes);
 
+  /// Opens an existing attribute file WITHOUT truncating it — the resume
+  /// path: the surviving ping/pong segments are the checkpointed state.
+  /// Fails with NotFound when the file is missing and Corruption when its
+  /// size does not match the manifest/value_bytes layout.
+  static Result<std::unique_ptr<IntervalStore>> Open(
+      Env* env, const std::string& path, const Manifest& manifest,
+      uint32_t value_bytes);
+
   /// Reads interval `i`'s segment of the given parity (0 or 1) into `buf`
   /// (must hold interval_size(i) * value_bytes bytes).
   Status Read(uint32_t interval, int parity, void* buf) const;
@@ -44,14 +52,27 @@ class IntervalStore {
   Status Write(WritebackQueue* wb, uint32_t interval, int parity,
                const void* buf);
 
+  /// Durability barrier: forces every completed Write to the device.
+  /// The checkpoint path calls this when no write-behind queue exists to
+  /// carry the flush (writes pushed through a queue are synced by its
+  /// Drain(sync=true) instead).
+  Status Sync() { return writer_->Flush(); }
+
   uint64_t segment_bytes(uint32_t interval) const {
     return static_cast<uint64_t>(sizes_[interval]) * value_bytes_;
   }
 
+  /// Total file size: sum of both parity segments over all intervals.
+  uint64_t total_bytes() const { return total_bytes_; }
+
  private:
   IntervalStore() = default;
 
+  static Result<std::unique_ptr<IntervalStore>> Layout(
+      const Manifest& manifest, uint32_t value_bytes);
+
   uint32_t value_bytes_ = 0;
+  uint64_t total_bytes_ = 0;
   std::vector<uint64_t> offsets_;  // byte offset of interval i's ping segment
   std::vector<uint32_t> sizes_;    // vertices per interval
   std::unique_ptr<RandomWriteFile> writer_;

@@ -102,6 +102,26 @@ TEST_P(EnvContractTest, RandomWriteExtendsAndOverwrites) {
   EXPECT_EQ(data, "abcdWXYZ");
 }
 
+TEST_P(EnvContractTest, SyncThenAppendKeepsWriting) {
+  // Sync is a durability barrier, not a terminator: appends after it must
+  // land, and the durable-write helper must leave no temp file behind.
+  const std::string path = Path("synced");
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewWritableFile(path, &f).ok());
+  ASSERT_TRUE(f->Append(std::string("first")).ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append(std::string(" second")).ok());
+  ASSERT_TRUE(f->Close().ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, path, &data).ok());
+  EXPECT_EQ(data, "first second");
+
+  ASSERT_TRUE(WriteStringToFileDurable(env_, Path("durable"), "payload").ok());
+  ASSERT_TRUE(ReadFileToString(env_, Path("durable"), &data).ok());
+  EXPECT_EQ(data, "payload");
+  EXPECT_FALSE(env_->FileExists(Path("durable") + ".tmp"));
+}
+
 TEST_P(EnvContractTest, RenameReplaces) {
   ASSERT_TRUE(WriteStringToFile(env_, Path("a"), "A").ok());
   ASSERT_TRUE(env_->RenameFile(Path("a"), Path("b")).ok());

@@ -1,0 +1,316 @@
+// FaultInjectionEnv semantics plus the crash matrix: a checkpointed run
+// killed at every injected crash point must, after recovery, resume (or
+// restart) to final values bit-identical to an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/algos/programs.h"
+#include "src/engine/checkpoint.h"
+#include "src/engine/engine.h"
+#include "src/io/fault_env.h"
+#include "tests/test_util.h"
+
+namespace nxgraph {
+namespace {
+
+std::string ReadAll(Env* env, const std::string& path) {
+  std::string data;
+  NX_CHECK_OK(ReadFileToString(env, path, &data));
+  return data;
+}
+
+// ---- durability-model unit tests ------------------------------------------
+
+TEST(FaultEnvTest, UnsyncedAppendsAreLostOnCrash) {
+  auto mem = NewMemEnv();
+  FaultInjectionEnv fault(mem.get());
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fault.NewWritableFile("f", &f).ok());
+  ASSERT_TRUE(f->Append(std::string("hello")).ok());
+  ASSERT_TRUE(f->Close().ok());
+  EXPECT_EQ(ReadAll(&fault, "f"), "hello");  // visible pre-crash
+  ASSERT_TRUE(fault.CrashAndRecover().ok());
+  // Creation is journaled metadata, content was never synced: the file
+  // survives empty — exactly the "renamed an unsynced temp" hazard.
+  EXPECT_TRUE(fault.FileExists("f"));
+  EXPECT_EQ(ReadAll(&fault, "f"), "");
+}
+
+TEST(FaultEnvTest, SyncDrawsTheDurabilityLine) {
+  auto mem = NewMemEnv();
+  FaultInjectionEnv fault(mem.get());
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fault.NewWritableFile("f", &f).ok());
+  ASSERT_TRUE(f->Append(std::string("durable")).ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append(std::string(" volatile")).ok());
+  ASSERT_TRUE(f->Close().ok());
+  EXPECT_EQ(ReadAll(&fault, "f"), "durable volatile");
+  ASSERT_TRUE(fault.CrashAndRecover().ok());
+  EXPECT_EQ(ReadAll(&fault, "f"), "durable");
+}
+
+TEST(FaultEnvTest, RandomWriteFlushIsTheDurabilityBarrier) {
+  auto mem = NewMemEnv();
+  FaultInjectionEnv fault(mem.get());
+  std::unique_ptr<RandomWriteFile> f;
+  ASSERT_TRUE(fault.NewRandomWriteFile("rw", &f).ok());
+  ASSERT_TRUE(f->WriteAt(0, "AAAA", 4).ok());
+  ASSERT_TRUE(f->Flush().ok());
+  ASSERT_TRUE(f->WriteAt(0, "BBBB", 4).ok());
+  ASSERT_TRUE(f->Close().ok());
+  EXPECT_EQ(ReadAll(&fault, "rw"), "BBBB");
+  ASSERT_TRUE(fault.CrashAndRecover().ok());
+  EXPECT_EQ(ReadAll(&fault, "rw"), "AAAA");
+}
+
+TEST(FaultEnvTest, PreexistingFilesAreAlreadyDurable) {
+  auto mem = NewMemEnv();
+  ASSERT_TRUE(WriteStringToFile(mem.get(), "old", "ancient data").ok());
+  FaultInjectionEnv fault(mem.get());
+  // Opening for positional writes treats the existing content as synced
+  // long ago; only the new writes are at risk.
+  std::unique_ptr<RandomWriteFile> f;
+  ASSERT_TRUE(fault.NewRandomWriteFile("old", &f).ok());
+  ASSERT_TRUE(f->WriteAt(0, "X", 1).ok());
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(fault.CrashAndRecover().ok());
+  EXPECT_EQ(ReadAll(&fault, "old"), "ancient data");
+}
+
+TEST(FaultEnvTest, DurableWriteSurvivesCrashAtomically) {
+  auto mem = NewMemEnv();
+  FaultInjectionEnv fault(mem.get());
+  ASSERT_TRUE(WriteStringToFileDurable(&fault, "cfg", "v1").ok());
+  ASSERT_TRUE(fault.CrashAndRecover().ok());
+  EXPECT_EQ(ReadAll(&fault, "cfg"), "v1");
+  // The non-durable variant loses the content (empty surviving file): the
+  // contract WriteStringToFileDurable exists to fix.
+  ASSERT_TRUE(WriteStringToFile(&fault, "cfg2", "v1").ok());
+  ASSERT_TRUE(fault.CrashAndRecover().ok());
+  EXPECT_EQ(ReadAll(&fault, "cfg2"), "");
+}
+
+TEST(FaultEnvTest, KillSwitchTearsTheFatalWriteAndStaysDead) {
+  auto mem = NewMemEnv();
+  FaultInjectionEnv fault(mem.get());
+  std::unique_ptr<RandomWriteFile> f;
+  ASSERT_TRUE(fault.NewRandomWriteFile("t", &f).ok());
+  ASSERT_TRUE(f->WriteAt(0, "12345678", 8).ok());
+  ASSERT_TRUE(f->Flush().ok());
+
+  fault.SetKillSwitch(0);  // the very next mutating op dies
+  Status s = f->WriteAt(0, "ABCDEFGH", 8);
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_TRUE(fault.dead());
+  EXPECT_EQ(fault.killed_op(), "WriteAt(t)");
+  // Half the write reached the page cache: torn, visible pre-crash.
+  EXPECT_EQ(ReadAll(&fault, "t"), "ABCD5678");
+  // Everything later fails too.
+  EXPECT_TRUE(f->WriteAt(0, "x", 1).IsIOError());
+  EXPECT_TRUE(fault.RenameFile("t", "u").IsIOError());
+
+  ASSERT_TRUE(fault.CrashAndRecover().ok());
+  EXPECT_FALSE(fault.dead());
+  EXPECT_EQ(ReadAll(&fault, "t"), "12345678");  // torn prefix rolled back
+  EXPECT_TRUE(f->WriteAt(0, "ok", 2).ok());     // env revived
+}
+
+TEST(FaultEnvTest, RenameIsAtomicUnderTheKillSwitch) {
+  auto mem = NewMemEnv();
+  FaultInjectionEnv fault(mem.get());
+  ASSERT_TRUE(WriteStringToFileDurable(&fault, "dst", "old").ok());
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fault.NewWritableFile("tmp", &f).ok());
+  ASSERT_TRUE(f->Append(std::string("new")).ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Close().ok());
+
+  fault.SetKillSwitch(0);
+  EXPECT_TRUE(fault.RenameFile("tmp", "dst").IsIOError());
+  ASSERT_TRUE(fault.CrashAndRecover().ok());
+  // The rename never happened: the old destination is intact, whole.
+  EXPECT_EQ(ReadAll(&fault, "dst"), "old");
+
+  // Re-run the commit without a kill: the new content replaces it whole.
+  ASSERT_TRUE(fault.RenameFile("tmp", "dst").ok());
+  ASSERT_TRUE(fault.CrashAndRecover().ok());
+  EXPECT_EQ(ReadAll(&fault, "dst"), "new");
+}
+
+TEST(FaultEnvTest, MutationCountObservesEveryCrashPoint) {
+  auto mem = NewMemEnv();
+  FaultInjectionEnv fault(mem.get());
+  EXPECT_EQ(fault.mutation_count(), 0u);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fault.NewWritableFile("f", &f).ok());   // Create
+  ASSERT_TRUE(f->Append(std::string("x")).ok());      // Append
+  ASSERT_TRUE(f->Sync().ok());                        // Sync
+  ASSERT_TRUE(f->Close().ok());                       // (not counted)
+  ASSERT_TRUE(fault.RenameFile("f", "g").ok());       // Rename
+  ASSERT_TRUE(fault.RemoveFile("g").ok());            // Remove
+  EXPECT_EQ(fault.mutation_count(), 5u);
+}
+
+// ---- crash matrix ----------------------------------------------------------
+
+struct CrashTrialResult {
+  int resumed_from = 0;
+  std::string killed_op;  // empty when the kill never fired
+};
+
+/// One crash trial: build a fresh store, run with the kill switch armed at
+/// `kill_at`, crash-recover, rerun to completion, and demand bit-identical
+/// final values. Returns where the rerun resumed and what op was killed.
+template <typename Program>
+CrashTrialResult CrashTrial(const EdgeList& edges, uint32_t p,
+                            Program program, const RunOptions& opt,
+                            const std::vector<typename Program::Value>& expected,
+                            uint64_t kill_at) {
+  // The store is built directly on the base env: it models data synced
+  // long before the crash window under test.
+  auto ms = testing::BuildMemStore(edges, p);
+  FaultInjectionEnv fault(ms.env.get());
+  auto store = OpenGraphStore("g", &fault);
+  NX_CHECK(store.ok());
+
+  fault.SetKillSwitch(kill_at);
+  CrashTrialResult result;
+  {
+    Engine<Program> doomed(*store, program, opt);
+    auto stats = doomed.Run();
+    if (!stats.ok()) {
+      EXPECT_TRUE(stats.status().IsIOError()) << stats.status().ToString();
+    }
+  }
+  result.killed_op = fault.killed_op();
+  EXPECT_TRUE(fault.CrashAndRecover().ok());
+
+  auto reopened = OpenGraphStore("g", &fault);
+  NX_CHECK(reopened.ok());
+  Engine<Program> survivor(*reopened, program, opt);
+  auto stats = survivor.Run();
+  EXPECT_TRUE(stats.ok()) << "kill_at=" << kill_at << " killed="
+                          << result.killed_op << ": "
+                          << stats.status().ToString();
+  if (!stats.ok()) return result;
+  result.resumed_from = stats->resumed_from_iteration;
+  EXPECT_EQ(survivor.values(), expected)
+      << "kill_at=" << kill_at << " killed=" << result.killed_op
+      << " resumed_from=" << result.resumed_from;
+  return result;
+}
+
+/// Classifies a killed-op description into the crash-point classes the
+/// matrix must cover.
+std::string CrashClass(const std::string& op) {
+  if (op.empty()) return "";
+  if (op.find("hubs_") != std::string::npos) return "hub-write";
+  if (op.find("values.nxi") != std::string::npos) return "interval-writeback";
+  if (op.find("values_ckpt.nxi") != std::string::npos) return "snapshot-write";
+  if (op.rfind("Rename(", 0) == 0 &&
+      op.find(kCheckpointFileName) != std::string::npos) {
+    return "checkpoint-rename";
+  }
+  if (op.find(kCheckpointFileName) != std::string::npos) {
+    return "checkpoint-write";
+  }
+  return "other";
+}
+
+template <typename Program>
+void RunCrashMatrix(const EdgeList& edges, uint32_t p, Program program,
+                    const RunOptions& opt, size_t max_trials,
+                    const std::vector<std::string>& required_classes) {
+  // Uninterrupted reference (plain MemEnv) for values and for sizing the
+  // sweep via the fault env's mutation count.
+  std::vector<typename Program::Value> expected;
+  {
+    auto ms = testing::BuildMemStore(edges, p);
+    Engine<Program> reference(ms.store, program, opt);
+    auto stats = reference.Run();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    expected = reference.values();
+  }
+  uint64_t total_mutations = 0;
+  {
+    auto ms = testing::BuildMemStore(edges, p);
+    FaultInjectionEnv fault(ms.env.get());
+    auto store = OpenGraphStore("g", &fault);
+    ASSERT_TRUE(store.ok());
+    Engine<Program> counter(*store, program, opt);
+    ASSERT_TRUE(counter.Run().ok());
+    EXPECT_EQ(counter.values(), expected);
+    total_mutations = fault.mutation_count();
+  }
+  ASSERT_GT(total_mutations, 0u);
+
+  const uint64_t stride =
+      std::max<uint64_t>(1, total_mutations / max_trials);
+  std::set<std::string> classes;
+  int resumes_past_zero = 0;
+  for (uint64_t kill_at = 0; kill_at < total_mutations; kill_at += stride) {
+    CrashTrialResult r = CrashTrial(edges, p, program, opt, expected, kill_at);
+    if (!r.killed_op.empty()) classes.insert(CrashClass(r.killed_op));
+    if (r.resumed_from > 0) ++resumes_past_zero;
+  }
+  // Crashes mid-run must sometimes leave a usable checkpoint: resume from
+  // k > 0 has to be exercised, not just clean iteration-0 restarts.
+  EXPECT_GT(resumes_past_zero, 0);
+  for (const std::string& required : required_classes) {
+    EXPECT_TRUE(classes.count(required))
+        << "crash matrix never hit class '" << required << "'";
+  }
+}
+
+TEST(CrashMatrixTest, DpuPageRankRecoversFromEveryCrashPoint) {
+  EdgeList edges = testing::RandomGraph(200, 2400, 77);
+  PageRankProgram program;
+  program.num_vertices = 200;
+  RunOptions opt;
+  opt.strategy = UpdateStrategy::kDoublePhase;
+  opt.max_iterations = 4;
+  opt.num_threads = 2;
+  opt.checkpoint_interval = 1;
+  RunCrashMatrix(edges, 4, program, opt, /*max_trials=*/512,
+                 {"hub-write", "interval-writeback", "checkpoint-rename"});
+}
+
+TEST(CrashMatrixTest, MpuWccWithSparseCheckpointsRecovers) {
+  // MPU + kBoth exercises resident-segment checkpoints and both hub
+  // directions; checkpoint_interval 2 adds the side snapshot store to the
+  // crash surface.
+  EdgeList edges = testing::RandomGraph(220, 1400, 78);
+  WccProgram program;
+  RunOptions opt;
+  opt.strategy = UpdateStrategy::kMixedPhase;
+  opt.memory_budget_bytes = 2800;
+  opt.direction = EdgeDirection::kBoth;
+  opt.num_threads = 2;
+  opt.checkpoint_interval = 2;
+  RunCrashMatrix(edges, 4, program, opt, /*max_trials=*/512,
+                 {"hub-write", "checkpoint-rename"});
+}
+
+TEST(CrashMatrixTest, WritebackBudgetZeroAlsoRecovers) {
+  // Budget 0 takes the fully synchronous write path, whose durability at
+  // checkpoint time comes from the explicit store Sync, not the queue's
+  // Drain — the crash matrix must hold there too.
+  EdgeList edges = testing::RandomGraph(180, 2000, 79);
+  PageRankProgram program;
+  program.num_vertices = 180;
+  RunOptions opt;
+  opt.strategy = UpdateStrategy::kDoublePhase;
+  opt.max_iterations = 3;
+  opt.num_threads = 2;
+  opt.writeback_buffer_bytes = 0;
+  opt.checkpoint_interval = 1;
+  RunCrashMatrix(edges, 4, program, opt, /*max_trials=*/512,
+                 {"interval-writeback", "checkpoint-rename"});
+}
+
+}  // namespace
+}  // namespace nxgraph
