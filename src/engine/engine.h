@@ -251,6 +251,14 @@ class Engine {
     });
   }
 
+  // ---- I/O backend ----
+  // Owns the backend Env (direct/uring) when one is selected. The reopened
+  // store_, the scratch stores and every file object they hold reference
+  // it, so it is declared FIRST: members are destroyed in reverse
+  // declaration order and no file object may outlive its Env.
+  std::unique_ptr<Env> backend_env_;
+  IoBackend effective_backend_ = IoBackend::kBuffered;
+
   // ---- inputs ----
   std::shared_ptr<const GraphStore> store_;
   Program program_;
@@ -369,7 +377,13 @@ bool Engine<Program>::HasError() {
 
 template <VertexProgram Program>
 Status Engine<Program>::Prepare() {
-  const Manifest& m = store_->manifest();
+  // The backend selection below may replace store_ with a reopen against
+  // the backend Env; this keepalive pins the original store — and with it
+  // the Manifest `m` references — for the whole setup. The two stores
+  // describe the same on-disk manifest, so reads through `m` stay valid
+  // and identical either way.
+  const std::shared_ptr<const GraphStore> setup_store = store_;
+  const Manifest& m = setup_store->manifest();
   p_ = m.num_intervals;
 
   const bool use_forward = options_.direction == EdgeDirection::kForward ||
@@ -397,6 +411,48 @@ Status Engine<Program>::Prepare() {
       ChooseStrategy(m, sizeof(Value), fixed_overhead, options_);
   q_ = decision_.resident_intervals;
   prefetch_depth_ = decision_.prefetch_depth;
+
+  // Select the I/O backend (ChooseStrategy already downgraded uring when
+  // the kernel/build lacks it). Backends are real-device optimizations:
+  // a store on MemEnv/ThrottledEnv/FaultInjectionEnv keeps its own Env,
+  // whose semantics (hermeticity, device model, crash model) the backends
+  // would bypass. On the default Posix Env the store is reopened against
+  // the backend Env, so the prefetcher's sub-shard reads, the writeback
+  // queue's hub/interval writes and the checkpoint stores below all go
+  // through it — engine logic is untouched, exactly the Env-boundary
+  // contract from src/io/README.md.
+  effective_backend_ = decision_.io_backend;
+  if (effective_backend_ != IoBackend::kBuffered) {
+    if (store_->env() != Env::Default()) {
+      effective_backend_ = IoBackend::kBuffered;
+    } else if (effective_backend_ == IoBackend::kDirect &&
+               !DirectIOSupported(store_->dir())) {
+      // The store's filesystem refuses O_DIRECT outright (tmpfs): every
+      // read would take the per-file buffered fallback, so reporting
+      // "direct" would be a lie — the per-file fallback is for mixed
+      // setups (e.g. scratch on a different filesystem), not for a run
+      // that cannot go direct at all.
+      effective_backend_ = IoBackend::kBuffered;
+    } else {
+      backend_env_ = NewIoBackendEnv(effective_backend_);
+      if (backend_env_ == nullptr) {
+        effective_backend_ = IoBackend::kBuffered;
+      } else {
+        auto reopened = GraphStore::Open(backend_env_.get(), store_->dir());
+        if (reopened.ok()) {
+          store_ = std::move(*reopened);
+        } else {
+          NX_LOG(Warn) << "io_backend "
+                       << IoBackendName(effective_backend_)
+                       << " could not reopen the store ("
+                       << reopened.status().ToString()
+                       << "); falling back to buffered";
+          backend_env_.reset();
+          effective_backend_ = IoBackend::kBuffered;
+        }
+      }
+    }
+  }
 
   pool_ = std::make_unique<ThreadPool>(std::max(options_.num_threads, 0));
   if (prefetch_depth_ > 0) {
@@ -1298,6 +1354,7 @@ Result<RunStats> Engine<Program>::Run() {
   stats.prefetch_depth = static_cast<uint32_t>(prefetch_depth_);
   stats.writeback_buffer_bytes = decision_.writeback_buffer_bytes;
   stats.io_threads = io_pool_ != nullptr ? io_pool_->num_threads() : 0;
+  stats.io_backend = IoBackendName(effective_backend_);
   stats.resumed_from_iteration = resume_iter_;
   stats.checkpoints_written = checkpoints_written_;
   stats.checkpoint_seconds = checkpoint_seconds_;

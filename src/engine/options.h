@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "src/io/io_backend.h"
+
 namespace nxgraph {
 
 /// Which update strategy to run (paper §III-B).
@@ -96,6 +98,29 @@ struct RunOptions {
   /// effective writeback budget is > 0.
   int writeback_threads = 1;
 
+  /// Which Env backend serves this run's disk I/O (see docs/io-stack.md):
+  ///   buffered — pread/pwrite through the kernel page cache (the default);
+  ///   direct   — O_DIRECT with user-space aligned buffering, so the
+  ///              prefetch/write-behind windows face the device instead of
+  ///              the page cache (per-file buffered fallback where the
+  ///              filesystem refuses O_DIRECT);
+  ///   uring    — io_uring submission/completion rings; in-flight reads
+  ///              and writes execute asynchronously in the kernel (falls
+  ///              back to buffered when the kernel/build lacks io_uring).
+  ///
+  /// The request is resolved by ChooseStrategy and may be downgraded: uring
+  /// without kernel support resolves to buffered, and a store that does not
+  /// live on the real filesystem (MemEnv, ThrottledEnv, FaultInjectionEnv)
+  /// always runs buffered through its own Env — backends are real-device
+  /// optimizations, and modelled/hermetic Envs already define their own I/O
+  /// semantics. RunStats::io_backend reports what actually served the run.
+  /// Results are bit-identical across backends; only timing changes.
+  ///
+  /// Defaults to buffered, overridable via the NXGRAPH_IO_BACKEND
+  /// environment variable so the whole test/bench suite can be swept
+  /// without code changes (CI's io-backends job).
+  IoBackend io_backend = DefaultIoBackend();
+
   /// Iteration-boundary checkpointing: every `checkpoint_interval`-th
   /// completed iteration, the engine persists a small CRC-guarded record
   /// (iteration counter, per-interval parity vector, activity bitmap) plus
@@ -154,6 +179,10 @@ struct RunStats {
   /// Effective (budget-arbitrated) write-behind buffer actually used.
   uint64_t writeback_buffer_bytes = 0;
   int io_threads = 0;              ///< dedicated I/O threads actually used
+  /// Env backend that actually served the run ("buffered" / "direct" /
+  /// "uring") — the requested RunOptions::io_backend after the support
+  /// resolution described there.
+  std::string io_backend;
 
   // -- checkpoint/restart -------------------------------------------------
   /// Iteration the run continued from: 0 for a fresh start, k > 0 when a

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/io/env.h"
+
 namespace nxgraph {
 
 namespace {
@@ -231,6 +233,14 @@ StrategyDecision ChooseStrategy(const Manifest& manifest, uint32_t value_bytes,
     }
     d.writeback_buffer_bytes = funded;
     d.subshard_cache_budget -= funded;
+  }
+
+  // Resolve the I/O backend: uring needs kernel + build support (cached
+  // probe); direct always resolves — DirectIOEnv degrades per file where a
+  // filesystem refuses O_DIRECT, which only the open can discover.
+  d.io_backend = options.io_backend;
+  if (d.io_backend == IoBackend::kUring && !UringSupported()) {
+    d.io_backend = IoBackend::kBuffered;
   }
   return d;
 }

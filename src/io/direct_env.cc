@@ -1,0 +1,350 @@
+// DirectIOEnv: the kDirect backend — positional reads and writes bypass the
+// kernel page cache with O_DIRECT, so the depth-vs-throughput tradeoff of
+// the prefetch/write-behind pipelines is decided by NXgraph's own windows
+// instead of being absorbed by kernel readahead and write-back caching.
+//
+// O_DIRECT constrains every transfer: file offset, length and user buffer
+// must all be aligned (kDirectIOAlignment covers every mainstream
+// filesystem's requirement). The engine's logical offsets are NOT aligned —
+// sub-shard rows, interval segments and hub segments start wherever the
+// layout puts them — so this Env preserves exact logical offsets/lengths by
+// padding:
+//
+//   ReadAt   — reads the aligned span covering [offset, offset + n) into a
+//              pooled aligned buffer and copies the logical range out. Short
+//              reads at EOF are clamped to the real file size, exactly like
+//              the buffered contract.
+//   WriteAt  — splits the range at alignment boundaries: the aligned middle
+//              is staged through a pooled aligned buffer and written
+//              O_DIRECT; the unaligned head and tail go through a second,
+//              buffered fd on the same file. Head/middle/tail are disjoint
+//              and alignment == the page size, so a buffered region never
+//              shares a page with a direct region — concurrent disjoint
+//              WriteAts stay safe (no read-modify-write of shared blocks),
+//              and Linux keeps the page cache coherent across the two fds
+//              (direct reads flush dirty pages in range first; direct writes
+//              invalidate the range).
+//
+// A filesystem that refuses O_DIRECT (tmpfs, some network mounts) fails the
+// open with EINVAL; this Env then falls back to the buffered implementation
+// for that file — per file, not per Env, so a scratch directory on tmpfs
+// degrades gracefully while the store on ext4 still runs direct.
+//
+// Append/sequential paths (manifest, prep output, checkpoint records) stay
+// buffered via the PosixFsEnv base: they are small, cold, and the
+// write-temp + Sync + rename commit protocol depends on buffered semantics.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "src/io/posix_base.h"
+
+namespace nxgraph {
+namespace {
+
+using internal::PosixError;
+using internal::PosixOpenError;
+using internal::PReadFull;
+using internal::PWriteFull;
+
+constexpr uint64_t kAlign = kDirectIOAlignment;
+// Largest single O_DIRECT transfer staged through one pooled buffer; reads
+// and writes both chunk larger ranges at this size, so no pooled buffer
+// ever exceeds it and the pool's worst-case footprint stays bounded at
+// kMaxPooled * kMaxStagingBytes (32 MiB) regardless of row sizes.
+constexpr size_t kMaxStagingBytes = 4u << 20;
+
+uint64_t AlignDown(uint64_t v) { return v & ~(kAlign - 1); }
+uint64_t AlignUp(uint64_t v) { return (v + kAlign - 1) & ~(kAlign - 1); }
+
+/// \brief Pool of alignment-compliant staging buffers, shared by every file
+/// of one DirectIOEnv. Buffers are reused across transfers (an O_DIRECT
+/// allocation per read would dominate small transfers) and the pool keeps at
+/// most kMaxPooled buffers — concurrent demand beyond that allocates and
+/// frees transient buffers instead of blocking the I/O threads.
+class AlignedBufferPool {
+ public:
+  ~AlignedBufferPool() {
+    for (const Buf& b : free_) std::free(b.data);
+  }
+
+  struct Lease {
+    char* data = nullptr;
+    size_t capacity = 0;
+    AlignedBufferPool* pool = nullptr;
+
+    Lease() = default;
+    Lease(char* d, size_t c, AlignedBufferPool* p)
+        : data(d), capacity(c), pool(p) {}
+    Lease(Lease&& o) noexcept
+        : data(o.data), capacity(o.capacity), pool(o.pool) {
+      o.data = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    ~Lease() {
+      if (data != nullptr) pool->Release(data, capacity);
+    }
+  };
+
+  /// Returns an aligned buffer of at least `n` bytes (n rounded up to the
+  /// alignment), or a null lease when allocation fails. Best fit: a 4 KiB
+  /// head/tail transfer must not pin a multi-MiB buffer a concurrent large
+  /// read could have reused.
+  Lease Acquire(size_t n) {
+    const size_t need = static_cast<size_t>(AlignUp(n));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      size_t best = free_.size();
+      for (size_t k = 0; k < free_.size(); ++k) {
+        if (free_[k].capacity >= need &&
+            (best == free_.size() || free_[k].capacity < free_[best].capacity)) {
+          best = k;
+        }
+      }
+      if (best != free_.size()) {
+        Buf b = free_[best];
+        free_.erase(free_.begin() + static_cast<ptrdiff_t>(best));
+        return Lease(b.data, b.capacity, this);
+      }
+    }
+    void* p = std::aligned_alloc(kAlign, need);
+    if (p == nullptr) return Lease();
+    return Lease(static_cast<char*>(p), need, this);
+  }
+
+ private:
+  struct Buf {
+    char* data;
+    size_t capacity;
+  };
+  static constexpr size_t kMaxPooled = 8;
+
+  void Release(char* data, size_t capacity) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Retain only staging-sized buffers: an oversized one (a caller that
+      // bypassed chunking) must not live in the pool for the Env's
+      // lifetime, invisible to the engine's memory accounting.
+      if (free_.size() < kMaxPooled && capacity <= kMaxStagingBytes) {
+        free_.push_back({data, capacity});
+        return;
+      }
+    }
+    std::free(data);
+  }
+
+  std::mutex mu_;
+  std::vector<Buf> free_;
+};
+
+class DirectRandomAccessFile : public RandomAccessFile {
+ public:
+  DirectRandomAccessFile(int fd, AlignedBufferPool* pool, IoStats* stats)
+      : fd_(fd), pool_(pool), stats_(stats) {}
+  ~DirectRandomAccessFile() override { ::close(fd_); }
+
+  Status ReadAt(uint64_t offset, size_t n, void* buf,
+                size_t* bytes_read) const override {
+    *bytes_read = 0;
+    if (n == 0) return Status::OK();
+    const uint64_t end = offset + n;
+    AlignedBufferPool::Lease stage = pool_->Acquire(static_cast<size_t>(
+        std::min<uint64_t>(AlignUp(end) - AlignDown(offset),
+                           kMaxStagingBytes)));
+    if (stage.data == nullptr) {
+      return Status::IOError("direct read: aligned buffer allocation failed");
+    }
+    // Chunked at the staging size, so a multi-MiB row read never grows the
+    // pool beyond kMaxStagingBytes per buffer.
+    char* dst = static_cast<char*>(buf);
+    uint64_t pos = offset;
+    while (pos < end) {
+      const uint64_t span_begin = AlignDown(pos);
+      const uint64_t span_end =
+          std::min<uint64_t>(AlignUp(end), span_begin + stage.capacity);
+      const size_t span = static_cast<size_t>(span_end - span_begin);
+      size_t got = 0;
+      NX_RETURN_NOT_OK(PReadFull(fd_, span_begin, span, stage.data, &got));
+      // The padded span may end past EOF; clamp the logical range to what
+      // the device actually returned so short reads signal EOF exactly
+      // like the buffered contract.
+      const size_t head = static_cast<size_t>(pos - span_begin);
+      const size_t avail = got > head ? got - head : 0;
+      const size_t want = static_cast<size_t>(
+          std::min<uint64_t>(end - pos, avail));
+      std::memcpy(dst + (pos - offset), stage.data + head, want);
+      pos += want;
+      *bytes_read += want;
+      if (got < span) break;  // EOF inside this chunk
+    }
+    stats_->RecordRead(*bytes_read);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  AlignedBufferPool* pool_;
+  IoStats* stats_;
+};
+
+class DirectRandomWriteFile : public RandomWriteFile {
+ public:
+  DirectRandomWriteFile(int direct_fd, int buffered_fd,
+                        AlignedBufferPool* pool, IoStats* stats)
+      : direct_fd_(direct_fd),
+        buffered_fd_(buffered_fd),
+        pool_(pool),
+        stats_(stats) {}
+  ~DirectRandomWriteFile() override {
+    if (direct_fd_ >= 0) ::close(direct_fd_);
+    if (buffered_fd_ >= 0) ::close(buffered_fd_);
+  }
+
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override {
+    stats_->RecordWrite(n);
+    if (n == 0) return Status::OK();
+    const char* src = static_cast<const char*>(data);
+    const uint64_t mid_begin = AlignUp(offset);
+    const uint64_t mid_end = AlignDown(offset + n);
+    if (mid_begin >= mid_end) {
+      // The whole range lives inside two alignment blocks: not worth a
+      // staged direct transfer, and a sub-block direct write would need a
+      // read-modify-write that races concurrent neighbors. Buffered pwrite
+      // is byte-granular and safe.
+      return PWriteFull(buffered_fd_, offset, src, n);
+    }
+    if (offset < mid_begin) {
+      NX_RETURN_NOT_OK(PWriteFull(buffered_fd_, offset, src,
+                                  static_cast<size_t>(mid_begin - offset)));
+    }
+    // Aligned middle: staged through an aligned buffer in chunks (the
+    // caller's buffer has arbitrary alignment, so a copy is unavoidable).
+    AlignedBufferPool::Lease stage =
+        pool_->Acquire(std::min<uint64_t>(mid_end - mid_begin,
+                                          kMaxStagingBytes));
+    if (stage.data == nullptr) {
+      return Status::IOError("direct write: aligned buffer allocation failed");
+    }
+    uint64_t pos = mid_begin;
+    while (pos < mid_end) {
+      const size_t chunk = static_cast<size_t>(
+          std::min<uint64_t>(mid_end - pos, stage.capacity));
+      std::memcpy(stage.data, src + (pos - offset), chunk);
+      NX_RETURN_NOT_OK(PWriteFull(direct_fd_, pos, stage.data, chunk));
+      pos += chunk;
+    }
+    if (mid_end < offset + n) {
+      NX_RETURN_NOT_OK(PWriteFull(buffered_fd_, mid_end, src + (mid_end - offset),
+                                  static_cast<size_t>(offset + n - mid_end)));
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    // One fdatasync covers both fds — they share the inode; what it must
+    // land is the buffered head/tail pages (the direct writes are already
+    // past the page cache, but fdatasync also covers the device cache).
+    if (::fdatasync(buffered_fd_) < 0) return PosixError("fdatasync", errno);
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(buffered_fd_, static_cast<off_t>(size)) < 0) {
+      return PosixError("ftruncate", errno);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (buffered_fd_ < 0) return Status::OK();
+    Status s;
+    if (::close(buffered_fd_) < 0) s = PosixError("close", errno);
+    buffered_fd_ = -1;
+    if (direct_fd_ >= 0 && ::close(direct_fd_) < 0 && s.ok()) {
+      s = PosixError("close", errno);
+    }
+    direct_fd_ = -1;
+    return s;
+  }
+
+ private:
+  int direct_fd_;
+  int buffered_fd_;
+  AlignedBufferPool* pool_;
+  IoStats* stats_;
+};
+
+class DirectIOEnv : public internal::PosixFsEnv {
+ public:
+  explicit DirectIOEnv(bool refuse_o_direct = false)
+      : refuse_o_direct_(refuse_o_direct) {}
+
+  Status NewRandomAccessFile(const std::string& path,
+                             std::unique_ptr<RandomAccessFile>* out) override {
+    int fd = refuse_o_direct_
+                 ? -1
+                 : ::open(path.c_str(), O_RDONLY | O_DIRECT | O_CLOEXEC);
+    if (fd < 0) {
+      if (!refuse_o_direct_ && errno == ENOENT) return PosixOpenError(path);
+      // O_DIRECT refused (tmpfs etc.): buffered fallback for this file.
+      return PosixFsEnv::NewRandomAccessFile(path, out);
+    }
+    *out = std::make_unique<DirectRandomAccessFile>(fd, &pool_, stats());
+    return Status::OK();
+  }
+
+  Status NewRandomWriteFile(const std::string& path,
+                            std::unique_ptr<RandomWriteFile>* out) override {
+    int direct_fd =
+        refuse_o_direct_
+            ? -1
+            : ::open(path.c_str(), O_RDWR | O_CREAT | O_DIRECT | O_CLOEXEC,
+                     0644);
+    if (direct_fd < 0) {
+      if (!refuse_o_direct_ && errno == ENOENT) return PosixOpenError(path);
+      return PosixFsEnv::NewRandomWriteFile(path, out);
+    }
+    int buffered_fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+    if (buffered_fd < 0) {
+      Status s = PosixOpenError(path);
+      ::close(direct_fd);
+      return s;
+    }
+    *out = std::make_unique<DirectRandomWriteFile>(direct_fd, buffered_fd,
+                                                   &pool_, stats());
+    return Status::OK();
+  }
+
+ private:
+  const bool refuse_o_direct_;
+  AlignedBufferPool pool_;
+};
+
+}  // namespace
+
+namespace internal {
+
+std::unique_ptr<Env> NewDirectIOEnvRefusingODirectForTest() {
+  return std::make_unique<DirectIOEnv>(/*refuse_o_direct=*/true);
+}
+
+}  // namespace internal
+
+bool DirectIOSupported(const std::string& dir) {
+  const std::string probe = dir + "/.nx_direct_probe";
+  int fd = ::open(probe.c_str(), O_RDWR | O_CREAT | O_DIRECT | O_CLOEXEC, 0644);
+  const bool supported = fd >= 0;
+  if (fd >= 0) ::close(fd);
+  ::unlink(probe.c_str());
+  return supported;
+}
+
+std::unique_ptr<Env> NewDirectIOEnv() { return std::make_unique<DirectIOEnv>(); }
+
+}  // namespace nxgraph

@@ -1,5 +1,7 @@
 #include "src/io/env.h"
 
+#include <cstdlib>
+
 namespace nxgraph {
 
 Status ReadFileToString(Env* env, const std::string& path, std::string* out) {
@@ -40,6 +42,41 @@ Status WriteStringToFile(Env* env, const std::string& path,
 Status WriteStringToFileDurable(Env* env, const std::string& path,
                                 const std::string& contents) {
   return WriteTempAndRename(env, path, contents, /*durable=*/true);
+}
+
+std::unique_ptr<Env> NewIoBackendEnv(IoBackend backend) {
+  switch (backend) {
+    case IoBackend::kBuffered:
+      return nullptr;  // callers use the base Env they already have
+    case IoBackend::kDirect:
+      return NewDirectIOEnv();
+    case IoBackend::kUring:
+      return NewUringEnv();  // nullptr when unsupported
+  }
+  return nullptr;
+}
+
+bool ParseIoBackend(const std::string& name, IoBackend* out) {
+  if (name == "buffered") {
+    *out = IoBackend::kBuffered;
+  } else if (name == "direct") {
+    *out = IoBackend::kDirect;
+  } else if (name == "uring") {
+    *out = IoBackend::kUring;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+IoBackend DefaultIoBackend() {
+  static const IoBackend backend = [] {
+    IoBackend b = IoBackend::kBuffered;
+    const char* name = std::getenv("NXGRAPH_IO_BACKEND");
+    if (name != nullptr) (void)ParseIoBackend(name, &b);
+    return b;
+  }();
+  return backend;
 }
 
 }  // namespace nxgraph

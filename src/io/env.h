@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/io/io_backend.h"
 #include "src/util/macros.h"
 #include "src/util/result.h"
 #include "src/util/status.h"
@@ -127,6 +128,10 @@ class RandomWriteFile {
 
 /// \brief Filesystem interface.
 ///
+/// Lifetime contract: file objects must not outlive the Env that created
+/// them — backend Envs own shared machinery (aligned buffer pools, io_uring
+/// rings) their files reference.
+///
 /// Metadata contract relied on by the checkpoint commit protocol
 /// (write-temp + Sync + RenameFile):
 ///   - RenameFile() atomically replaces `to`: readers observe either the
@@ -193,6 +198,44 @@ Status WriteStringToFileDurable(Env* env, const std::string& path,
 /// NewFaultInjectionEnv (fault_env.h), which tracks the synced-vs-unsynced
 /// distinction the raw MemEnv intentionally does not fake.
 std::unique_ptr<Env> NewMemEnv();
+
+// ---- real-filesystem backend Envs (see docs/io-stack.md) -------------------
+
+/// Offset/length/buffer alignment every DirectIOEnv transfer is padded to.
+/// 4096 covers the direct-I/O requirement of every mainstream filesystem and
+/// equals the page size, so buffered and direct sub-ranges of one write
+/// never share a page.
+constexpr uint64_t kDirectIOAlignment = 4096;
+
+/// O_DIRECT Env (IoBackend::kDirect): positional reads/writes bypass the
+/// page cache through pooled aligned buffers while preserving exact logical
+/// offsets and lengths; a file whose filesystem refuses O_DIRECT (tmpfs...)
+/// falls back to buffered I/O for that file only. Append/sequential paths
+/// and all metadata behave exactly like Env::Default().
+std::unique_ptr<Env> NewDirectIOEnv();
+
+/// True when files created in `dir` accept O_DIRECT (probes with a temp
+/// file). DirectIOEnv works either way — this reports whether it will
+/// actually run direct or per-file fall back.
+bool DirectIOSupported(const std::string& dir);
+
+/// io_uring Env (IoBackend::kUring): positional reads/writes go through a
+/// shared submission/completion ring (no liburing dependency), so the
+/// in-flight transfers of concurrent callers execute asynchronously in the
+/// kernel while each caller sleeps on its completion. Returns nullptr when
+/// io_uring is unavailable — compiled out (header missing), kernel too old
+/// for IORING_OP_READ/WRITE (< 5.6), or denied by seccomp — callers then
+/// fall back to buffered.
+std::unique_ptr<Env> NewUringEnv();
+
+/// Cached end-to-end probe behind NewUringEnv's nullptr contract.
+bool UringSupported();
+
+/// Creates the Env serving `backend`, or nullptr when the backend cannot be
+/// constructed (kUring unsupported) — callers fall back to buffered.
+/// kBuffered also returns nullptr: use Env::Default() (or whatever base Env
+/// is already in hand) rather than a second buffered instance.
+std::unique_ptr<Env> NewIoBackendEnv(IoBackend backend);
 
 /// \brief Device model for ThrottledEnv.
 struct DeviceProfile {

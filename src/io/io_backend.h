@@ -1,0 +1,48 @@
+// I/O backend selection for the real-filesystem Envs. Kept in its own tiny
+// header so the engine layer (RunOptions) can name a backend without pulling
+// in the full Env interface.
+#ifndef NXGRAPH_IO_IO_BACKEND_H_
+#define NXGRAPH_IO_IO_BACKEND_H_
+
+#include <string>
+
+namespace nxgraph {
+
+/// Which Env implementation serves the streamed-update phases' disk access.
+/// All three present the identical Env contract (see docs/io-stack.md), so
+/// engine results are bit-identical across backends; they differ only in how
+/// ReadAt/WriteAt reach the device:
+enum class IoBackend {
+  kBuffered,  ///< PosixEnv: pread/pwrite through the kernel page cache.
+  kDirect,    ///< DirectIOEnv: O_DIRECT, page cache bypassed, user-space
+              ///< aligned buffering (per-file buffered fallback when the
+              ///< filesystem refuses O_DIRECT).
+  kUring,     ///< UringEnv: io_uring submission/completion rings; falls back
+              ///< to kBuffered when the kernel (or build) lacks io_uring.
+};
+
+inline const char* IoBackendName(IoBackend b) {
+  switch (b) {
+    case IoBackend::kBuffered:
+      return "buffered";
+    case IoBackend::kDirect:
+      return "direct";
+    case IoBackend::kUring:
+      return "uring";
+  }
+  return "?";
+}
+
+/// Parses "buffered" / "direct" / "uring"; returns false on anything else.
+bool ParseIoBackend(const std::string& name, IoBackend* out);
+
+/// The default RunOptions::io_backend: kBuffered, overridable by the
+/// NXGRAPH_IO_BACKEND environment variable ("buffered" | "direct" | "uring").
+/// The override exists so the whole test/bench suite can be swept across
+/// backends without code changes (CI's io-backends job does exactly that);
+/// an unparseable value is ignored. Read once and cached.
+IoBackend DefaultIoBackend();
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_IO_IO_BACKEND_H_

@@ -1,0 +1,481 @@
+// UringEnv: the kUring backend — positional reads and writes are submitted
+// to an io_uring instance instead of running one blocking pread/pwrite per
+// caller. The prefetcher's I/O threads and the writeback queue's writer
+// threads all feed the same ring, so their in-flight transfers execute
+// asynchronously and concurrently in the kernel while each caller sleeps on
+// its op's condition variable — the Env contract stays synchronous per
+// call; the concurrency lives in the kernel's execution of the window.
+// (Submission itself is a mutex-serialized io_uring_enter per SQE: the 1:1
+// SQE-to-enter mapping is what makes the submission-error path provable —
+// see SubmitAndWait.)
+//
+// Implementation notes:
+//   - Built directly on the io_uring syscalls and the <linux/io_uring.h>
+//     UAPI header — liburing is NOT required. When the header is missing
+//     (non-Linux build or ancient kernel headers) this file compiles to the
+//     fallback stubs at the bottom: UringSupported() == false and
+//     NewUringEnv() == nullptr, which callers treat as "use buffered".
+//   - One ring + one completion-reaper thread per Env. Submitters append an
+//     SQE and io_uring_enter it under a mutex; the reaper blocks in
+//     io_uring_enter(GETEVENTS), walks the CQ ring, and wakes each op by its
+//     user_data pointer. Shutdown posts a NOP with null user_data.
+//   - An op is failed locally ONLY when its SQE provably never reached the
+//     kernel (enter(1) error consumes nothing). An op the kernel owns is
+//     always completed by its CQE — failing it early would free the
+//     caller's buffer and stack frame while kernel I/O still targets them.
+//     After a fatal submission error the ring is marked dead (new submits
+//     return -EIO) but the reaper keeps serving outstanding completions.
+//   - UringSupported() performs a cached end-to-end probe (setup a ring,
+//     round-trip an IORING_OP_READ against a memfd) — io_uring can be
+//     compiled out of the kernel or denied by seccomp (common in container
+//     sandboxes), and IORING_OP_READ needs Linux >= 5.6, so probing setup
+//     alone is not enough.
+//   - Only the positional files ride the ring. Sequential/append paths and
+//     metadata stay on the buffered PosixFsEnv base, and Flush/Truncate use
+//     fdatasync/ftruncate directly — they are barriers, not throughput ops.
+#include "src/io/posix_base.h"
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+
+#include <fcntl.h>
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "src/util/logging.h"
+
+namespace nxgraph {
+namespace {
+
+using internal::PosixError;
+using internal::PosixOpenError;
+
+int UringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int UringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+               unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+template <typename T>
+T* RingPtr(void* base, uint32_t off) {
+  return reinterpret_cast<T*>(static_cast<char*>(base) + off);
+}
+
+/// One in-flight transfer: the submitting thread sleeps on `cv` until the
+/// reaper copies the CQE result in.
+struct UringOp {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  int32_t res = 0;
+  /// Publish edge from submitter to reaper. The real ordering runs through
+  /// the kernel (release-store of the SQ tail -> CQE appears), but that
+  /// passes through memory no race detector can see; the submitter
+  /// release-stores `ready` after constructing the op and the reaper
+  /// acquire-loads it before touching the op, making the happens-before
+  /// explicit (and TSan-visible).
+  std::atomic<bool> ready{false};
+};
+
+/// \brief The ring: mmap'd SQ/CQ, a submission mutex, and the reaper thread.
+class UringCore {
+ public:
+  /// Returns nullptr when the ring cannot be set up (ENOSYS, seccomp, ...).
+  static std::unique_ptr<UringCore> Create() {
+    auto core = std::unique_ptr<UringCore>(new UringCore());
+    if (!core->Init()) return nullptr;
+    return core;
+  }
+
+  ~UringCore() {
+    if (ring_fd_ >= 0) {
+      // Wake the reaper with a NOP carrying null user_data. Best effort
+      // even on a dead ring (the fatal error may have been transient); by
+      // the lifetime contract no op is in flight at destruction. If the
+      // NOP cannot be submitted after bounded retries, the reaper may be
+      // parked in GETEVENTS with nothing to complete — detach it and leak
+      // the ring rather than hang or free memory it still references.
+      bool woke = false;
+      {
+        std::lock_guard<std::mutex> lock(sq_mu_);
+        woke = SubmitOneLocked(IORING_OP_NOP, -1, nullptr, 0, 0, nullptr,
+                               /*max_attempts=*/1000);
+      }
+      if (!woke) {
+        NX_LOG(Warn) << "io_uring shutdown NOP failed; leaking the ring";
+        reaper_.detach();
+        return;
+      }
+      reaper_.join();
+    }
+    if (sq_ring_ != nullptr && sq_ring_ != MAP_FAILED) {
+      ::munmap(sq_ring_, sq_ring_bytes_);
+    }
+    if (cq_ring_ != nullptr && cq_ring_ != MAP_FAILED && cq_ring_ != sq_ring_) {
+      ::munmap(cq_ring_, cq_ring_bytes_);
+    }
+    if (sqes_ != nullptr && sqes_ != MAP_FAILED) {
+      ::munmap(sqes_, sqe_bytes_);
+    }
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  /// Submits one transfer and blocks until its completion. Returns the raw
+  /// CQE result: >= 0 bytes transferred, < 0 is -errno (-EIO when the ring
+  /// is dead or the SQE could not be submitted).
+  ///
+  /// Safety argument for the error path: submission is one enter(1) per
+  /// SQE under sq_mu_, and io_uring_enter returns an error only when it
+  /// consumed nothing — so a failed submit means the kernel never saw this
+  /// op and it is safe to fail it right here. Ops the kernel DID accept
+  /// are only ever completed by their CQE (the caller's buffer and the
+  /// op's stack frame stay alive until then), which is why no "fail all
+  /// waiters" teardown exists: a fatal error just marks the ring dead for
+  /// future submitters while the reaper drains what remains.
+  int32_t SubmitAndWait(uint8_t opcode, int fd, void* addr, uint32_t len,
+                        uint64_t offset) {
+    UringOp op;
+    op.ready.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(sq_mu_);
+      if (dead_ ||
+          !SubmitOneLocked(opcode, fd, addr, len, offset, &op,
+                           /*max_attempts=*/1000)) {
+        dead_ = true;
+        return -EIO;
+      }
+    }
+    std::unique_lock<std::mutex> lock(op.mu);
+    op.cv.wait(lock, [&op] { return op.done; });
+    return op.res;
+  }
+
+ private:
+  static constexpr unsigned kEntries = 256;
+
+  UringCore() = default;
+
+  bool Init() {
+    io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    ring_fd_ = UringSetup(kEntries, &p);
+    if (ring_fd_ < 0) return false;
+
+    sq_ring_bytes_ = p.sq_off.array + p.sq_entries * sizeof(uint32_t);
+    cq_ring_bytes_ = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) {
+      sq_ring_bytes_ = cq_ring_bytes_ =
+          std::max(sq_ring_bytes_, cq_ring_bytes_);
+    }
+    sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) return Fail();
+    cq_ring_ = single_mmap
+                   ? sq_ring_
+                   : ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                            MAP_SHARED | MAP_POPULATE, ring_fd_,
+                            IORING_OFF_CQ_RING);
+    if (cq_ring_ == MAP_FAILED) return Fail();
+    sqe_bytes_ = p.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = static_cast<io_uring_sqe*>(
+        ::mmap(nullptr, sqe_bytes_, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) return Fail();
+
+    sq_head_ = RingPtr<uint32_t>(sq_ring_, p.sq_off.head);
+    sq_tail_ = RingPtr<uint32_t>(sq_ring_, p.sq_off.tail);
+    sq_mask_ = *RingPtr<uint32_t>(sq_ring_, p.sq_off.ring_mask);
+    sq_array_ = RingPtr<uint32_t>(sq_ring_, p.sq_off.array);
+    cq_head_ = RingPtr<uint32_t>(cq_ring_, p.cq_off.head);
+    cq_tail_ = RingPtr<uint32_t>(cq_ring_, p.cq_off.tail);
+    cq_mask_ = *RingPtr<uint32_t>(cq_ring_, p.cq_off.ring_mask);
+    cqes_ = RingPtr<io_uring_cqe>(cq_ring_, p.cq_off.cqes);
+
+    reaper_ = std::thread([this] { Reap(); });
+    return true;
+  }
+
+  bool Fail() {
+    // Partial init cleanup happens in the destructor; mark the ring dead so
+    // the destructor skips the reaper handshake.
+    ::close(ring_fd_);
+    ring_fd_ = -1;
+    return false;
+  }
+
+  /// Appends one SQE and enters it. sq_mu_ must be held. False only when
+  /// the kernel consumed nothing (enter(1) error semantics), after
+  /// `max_attempts` retries of transient errnos — the caller may then fail
+  /// the op locally, no CQE will ever reference it. SQ-full cannot happen
+  /// in practice (every SQE is consumed before the mutex is released, so
+  /// unconsumed depth never exceeds one).
+  bool SubmitOneLocked(uint8_t opcode, int fd, void* addr, uint32_t len,
+                       uint64_t offset, UringOp* op, int max_attempts) {
+    const uint32_t tail = *sq_tail_;
+    const uint32_t head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
+    if (tail - head >= kEntries) return false;
+    const uint32_t idx = tail & sq_mask_;
+    io_uring_sqe* sqe = &sqes_[idx];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = opcode;
+    sqe->fd = fd;
+    sqe->addr = reinterpret_cast<uint64_t>(addr);
+    sqe->len = len;
+    sqe->off = offset;
+    sqe->user_data = reinterpret_cast<uint64_t>(op);
+    sq_array_[idx] = idx;
+    __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      int r = UringEnter(ring_fd_, 1, 0, 0);
+      if (r >= 1) return true;
+      if (r == 0 || errno == EINTR) continue;  // nothing consumed: retry
+      if (errno == EAGAIN || errno == EBUSY) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      break;  // non-retryable; the SQE was not consumed
+    }
+    // Roll the tail back so the unconsumed SQE cannot be handed to the
+    // kernel by a later enter (it would reference this op's dead stack
+    // frame). Sound because submission is serialized under sq_mu_ and
+    // without SQPOLL the kernel only reads the SQ ring inside enter.
+    __atomic_store_n(sq_tail_, tail, __ATOMIC_RELEASE);
+    return false;
+  }
+
+  void Reap() {
+    for (;;) {
+      uint32_t head = *cq_head_;
+      const uint32_t tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+      bool stop = false;
+      while (head != tail) {
+        const io_uring_cqe* cqe = &cqes_[head & cq_mask_];
+        auto* op = reinterpret_cast<UringOp*>(
+            static_cast<uintptr_t>(cqe->user_data));
+        if (op == nullptr) {
+          stop = true;
+        } else {
+          // Acquire the submitter's publish edge (always already set — the
+          // CQE cannot exist before the submit, which follows the store).
+          while (!op->ready.load(std::memory_order_acquire)) {
+          }
+          const int32_t res = cqe->res;
+          std::lock_guard<std::mutex> lock(op->mu);
+          op->res = res;
+          op->done = true;
+          op->cv.notify_one();
+        }
+        ++head;
+      }
+      __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+      if (stop) return;
+      int r = UringEnter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);
+      if (r < 0 && errno != EINTR && errno != EAGAIN && errno != EBUSY) {
+        // Even a "fatal" wait error must not exit the loop: outstanding
+        // ops would hang forever, and completing them early would free
+        // buffers the kernel still owns. Back off and retry until the NOP
+        // arrives (a ring this broken has its submitters failing too, so
+        // no new ops accumulate).
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
+
+  int ring_fd_ = -1;
+  void* sq_ring_ = nullptr;
+  void* cq_ring_ = nullptr;
+  io_uring_sqe* sqes_ = nullptr;
+  size_t sq_ring_bytes_ = 0;
+  size_t cq_ring_bytes_ = 0;
+  size_t sqe_bytes_ = 0;
+  uint32_t* sq_head_ = nullptr;
+  uint32_t* sq_tail_ = nullptr;
+  uint32_t* sq_array_ = nullptr;
+  uint32_t sq_mask_ = 0;
+  uint32_t* cq_head_ = nullptr;
+  uint32_t* cq_tail_ = nullptr;
+  uint32_t cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  std::mutex sq_mu_;
+  bool dead_ = false;  // under sq_mu_: fatal submit error; reject new ops
+  std::thread reaper_;
+};
+
+/// Full-coverage transfer loop over the ring: EINTR/EAGAIN-safe, short only
+/// at EOF for reads (mirrors PReadFull/PWriteFull).
+Status UringTransfer(UringCore* core, uint8_t opcode, int fd, void* buf,
+                     size_t n, uint64_t offset, size_t* transferred) {
+  size_t total = 0;
+  char* p = static_cast<char*>(buf);
+  while (total < n) {
+    const uint32_t len = static_cast<uint32_t>(
+        std::min<size_t>(n - total, 1u << 30));
+    const int32_t res = core->SubmitAndWait(opcode, fd, p + total, len,
+                                            offset + total);
+    if (res < 0) {
+      if (res == -EINTR || res == -EAGAIN) continue;
+      return PosixError(opcode == IORING_OP_READ ? "io_uring read"
+                                                 : "io_uring write",
+                        -res);
+    }
+    if (res == 0) {
+      if (opcode == IORING_OP_WRITE) {
+        return Status::IOError("io_uring write: zero-byte completion");
+      }
+      break;  // EOF
+    }
+    total += static_cast<size_t>(res);
+  }
+  *transferred = total;
+  return Status::OK();
+}
+
+class UringRandomAccessFile : public RandomAccessFile {
+ public:
+  UringRandomAccessFile(int fd, UringCore* core, IoStats* stats)
+      : fd_(fd), core_(core), stats_(stats) {}
+  ~UringRandomAccessFile() override { ::close(fd_); }
+
+  Status ReadAt(uint64_t offset, size_t n, void* buf,
+                size_t* bytes_read) const override {
+    NX_RETURN_NOT_OK(UringTransfer(core_, IORING_OP_READ, fd_, buf, n, offset,
+                                   bytes_read));
+    stats_->RecordRead(*bytes_read);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  UringCore* core_;
+  IoStats* stats_;
+};
+
+class UringRandomWriteFile : public RandomWriteFile {
+ public:
+  UringRandomWriteFile(int fd, UringCore* core, IoStats* stats)
+      : fd_(fd), core_(core), stats_(stats) {}
+  ~UringRandomWriteFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override {
+    stats_->RecordWrite(n);
+    size_t written = 0;
+    return UringTransfer(core_, IORING_OP_WRITE, fd_,
+                         const_cast<void*>(data), n, offset, &written);
+  }
+
+  Status Flush() override {
+    if (::fdatasync(fd_) < 0) return PosixError("fdatasync", errno);
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) < 0) {
+      return PosixError("ftruncate", errno);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    Status s;
+    if (::close(fd_) < 0) s = PosixError("close", errno);
+    fd_ = -1;
+    return s;
+  }
+
+ private:
+  int fd_;
+  UringCore* core_;
+  IoStats* stats_;
+};
+
+class UringEnv : public internal::PosixFsEnv {
+ public:
+  explicit UringEnv(std::unique_ptr<UringCore> core)
+      : core_(std::move(core)) {}
+
+  Status NewRandomAccessFile(const std::string& path,
+                             std::unique_ptr<RandomAccessFile>* out) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return PosixOpenError(path);
+    *out = std::make_unique<UringRandomAccessFile>(fd, core_.get(), stats());
+    return Status::OK();
+  }
+
+  Status NewRandomWriteFile(const std::string& path,
+                            std::unique_ptr<RandomWriteFile>* out) override {
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) return PosixOpenError(path);
+    *out = std::make_unique<UringRandomWriteFile>(fd, core_.get(), stats());
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<UringCore> core_;
+};
+
+/// End-to-end probe: ring setup + an IORING_OP_READ round-trip on a memfd.
+bool ProbeUring() {
+  auto core = UringCore::Create();
+  if (core == nullptr) return false;
+  int fd = static_cast<int>(::syscall(__NR_memfd_create, "nx_uring_probe", 0u));
+  if (fd < 0) return false;
+  const char payload[] = "nxgraph";
+  bool ok = ::pwrite(fd, payload, sizeof(payload), 0) ==
+            static_cast<ssize_t>(sizeof(payload));
+  char buf[sizeof(payload)] = {0};
+  if (ok) {
+    const int32_t res = core->SubmitAndWait(IORING_OP_READ, fd, buf,
+                                            sizeof(payload), 0);
+    ok = res == static_cast<int32_t>(sizeof(payload)) &&
+         std::memcmp(buf, payload, sizeof(payload)) == 0;
+  }
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+bool UringSupported() {
+  static const bool supported = ProbeUring();
+  return supported;
+}
+
+std::unique_ptr<Env> NewUringEnv() {
+  if (!UringSupported()) return nullptr;
+  auto core = UringCore::Create();
+  if (core == nullptr) return nullptr;
+  return std::make_unique<UringEnv>(std::move(core));
+}
+
+}  // namespace nxgraph
+
+#else  // no <linux/io_uring.h>: compile-time fallback
+
+namespace nxgraph {
+
+bool UringSupported() { return false; }
+
+std::unique_ptr<Env> NewUringEnv() { return nullptr; }
+
+}  // namespace nxgraph
+
+#endif

@@ -33,7 +33,9 @@ bool WritebackQueue::OverlapsPendingLocked(const FileState& fs,
     return true;
   }
   for (const auto& f : fs.inflight) {
-    if (w.offset < f->end() && f->offset < w.end()) return true;
+    // span() covers a grouped write's absorbed range even before the
+    // writer thread has concatenated the payloads.
+    if (w.offset < f->span() && f->offset < w.end()) return true;
   }
   for (const auto& d : fs.deferred) {
     if (w.offset < d->end() && d->offset < w.end()) return true;
@@ -96,6 +98,9 @@ Status WritebackQueue::Push(RandomWriteFile* file, uint64_t offset,
 }
 
 std::shared_ptr<WritebackQueue::Pending> WritebackQueue::PickLocked() {
+  // Largest write group commit will grow: past a few MiB the transfer is
+  // bandwidth-bound anyway and the append-copy only burns memory.
+  constexpr uint64_t kCoalesceCapBytes = 4ull << 20;
   // Keep the pool fed with exactly one write per writer thread; the rest
   // of the window waits in the sorted maps so each completion can pick
   // the elevator-best successor instead of a FIFO-frozen one.
@@ -108,7 +113,29 @@ std::shared_ptr<WritebackQueue::Pending> WritebackQueue::PickLocked() {
       if (it == fs.queued.end()) it = fs.queued.begin();
       auto w = it->second;
       fs.queued.erase(it);
-      fs.head = w->end();
+      // Group commit: absorb exactly-adjacent queued successors into one
+      // WriteAt. Queued writes are pairwise disjoint, so byte-identical
+      // to issuing them separately — one device op instead of several
+      // (hub segments written by one Phase B row are contiguous by
+      // (i, j), making this the common case on seek-bound profiles).
+      // Only the map surgery happens here; the payload concatenation — up
+      // to kCoalesceCapBytes of memcpy — is done by the writer thread in
+      // RunWrite, outside mu_.
+      uint64_t group_end = w->end();
+      uint64_t group_bytes = w->data.size();
+      for (auto next = fs.queued.find(group_end);
+           next != fs.queued.end() &&
+           group_bytes + next->second->data.size() <= kCoalesceCapBytes;
+           next = fs.queued.find(group_end)) {
+        group_end += next->second->data.size();
+        group_bytes += next->second->data.size();
+        w->merged += next->second->merged;
+        w->group.push_back(next->second);
+        ++coalesced_writes_;
+        fs.queued.erase(next);
+      }
+      if (!w->group.empty()) w->span_end = group_end;
+      fs.head = group_end;
       fs.inflight.push_back(w);
       ++inflight_writes_;
       return w;
@@ -155,6 +182,16 @@ void WritebackQueue::Issue() {
 }
 
 void WritebackQueue::RunWrite(std::shared_ptr<Pending> w) {
+  if (!w->group.empty()) {
+    // Concatenate the group-committed payloads (outside mu_ — this copy
+    // can be megabytes). pending_bytes_ is unchanged: the bytes move from
+    // the members into `data`, and completion subtracts the grown size.
+    w->data.reserve(static_cast<size_t>(w->span_end - w->offset));
+    for (const auto& member : w->group) {
+      w->data.append(member->data);
+      std::string().swap(member->data);
+    }
+  }
   Status s = w->file->WriteAt(w->offset, w->data.data(), w->data.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -163,7 +200,8 @@ void WritebackQueue::RunWrite(std::shared_ptr<Pending> w) {
     fs.inflight.erase(
         std::find(fs.inflight.begin(), fs.inflight.end(), w));
     pending_bytes_ -= w->data.size();
-    --pending_writes_;
+    pending_writes_ -= w->merged;  // a group-committed write retires all
+                                   // the pushes folded into it
     --inflight_writes_;
     cv_.notify_all();
   }
@@ -203,6 +241,11 @@ Status WritebackQueue::Drain(bool sync) {
 uint64_t WritebackQueue::pending_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return pending_bytes_;
+}
+
+uint64_t WritebackQueue::coalesced_writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coalesced_writes_;
 }
 
 }  // namespace nxgraph

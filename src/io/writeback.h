@@ -22,8 +22,12 @@
 // per-file elevator sweep — ascending offset from the last issued write,
 // wrapping around — which turns the scrambled completion order of Phase B
 // compute tasks back into a near-sequential device stream (hub segments
-// are contiguous by (i, j)). A write that overlaps a pending write on the
-// same file is deferred until that file quiesces and then applied in push
+// are contiguous by (i, j)). At issue time, exactly-adjacent queued writes
+// on the same file are group-committed into one WriteAt (byte-identical,
+// since queued writes are disjoint): adjacent hub segments written by one
+// Phase B row reach the device as a single larger transfer instead of a
+// run of small ones. A write that overlaps a pending write on the same
+// file is deferred until that file quiesces and then applied in push
 // order, so overlapping writes always land exactly as the synchronous
 // path would have written them.
 //
@@ -108,12 +112,28 @@ class WritebackQueue {
            1e6;
   }
 
+  /// Queued writes absorbed into a neighbor by group commit (each absorbed
+  /// write saved one WriteAt).
+  uint64_t coalesced_writes() const;
+
  private:
   struct Pending {
     RandomWriteFile* file;
     uint64_t offset;
     std::string data;
+    /// Original Push calls folded into this write (group commit); the
+    /// barrier counter drops by this much when the write lands.
+    uint64_t merged = 1;
+    /// Exactly-adjacent successors absorbed by group commit at pick time.
+    /// Their payloads are concatenated into `data` by the writer thread
+    /// OUTSIDE the queue lock (the copy can be megabytes; holding mu_
+    /// across it would stall every producer and the barrier).
+    std::vector<std::shared_ptr<Pending>> group;
+    /// Authoritative end once grouped (covers the absorbed payloads before
+    /// they are concatenated); 0 for ungrouped writes.
+    uint64_t span_end = 0;
     uint64_t end() const { return offset + data.size(); }
+    uint64_t span() const { return span_end != 0 ? span_end : end(); }
   };
 
   /// Per-target issue state. Disjoint queued writes live in an
@@ -138,6 +158,10 @@ class WritebackQueue {
   void Issue();
   void RunWrite(std::shared_ptr<Pending> w);
   /// Next elevator candidate across all files, or null. Called under mu_.
+  /// Group commit: the picked write absorbs exactly-adjacent queued
+  /// successors on the same file (Phase B hub segments of one row are
+  /// contiguous by (i, j)) into a single larger WriteAt, up to
+  /// kCoalesceCapBytes.
   std::shared_ptr<Pending> PickLocked();
   bool OverlapsPendingLocked(const FileState& fs, const Pending& w) const;
   void TaskDone();
@@ -155,6 +179,7 @@ class WritebackQueue {
   size_t outstanding_tasks_ = 0;  // pool closures still referencing this
   bool issuing_ = false;
   Status first_error_;
+  uint64_t coalesced_writes_ = 0;
   std::vector<RandomWriteFile*> targets_;  // distinct files since last Drain
 
   std::atomic<int64_t> write_wait_micros_{0};
