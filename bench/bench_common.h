@@ -66,6 +66,33 @@ inline std::shared_ptr<GraphStore> GetStore(const std::string& dataset,
   return *store;
 }
 
+/// Builds (or reuses) a forward-only store of `dataset` written in a
+/// specific sub-shard format, cached under /tmp/nxgraph_bench like
+/// GetStore. The single home of the format-store path scheme, shared by
+/// bench_format and bench_table2_iomodel so they always measure the same
+/// stores.
+inline std::shared_ptr<GraphStore> GetFormatStore(const std::string& dataset,
+                                                  uint32_t p,
+                                                  uint64_t divisor,
+                                                  SubShardFormat format) {
+  const std::string dir = "/tmp/nxgraph_bench/fmt_" + dataset + "_p" +
+                          std::to_string(p) + "_d" + std::to_string(divisor) +
+                          "_" + SubShardFormatName(format);
+  if (Env::Default()->FileExists(dir + "/" + kManifestFileName)) {
+    auto store = OpenGraphStore(dir);
+    if (store.ok()) return *store;
+  }
+  auto edges = MakeDataset(dataset, divisor);
+  NX_CHECK(edges.ok()) << edges.status().ToString();
+  BuildOptions options;
+  options.num_intervals = p;
+  options.build_transpose = false;
+  options.subshard_format = format;
+  auto store = BuildGraphStore(*edges, dir, options);
+  NX_CHECK(store.ok()) << store.status().ToString();
+  return *store;
+}
+
 /// Engines compared across the experiments.
 enum class EngineKind {
   kNxCallback,

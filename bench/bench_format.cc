@@ -1,0 +1,179 @@
+// Sub-shard format benchmark: NXS1 (raw fixed-width) vs NXS2 (delta-varint)
+// on the R-MAT bench graph. Reports store size and bytes per edge, decode
+// throughput over the raw-read/decode split, and out-of-core PageRank on a
+// throttled-SSD Env (device model) plus the direct backend (real device) —
+// with RunStats::env_bytes_read proving the byte reduction is measured at
+// the Env layer, not inferred.
+//
+// --smoke: build a small store in both formats, assert the NXS2 store is
+// >= 1.8x smaller, and exit non-zero otherwise (the CI gate).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/util/byte_size.h"
+#include "src/util/timer.h"
+
+namespace nxgraph {
+namespace {
+
+struct FormatStore {
+  std::shared_ptr<GraphStore> store;
+  uint64_t shard_bytes = 0;  // subshards.nxs
+};
+
+FormatStore BuildFormatStore(SubShardFormat format, uint32_t p,
+                             uint64_t divisor) {
+  FormatStore fs;
+  fs.store = bench::GetFormatStore("live-journal-sim", p, divisor, format);
+  fs.shard_bytes = fs.store->TotalSubShardBytes(false);
+  return fs;
+}
+
+// Decode seconds over the whole store via the prefetcher's raw-read /
+// off-thread-decode split (ReadSubShardRowBytes + DecodeSubShardRow): the
+// CPU price of the format, isolated from the disk.
+double MeasureDecodeSeconds(const GraphStore& store, int reps) {
+  const uint32_t p = store.num_intervals();
+  std::vector<std::string> raws(p);
+  for (uint32_t i = 0; i < p; ++i) {
+    auto raw = store.ReadSubShardRowBytes(i, 0, p, false);
+    NX_CHECK(raw.ok());
+    raws[i] = std::move(*raw);
+  }
+  Timer timer;
+  for (int r = 0; r < reps; ++r) {
+    for (uint32_t i = 0; i < p; ++i) {
+      auto row = store.DecodeSubShardRow(i, 0, p, false, {}, raws[i]);
+      NX_CHECK(row.ok());
+      benchmark::DoNotOptimize(row);
+    }
+  }
+  return timer.ElapsedSeconds() / reps;
+}
+
+// Stream-mode budget mirroring bench_prefetch: state + degrees + a sliver,
+// so every iteration re-reads the shard file through the prefetch pipeline.
+uint64_t StreamBudget(const GraphStore& store) {
+  return 2 * store.num_vertices() * sizeof(double) +
+         store.num_vertices() * 4 + 64 * 1024;
+}
+
+RunStats RunStreamPageRank(std::shared_ptr<GraphStore> store, int iterations,
+                           IoBackend backend = IoBackend::kBuffered) {
+  PageRankProgram program;
+  program.num_vertices = store->num_vertices();
+  RunOptions opt;
+  opt.strategy = UpdateStrategy::kSinglePhase;
+  opt.memory_budget_bytes = StreamBudget(*store);
+  opt.max_iterations = iterations;
+  opt.num_threads = 3;
+  opt.prefetch_depth = 2;
+  opt.io_threads = 1;
+  opt.io_backend = backend;
+  Engine<PageRankProgram> engine(store, program, opt);
+  auto stats = engine.Run();
+  NX_CHECK(stats.ok()) << stats.status().ToString();
+  return *stats;
+}
+
+bool SmokeMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+}  // namespace nxgraph
+
+int main(int argc, char** argv) {
+  using namespace nxgraph;
+  const bool smoke = SmokeMode(argc, argv);
+  const bool full = bench::FullMode(argc, argv);
+  if (!smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+
+  // The RMAT bench graph (live-journal-sim parameters; smoke shrinks it).
+  const uint64_t divisor = smoke ? 1024 : bench::Divisor("live-journal-sim", full);
+  const uint32_t p = smoke ? 16 : 32;
+
+  FormatStore s1 = BuildFormatStore(SubShardFormat::kNxs1, p, divisor);
+  FormatStore s2 = BuildFormatStore(SubShardFormat::kNxs2, p, divisor);
+  const double m = static_cast<double>(s1.store->num_edges());
+  const double ratio = static_cast<double>(s1.shard_bytes) /
+                       static_cast<double>(s2.shard_bytes);
+
+  std::printf(
+      "\n=== Sub-shard format: NXS1 vs NXS2 (RMAT live-journal-sim, "
+      "n=%llu, m=%llu, P=%u, unweighted) ===\n\n",
+      static_cast<unsigned long long>(s1.store->num_vertices()),
+      static_cast<unsigned long long>(s1.store->num_edges()), p);
+  bench::Table sizes({"Format", "Store bytes", "Bytes/edge", "vs NXS1"});
+  sizes.AddRow({"NXS1", FormatByteSize(s1.shard_bytes),
+                bench::Fmt(s1.shard_bytes / m), "1.00x"});
+  sizes.AddRow({"NXS2", FormatByteSize(s2.shard_bytes),
+                bench::Fmt(s2.shard_bytes / m), bench::Fmt(ratio) + "x"});
+  sizes.Print();
+
+  if (smoke) {
+    // CI gate: the compression claim must hold on the bench graph.
+    NX_CHECK(ratio >= 1.8) << "NXS2 store only " << ratio
+                           << "x smaller than NXS1 (need >= 1.8x)";
+    std::printf("\nsmoke OK: NXS2 store %.2fx smaller than NXS1\n", ratio);
+    return 0;
+  }
+
+  // ---- decode cost (pure CPU, shard file pre-read) -----------------------
+  const int reps = full ? 10 : 3;
+  const double dec1 = MeasureDecodeSeconds(*s1.store, reps);
+  const double dec2 = MeasureDecodeSeconds(*s2.store, reps);
+  std::printf("\n--- Decode cost (whole store, raw bytes pre-read) ---\n");
+  bench::Table decode({"Format", "Decode (s)", "Edges/s (M)"});
+  decode.AddRow({"NXS1", bench::Fmt(dec1, 3), bench::Fmt(m / dec1 / 1e6, 1)});
+  decode.AddRow({"NXS2", bench::Fmt(dec2, 3), bench::Fmt(m / dec2 / 1e6, 1)});
+  decode.Print();
+
+  // ---- throttled-SSD stream PageRank (device model) ----------------------
+  const int iterations = full ? 10 : 5;
+  auto env = NewThrottledEnv(Env::Default(), DeviceProfile::Ssd());
+  std::printf(
+      "\n--- Stream-mode PageRank, throttled SSD model (%d iterations) "
+      "---\n",
+      iterations);
+  bench::Table throttled({"Format", "Wall (s)", "I/O wait (s)",
+                          "Env bytes read", "Bytes read/iter", "MTEPS"});
+  for (const auto* fs : {&s1, &s2}) {
+    auto reopened = OpenGraphStore(fs->store->dir(), env.get());
+    NX_CHECK(reopened.ok());
+    RunStats r = RunStreamPageRank(*reopened, iterations);
+    throttled.AddRow(
+        {fs == &s1 ? "NXS1" : "NXS2", bench::Fmt(r.seconds, 3),
+         bench::Fmt(r.io_wait_seconds, 3), FormatByteSize(r.env_bytes_read),
+         FormatByteSize(r.env_bytes_read / iterations),
+         bench::Fmt(r.Mteps(), 1)});
+  }
+  throttled.Print();
+
+  // ---- direct backend (real device, page cache bypassed) -----------------
+  std::printf("\n--- Stream-mode PageRank, direct I/O backend ---\n");
+  bench::Table direct({"Format", "Backend (eff)", "Wall (s)", "I/O wait (s)",
+                       "Env bytes read", "MTEPS"});
+  for (const auto* fs : {&s1, &s2}) {
+    RunStats r = RunStreamPageRank(fs->store, iterations, IoBackend::kDirect);
+    direct.AddRow({fs == &s1 ? "NXS1" : "NXS2", r.io_backend,
+                   bench::Fmt(r.seconds, 3), bench::Fmt(r.io_wait_seconds, 3),
+                   FormatByteSize(r.env_bytes_read), bench::Fmt(r.Mteps(), 1)});
+  }
+  direct.Print();
+  std::printf(
+      "\nShape check: the NXS2 store is >= 1.8x smaller and env_bytes_read "
+      "drops by the same factor on the shard traffic. Wall time follows "
+      "the bytes whenever the device is the bottleneck (the throttled "
+      "model, spinning disks, busy/slow SSDs); decode costs extra CPU, so "
+      "on a fast device with few cores (where the off-thread decode split "
+      "cannot hide it) NXS1 can still win wall-clock — the classic "
+      "compression tradeoff, now measurable per run via env_bytes_read.\n");
+  return 0;
+}

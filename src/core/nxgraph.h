@@ -43,6 +43,10 @@ struct BuildOptions {
   bool build_transpose = true;
   /// Drop duplicate (src, dst) pairs during sharding.
   bool dedup = false;
+  /// Sub-shard blob encoding (see docs/storage-format.md): NXS2
+  /// delta-varint by default (NXGRAPH_SUBSHARD_FORMAT overrides), NXS1 for
+  /// the raw fixed-width layout. Stores of either format open identically.
+  SubShardFormat subshard_format = DefaultSubShardFormat();
   /// Filesystem to build into; nullptr == Env::Default().
   Env* env = nullptr;
 };

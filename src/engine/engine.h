@@ -540,10 +540,12 @@ Status Engine<Program>::Prepare() {
 
   // If the cache budget cannot pin the decoded graph, switch to streaming:
   // whole-row sequential reads in row-major order (paper: "streamlined
-  // disk access pattern").
+  // disk access pattern"). Decoded footprints come from the manifest's
+  // per-blob counts — with a compressed blob format (NXS2) the encoded
+  // file size undercounts what the cache must actually hold.
   uint64_t decoded_bytes = 0;
-  if (use_forward) decoded_bytes += store_->TotalSubShardBytes(false);
-  if (use_transpose) decoded_bytes += store_->TotalSubShardBytes(true);
+  if (use_forward) decoded_bytes += m.TotalDecodedSubShardBytes(false);
+  if (use_transpose) decoded_bytes += m.TotalDecodedSubShardBytes(true);
   stream_mode_ = decision_.subshard_cache_budget < decoded_bytes;
   return Status::OK();
 }
@@ -1318,6 +1320,13 @@ Result<RunStats> Engine<Program>::Run() {
   RunStats stats;
   Timer total;
   NX_RETURN_NOT_OK(Prepare());
+  // Every read/write of the run proper (InitValues onwards) is served by
+  // the store's effective Env — scratch stores and hubs are opened against
+  // it too — so a snapshot delta of its transfer counters measures the
+  // bytes that actually crossed the Env boundary, independent of the
+  // engine's own accounting.
+  Env* const run_env = store_->env();
+  const IoStats::Snapshot env_start = run_env->stats()->snapshot();
   NX_RETURN_NOT_OK(InitValues());
   stats.preprocess_seconds = total.ElapsedSeconds();
   stats.strategy = decision_.name;
@@ -1344,6 +1353,11 @@ Result<RunStats> Engine<Program>::Run() {
       bytes_read_.load(std::memory_order_relaxed) +
       cache_->bytes_loaded_from_disk();
   stats.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  {
+    const IoStats::Snapshot env_end = run_env->stats()->snapshot();
+    stats.env_bytes_read = env_end.bytes_read - env_start.bytes_read;
+    stats.env_bytes_written = env_end.bytes_written - env_start.bytes_written;
+  }
   stats.phase_a_seconds = phase_seconds_[0];
   stats.phase_b_seconds = phase_seconds_[1];
   stats.phase_c_seconds = phase_seconds_[2];

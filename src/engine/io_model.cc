@@ -3,7 +3,33 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/prep/manifest.h"
+
 namespace nxgraph {
+
+IoModelParams MakeIoModelParams(const Manifest& manifest, uint32_t value_bytes,
+                                uint64_t memory_budget_bytes) {
+  IoModelParams p;
+  p.n = static_cast<double>(manifest.num_vertices);
+  p.m = static_cast<double>(manifest.num_edges);
+  p.Ba = value_bytes;
+  p.Bv = sizeof(uint32_t);
+  p.P = manifest.num_intervals;
+  p.BM = static_cast<double>(memory_budget_bytes);
+  uint64_t blob_bytes = 0;
+  uint64_t total_dsts = 0;
+  for (const auto& meta : manifest.subshards) {
+    blob_bytes += meta.size;
+    total_dsts += meta.num_dsts;
+  }
+  if (manifest.num_edges > 0) {
+    p.Be = static_cast<double>(blob_bytes) / p.m;
+  }
+  if (total_dsts > 0) {
+    p.d = p.m / static_cast<double>(total_dsts);
+  }
+  return p;
+}
 
 IoCost SpuIoCost(const IoModelParams& p) {
   IoCost c;

@@ -7,6 +7,8 @@
 
 namespace nxgraph {
 
+struct Manifest;
+
 /// \brief Inputs to the I/O model, in the paper's notation.
 struct IoModelParams {
   double n = 0;    ///< number of vertices
@@ -18,6 +20,16 @@ struct IoModelParams {
   double d = 15;   ///< average in-degree of sub-shard destinations
   double P = 16;   ///< number of intervals
 };
+
+/// Model parameters measured from a real prepared store instead of
+/// assumed: Be is the ACTUAL encoded bytes per edge — total forward-blob
+/// bytes from the manifest's segment table divided by m — so a compressed
+/// sub-shard format (NXS2) flows straight into every m*Be term, and d is
+/// the measured average in-degree of sub-shard destinations
+/// (m / sum(num_dsts)). `value_bytes` sets Ba; `memory_budget_bytes` sets
+/// BM (0 = unlimited stays 0 — callers sweeping budgets overwrite it).
+IoModelParams MakeIoModelParams(const Manifest& manifest, uint32_t value_bytes,
+                                uint64_t memory_budget_bytes);
 
 /// \brief Bread/Bwrite per iteration for one strategy.
 struct IoCost {

@@ -155,6 +155,17 @@ struct RunStats {
   uint64_t edges_traversed = 0;    ///< summed over processed sub-shards
   uint64_t bytes_read = 0;         ///< engine-accounted disk reads
   uint64_t bytes_written = 0;      ///< engine-accounted disk writes
+  /// Bytes MEASURED at the Env layer (every file object's ReadAt/Read and
+  /// WriteAt/Append records into its Env's IoStats): a snapshot delta over
+  /// the run's effective Env from just after setup to completion. Unlike
+  /// the engine-accounted `bytes_read`/`bytes_written` (which count what
+  /// the engine *intended* to move, from manifest blob sizes), these are
+  /// ground truth for I/O-volume claims — a compressed sub-shard format
+  /// shows up here as fewer bytes per iteration without any accounting
+  /// change. Runs sharing one Env concurrently (rare outside tests) see
+  /// each other's traffic.
+  uint64_t env_bytes_read = 0;
+  uint64_t env_bytes_written = 0;
   uint32_t resident_intervals = 0; ///< Q actually used
   std::string strategy;            ///< "SPU" / "DPU" / "MPU(Q=...)"
   std::vector<double> iteration_seconds;

@@ -26,10 +26,11 @@ DirectionUse UsedDirections(const Manifest& manifest,
               manifest.has_transpose};
 }
 
-// Largest encoded sub-shard row over the directions this run will read.
-// Encoded size is a close proxy for the decoded footprint (the blob is the
-// raw arrays plus a small header).
-uint64_t MaxRowBytes(const Manifest& manifest, EdgeDirection direction) {
+// Largest per-row sum of `meta_bytes(meta)` over the directions this run
+// will read — the shared loop behind the raw and decoded row maxima.
+template <typename MetaBytes>
+uint64_t MaxRowMetaBytes(const Manifest& manifest, EdgeDirection direction,
+                         MetaBytes meta_bytes) {
   const uint32_t p = manifest.num_intervals;
   const DirectionUse use = UsedDirections(manifest, direction);
   uint64_t max_row = 0;
@@ -38,7 +39,7 @@ uint64_t MaxRowBytes(const Manifest& manifest, EdgeDirection direction) {
     for (uint32_t i = 0; i < p; ++i) {
       uint64_t row = 0;
       for (uint32_t j = 0; j < p; ++j) {
-        row += manifest.subshard(i, j, t == 1).size;
+        row += meta_bytes(manifest.subshard(i, j, t == 1));
       }
       max_row = std::max(max_row, row);
     }
@@ -46,17 +47,33 @@ uint64_t MaxRowBytes(const Manifest& manifest, EdgeDirection direction) {
   return max_row;
 }
 
-// Every sub-shard blob byte this run will read — what the fill-once cache
-// needs to pin the whole graph decoded.
+// Largest encoded sub-shard row: the raw bytes one whole-row disk read
+// moves. With a compressed blob format (NXS2) this is substantially
+// smaller than the decoded footprint, which is why the raw and decoded
+// row sizes are accounted separately — smaller raw slots leave more
+// budget for deeper windows.
+uint64_t MaxRowBytes(const Manifest& manifest, EdgeDirection direction) {
+  return MaxRowMetaBytes(manifest, direction,
+                         [](const SubShardMeta& m) { return m.size; });
+}
+
+// Largest decoded sub-shard row (exact in-memory footprint from the
+// manifest's per-blob edge/destination counts).
+uint64_t MaxRowDecodedBytes(const Manifest& manifest, EdgeDirection direction) {
+  return MaxRowMetaBytes(manifest, direction,
+                         [weighted = manifest.weighted](const SubShardMeta& m) {
+                           return m.DecodedBytes(weighted);
+                         });
+}
+
+// Decoded footprint of every sub-shard this run will read — what the
+// fill-once cache (which accounts SubShard::MemoryBytes) needs to pin the
+// whole graph decoded.
 uint64_t TotalShardBytes(const Manifest& manifest, EdgeDirection direction) {
   const DirectionUse use = UsedDirections(manifest, direction);
   uint64_t total = 0;
-  if (use.forward) {
-    for (const auto& meta : manifest.subshards) total += meta.size;
-  }
-  if (use.transpose) {
-    for (const auto& meta : manifest.subshards_transpose) total += meta.size;
-  }
+  if (use.forward) total += manifest.TotalDecodedSubShardBytes(false);
+  if (use.transpose) total += manifest.TotalDecodedSubShardBytes(true);
   return total;
 }
 
@@ -98,14 +115,17 @@ uint64_t PrefetchSlotBytes(const Manifest& manifest, uint32_t value_bytes,
   // sub-shards simultaneously (the decode stage overlaps the two), plus the
   // phase's side stream may hold an interval value segment in the same
   // slot position (Phase B pairs every row with its source values; Phase C
-  // pairs each column with its write-back values).
+  // pairs each column with its write-back values). Raw and decoded sizes
+  // come from the manifest separately: with a compressed blob format the
+  // raw half of the slot shrinks, so the same budget funds deeper windows.
   uint64_t max_segment = 0;
   for (uint32_t i = 0; i < manifest.num_intervals; ++i) {
     max_segment = std::max<uint64_t>(
         max_segment,
         static_cast<uint64_t>(manifest.interval_size(i)) * value_bytes);
   }
-  return 2 * MaxRowBytes(manifest, direction) + max_segment;
+  return MaxRowBytes(manifest, direction) +
+         MaxRowDecodedBytes(manifest, direction) + max_segment;
 }
 
 StrategyDecision ChooseStrategy(const Manifest& manifest, uint32_t value_bytes,

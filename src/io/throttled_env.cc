@@ -1,5 +1,8 @@
 // ThrottledEnv: decorates another Env so that reads and writes pay the
-// bandwidth and seek costs of a modelled device. Used to reproduce the
+// bandwidth and seek costs of a modelled device. Transfers are recorded in
+// the throttled Env's OWN IoStats (as well as the base Env's, via the
+// wrapped base file objects), so a run served by this Env reports honest
+// RunStats::env_bytes_read/env_bytes_written. Used to reproduce the
 // paper's SSD-vs-HDD comparison (Table V) regardless of the real backing
 // device: sequential streams pay pure bandwidth, positional accesses to
 // non-adjacent offsets additionally pay one seek.
@@ -32,12 +35,16 @@ class Throttler {
 
 class ThrottledSequentialFile : public SequentialFile {
  public:
-  ThrottledSequentialFile(std::unique_ptr<SequentialFile> base, Throttler* t)
-      : base_(std::move(base)), throttler_(t) {}
+  ThrottledSequentialFile(std::unique_ptr<SequentialFile> base, Throttler* t,
+                          IoStats* stats)
+      : base_(std::move(base)), throttler_(t), stats_(stats) {}
 
   Status Read(size_t n, void* buf, size_t* bytes_read) override {
     Status s = base_->Read(n, buf, bytes_read);
-    if (s.ok()) throttler_->ChargeBytes(*bytes_read);
+    if (s.ok()) {
+      stats_->RecordRead(*bytes_read);
+      throttler_->ChargeBytes(*bytes_read);
+    }
     return s;
   }
   Status Skip(uint64_t n) override {
@@ -48,18 +55,20 @@ class ThrottledSequentialFile : public SequentialFile {
  private:
   std::unique_ptr<SequentialFile> base_;
   Throttler* throttler_;
+  IoStats* stats_;
 };
 
 class ThrottledRandomAccessFile : public RandomAccessFile {
  public:
   ThrottledRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
-                            Throttler* t)
-      : base_(std::move(base)), throttler_(t) {}
+                            Throttler* t, IoStats* stats)
+      : base_(std::move(base)), throttler_(t), stats_(stats) {}
 
   Status ReadAt(uint64_t offset, size_t n, void* buf,
                 size_t* bytes_read) const override {
     Status s = base_->ReadAt(offset, n, buf, bytes_read);
     if (!s.ok()) return s;
+    stats_->RecordRead(*bytes_read);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (offset != next_expected_offset_) throttler_->ChargeSeek();
@@ -72,18 +81,22 @@ class ThrottledRandomAccessFile : public RandomAccessFile {
  private:
   std::unique_ptr<RandomAccessFile> base_;
   Throttler* throttler_;
+  IoStats* stats_;
   mutable std::mutex mu_;
   mutable uint64_t next_expected_offset_ = 0;
 };
 
 class ThrottledWritableFile : public WritableFile {
  public:
-  ThrottledWritableFile(std::unique_ptr<WritableFile> base, Throttler* t)
-      : base_(std::move(base)), throttler_(t) {}
+  ThrottledWritableFile(std::unique_ptr<WritableFile> base, Throttler* t,
+                        IoStats* stats)
+      : base_(std::move(base)), throttler_(t), stats_(stats) {}
 
   Status Append(const void* data, size_t n) override {
     throttler_->ChargeBytes(n);
-    return base_->Append(data, n);
+    Status s = base_->Append(data, n);
+    if (s.ok()) stats_->RecordWrite(n);
+    return s;
   }
   Status Flush() override { return base_->Flush(); }
   Status Sync() override {
@@ -97,16 +110,19 @@ class ThrottledWritableFile : public WritableFile {
  private:
   std::unique_ptr<WritableFile> base_;
   Throttler* throttler_;
+  IoStats* stats_;
 };
 
 class ThrottledRandomWriteFile : public RandomWriteFile {
  public:
-  ThrottledRandomWriteFile(std::unique_ptr<RandomWriteFile> base, Throttler* t)
-      : base_(std::move(base)), throttler_(t) {}
+  ThrottledRandomWriteFile(std::unique_ptr<RandomWriteFile> base, Throttler* t,
+                           IoStats* stats)
+      : base_(std::move(base)), throttler_(t), stats_(stats) {}
 
   Status WriteAt(uint64_t offset, const void* data, size_t n) override {
     Status s = base_->WriteAt(offset, data, n);
     if (!s.ok()) return s;
+    stats_->RecordWrite(n);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (offset != next_expected_offset_) throttler_->ChargeSeek();
@@ -132,6 +148,7 @@ class ThrottledRandomWriteFile : public RandomWriteFile {
  private:
   std::unique_ptr<RandomWriteFile> base_;
   Throttler* throttler_;
+  IoStats* stats_;
   std::mutex mu_;
   uint64_t next_expected_offset_ = 0;
 };
@@ -146,7 +163,8 @@ class ThrottledEnv : public Env {
     std::unique_ptr<SequentialFile> f;
     NX_RETURN_NOT_OK(base_->NewSequentialFile(path, &f));
     throttler_.ChargeSeek();  // open positions the head
-    *out = std::make_unique<ThrottledSequentialFile>(std::move(f), &throttler_);
+    *out = std::make_unique<ThrottledSequentialFile>(std::move(f), &throttler_,
+                                                     stats());
     return Status::OK();
   }
 
@@ -154,8 +172,8 @@ class ThrottledEnv : public Env {
                              std::unique_ptr<RandomAccessFile>* out) override {
     std::unique_ptr<RandomAccessFile> f;
     NX_RETURN_NOT_OK(base_->NewRandomAccessFile(path, &f));
-    *out =
-        std::make_unique<ThrottledRandomAccessFile>(std::move(f), &throttler_);
+    *out = std::make_unique<ThrottledRandomAccessFile>(std::move(f),
+                                                       &throttler_, stats());
     return Status::OK();
   }
 
@@ -164,7 +182,8 @@ class ThrottledEnv : public Env {
     std::unique_ptr<WritableFile> f;
     NX_RETURN_NOT_OK(base_->NewWritableFile(path, &f));
     throttler_.ChargeSeek();
-    *out = std::make_unique<ThrottledWritableFile>(std::move(f), &throttler_);
+    *out = std::make_unique<ThrottledWritableFile>(std::move(f), &throttler_,
+                                                   stats());
     return Status::OK();
   }
 
@@ -172,8 +191,8 @@ class ThrottledEnv : public Env {
                             std::unique_ptr<RandomWriteFile>* out) override {
     std::unique_ptr<RandomWriteFile> f;
     NX_RETURN_NOT_OK(base_->NewRandomWriteFile(path, &f));
-    *out =
-        std::make_unique<ThrottledRandomWriteFile>(std::move(f), &throttler_);
+    *out = std::make_unique<ThrottledRandomWriteFile>(std::move(f),
+                                                      &throttler_, stats());
     return Status::OK();
   }
 

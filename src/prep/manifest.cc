@@ -17,10 +17,14 @@ void EncodeSubShardTable(std::string* out,
     EncodeFixed<uint64_t>(out, s.size);
     EncodeFixed<uint64_t>(out, s.num_edges);
     EncodeFixed<uint32_t>(out, s.num_dsts);
+    EncodeFixed<uint8_t>(out, static_cast<uint8_t>(s.format));
   }
 }
 
-bool DecodeSubShardTable(SliceReader* r, std::vector<SubShardMeta>* table) {
+// `with_format` distinguishes the version-2 table layout (trailing format
+// byte per entry) from version 1, where every blob is implied NXS1.
+bool DecodeSubShardTable(SliceReader* r, bool with_format,
+                         std::vector<SubShardMeta>* table) {
   uint64_t count = 0;
   if (!r->Read(&count)) return false;
   if (count > (1ULL << 32)) return false;  // implausible; corrupt
@@ -30,6 +34,13 @@ bool DecodeSubShardTable(SliceReader* r, std::vector<SubShardMeta>* table) {
         !r->Read(&s.num_dsts)) {
       return false;
     }
+    uint8_t format = static_cast<uint8_t>(SubShardFormat::kNxs1);
+    if (with_format && !r->Read(&format)) return false;
+    if (format != static_cast<uint8_t>(SubShardFormat::kNxs1) &&
+        format != static_cast<uint8_t>(SubShardFormat::kNxs2)) {
+      return false;
+    }
+    s.format = static_cast<SubShardFormat>(format);
   }
   return true;
 }
@@ -70,7 +81,7 @@ Result<Manifest> Manifest::Decode(const std::string& data) {
     return Status::Corruption("manifest truncated");
   }
   if (magic != kManifestMagic) return Status::Corruption("bad manifest magic");
-  if (version != kManifestVersion) {
+  if (version < 1 || version > kManifestVersion) {
     return Status::NotSupported("manifest version " + std::to_string(version));
   }
   m.weighted = weighted != 0;
@@ -82,8 +93,9 @@ Result<Manifest> Manifest::Decode(const std::string& data) {
   for (auto& v : m.interval_offsets) {
     if (!r.Read(&v)) return Status::Corruption("manifest truncated");
   }
-  if (!DecodeSubShardTable(&r, &m.subshards) ||
-      !DecodeSubShardTable(&r, &m.subshards_transpose)) {
+  const bool with_format = version >= 2;
+  if (!DecodeSubShardTable(&r, with_format, &m.subshards) ||
+      !DecodeSubShardTable(&r, with_format, &m.subshards_transpose)) {
     return Status::Corruption("manifest sub-shard table truncated");
   }
   const uint64_t expected =
@@ -100,6 +112,13 @@ uint64_t Manifest::Fingerprint() const {
   const uint64_t crc = crc32c::Value(encoded.data(), encoded.size());
   // Mix in the counts so the high half is not constant.
   return (crc << 32) ^ (num_vertices * 0x9E3779B97F4A7C15ull) ^ num_edges;
+}
+
+uint64_t Manifest::TotalDecodedSubShardBytes(bool transpose) const {
+  const auto& table = transpose ? subshards_transpose : subshards;
+  uint64_t total = 0;
+  for (const auto& meta : table) total += meta.DecodedBytes(weighted);
+  return total;
 }
 
 uint32_t Manifest::IntervalOf(VertexId v) const {

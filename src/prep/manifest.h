@@ -9,6 +9,7 @@
 
 #include "src/graph/types.h"
 #include "src/io/env.h"
+#include "src/storage/subshard_format.h"
 #include "src/util/result.h"
 
 namespace nxgraph {
@@ -21,14 +22,37 @@ inline constexpr char kSubShardsFileName[] = "subshards.nxs";
 inline constexpr char kSubShardsTransposeFileName[] = "subshards_t.nxs";
 
 inline constexpr uint32_t kManifestMagic = 0x314D584Eu;  // "NXM1"
-inline constexpr uint32_t kManifestVersion = 1;
+/// Version 2 added a per-blob format byte to the sub-shard tables (NXS2);
+/// version-1 manifests still decode, with every blob implied NXS1. Note
+/// that Fingerprint() hashes the CURRENT encoding, so a v1 store's
+/// fingerprint changes across this upgrade — checkpoint records written by
+/// a pre-v2 binary mismatch and fall back to a fresh iteration-0 start
+/// (the designed safe behavior for any identity change), they are never
+/// misapplied.
+inline constexpr uint32_t kManifestVersion = 2;
 
 /// \brief Location and shape of one sub-shard blob inside a shard file.
 struct SubShardMeta {
   uint64_t offset = 0;     ///< byte offset of the blob
-  uint64_t size = 0;       ///< blob size in bytes (including checksum)
+  uint64_t size = 0;       ///< blob size in bytes (including checksum);
+                           ///< the ENCODED (possibly compressed) size
   uint64_t num_edges = 0;  ///< edges stored in this sub-shard
   uint32_t num_dsts = 0;   ///< distinct destination vertices
+  /// Blob encoding this sub-shard was written with. Informational — every
+  /// blob is self-describing via its magic — but recorded so tooling and
+  /// benches can report a store's format without reading shard bytes.
+  SubShardFormat format = SubShardFormat::kNxs1;
+
+  /// Exact in-memory footprint of the decoded SubShard (dsts + offsets +
+  /// srcs + optional weights, 4 bytes each; offsets always holds
+  /// num_dsts + 1 entries, so an empty blob decodes to 4 bytes). Matches
+  /// SubShard::MemoryBytes() exactly — decoded bytes are what the
+  /// sub-shard cache and the strategy's pin/funding math account, while
+  /// meta.size is what a disk read of the blob moves.
+  uint64_t DecodedBytes(bool weighted) const {
+    return (2ull * num_dsts + 1) * sizeof(uint32_t) +
+           num_edges * (weighted ? 2 : 1) * sizeof(uint32_t);
+  }
 };
 
 /// \brief Everything needed to open and schedule over a prepared graph.
@@ -68,6 +92,13 @@ struct Manifest {
     const auto& table = transpose ? subshards_transpose : subshards;
     return table[static_cast<size_t>(i) * num_intervals + j];
   }
+
+  /// Sum of DecodedBytes over one direction's table: the memory needed to
+  /// pin every decoded sub-shard (what the fill-once cache and the
+  /// strategy's never-demote rule compare budgets against). The encoded
+  /// counterpart — bytes a full scan READS — is the sum of meta.size
+  /// (GraphStore::TotalSubShardBytes).
+  uint64_t TotalDecodedSubShardBytes(bool transpose = false) const;
 
   VertexId interval_begin(uint32_t i) const { return interval_offsets[i]; }
   VertexId interval_end(uint32_t i) const { return interval_offsets[i + 1]; }

@@ -152,13 +152,14 @@ Status ShardOneDirection(Env* env, const std::string& dir,
           BuildSubShard(i, j, &buckets[j], weighted, options.dedup);
       buckets[j].clear();
       buckets[j].shrink_to_fit();
-      const std::string blob = ss.Encode();
+      const std::string blob = ss.Encode(options.format);
       NX_RETURN_NOT_OK(out->Append(blob));
       SubShardMeta& meta = (*table)[static_cast<size_t>(i) * p + j];
       meta.offset = offset;
       meta.size = blob.size();
       meta.num_edges = ss.num_edges();
       meta.num_dsts = ss.num_dsts();
+      meta.format = options.format;
       offset += blob.size();
     }
   }

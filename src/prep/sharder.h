@@ -9,6 +9,7 @@
 #include "src/io/env.h"
 #include "src/prep/degreer.h"
 #include "src/prep/manifest.h"
+#include "src/storage/subshard_format.h"
 #include "src/util/result.h"
 
 namespace nxgraph {
@@ -33,6 +34,13 @@ struct SharderOptions {
   /// at a time, so peak memory is O(largest row), not O(m). This caps the
   /// edge count per bucketing batch.
   uint64_t batch_edges = 4 << 20;
+
+  /// Blob encoding for the written sub-shards (recorded per blob in the
+  /// manifest). Defaults to the process default — NXS2 (delta-varint),
+  /// overridable via NXGRAPH_SUBSHARD_FORMAT; pass kNxs1 explicitly to
+  /// write the raw fixed-width format. Readers dispatch on each blob's
+  /// magic, so stores of either (or mixed) format load identically.
+  SubShardFormat format = DefaultSubShardFormat();
 };
 
 /// \brief Runs sharding over the pre-shard produced by RunDegreer in `dir`,

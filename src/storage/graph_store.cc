@@ -38,7 +38,11 @@ Result<SubShard> GraphStore::LoadSubShard(uint32_t i, uint32_t j,
   if (n != meta.size) {
     return Status::Corruption("sub-shard blob truncated on disk");
   }
-  return SubShard::Decode(buf.data(), buf.size(), i, j, verify_checksum);
+  // Same per-thread staging reuse as DecodeSubShardRow: repeated cache-miss
+  // loads (the underbudget-cache regime) must not reallocate per blob.
+  static thread_local SubShardDecodeScratch scratch;
+  return SubShard::Decode(buf.data(), buf.size(), i, j, verify_checksum,
+                          &scratch);
 }
 
 Result<std::string> GraphStore::ReadSubShardRowBytes(uint32_t i,
@@ -77,6 +81,11 @@ Result<std::vector<SubShard>> GraphStore::DecodeSubShardRow(
   }
   std::vector<SubShard> row;
   if (j_begin == j_end) return row;
+  // The NXS2 decoder stages varints in scratch memory before the delta
+  // reconstruction; one buffer per thread means a whole row (and every
+  // later row decoded on this compute thread) reuses a single allocation
+  // that grows to the largest blob and stays there.
+  static thread_local SubShardDecodeScratch scratch;
   const SubShardMeta& first = manifest_.subshard(i, j_begin, transpose);
   row.reserve(j_end - j_begin);
   for (uint32_t j = j_begin; j < j_end; ++j) {
@@ -89,7 +98,7 @@ Result<std::vector<SubShard>> GraphStore::DecodeSubShardRow(
     NX_ASSIGN_OR_RETURN(
         SubShard ss,
         SubShard::Decode(raw.data() + (meta.offset - first.offset), meta.size,
-                         i, j, verify));
+                         i, j, verify, &scratch));
     row.push_back(std::move(ss));
   }
   return row;

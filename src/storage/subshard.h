@@ -7,9 +7,19 @@
 #include <vector>
 
 #include "src/graph/types.h"
+#include "src/storage/subshard_format.h"
 #include "src/util/result.h"
 
 namespace nxgraph {
+
+/// \brief Reusable decode working memory. The NXS2 decoder stages raw
+/// varint values in a flat scratch array before the delta reconstruction
+/// loops; callers decoding many blobs (GraphStore::DecodeSubShardRow) keep
+/// one of these per thread so the staging buffer is allocated once instead
+/// of per blob. Passing nullptr makes Decode use a local buffer.
+struct SubShardDecodeScratch {
+  std::vector<uint32_t> u32;
+};
 
 /// \brief One decoded sub-shard SS_{i.j}: all edges with source in interval
 /// I_i and destination in interval I_j, in compressed sparse (CSR-like) form
@@ -41,15 +51,22 @@ struct SubShard {
            srcs.size() * sizeof(VertexId) + weights.size() * sizeof(float);
   }
 
-  /// Serializes to the on-disk blob representation (with checksum).
-  std::string Encode() const;
+  /// Serializes to the on-disk blob representation (with checksum) in the
+  /// given format; the no-argument overload uses the process default
+  /// (NXGRAPH_SUBSHARD_FORMAT, kNxs2 when unset). Both formats decode to
+  /// the exact same in-memory SubShard.
+  std::string Encode(SubShardFormat format) const;
+  std::string Encode() const { return Encode(DefaultSubShardFormat()); }
 
-  /// Decodes a blob produced by Encode(). `verify_checksum` may be false
-  /// when the same blob was already verified this session (repeat streaming
-  /// reloads); structural validation still runs.
+  /// Decodes a blob produced by Encode() of either format (the leading
+  /// magic dispatches). `verify_checksum` may be false when the same blob
+  /// was already verified this session (repeat streaming reloads);
+  /// structural validation still runs. `scratch`, when non-null, provides
+  /// reusable staging memory for the NXS2 varint decoder.
   static Result<SubShard> Decode(const char* data, size_t size,
                                  uint32_t src_interval, uint32_t dst_interval,
-                                 bool verify_checksum = true);
+                                 bool verify_checksum = true,
+                                 SubShardDecodeScratch* scratch = nullptr);
 
   /// Index of the first entry in `dsts` with id >= `v` (for destination-
   /// chunked scheduling).

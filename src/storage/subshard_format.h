@@ -1,0 +1,46 @@
+// On-disk sub-shard blob format selection. Kept in its own tiny header so
+// the prep layer (SharderOptions) and the public API (BuildOptions) can name
+// a format without pulling in the full SubShard interface.
+#ifndef NXGRAPH_STORAGE_SUBSHARD_FORMAT_H_
+#define NXGRAPH_STORAGE_SUBSHARD_FORMAT_H_
+
+#include <string>
+
+namespace nxgraph {
+
+/// Which blob encoding a sub-shard is written with. Every blob is
+/// self-describing (the leading magic names its format), so a store may mix
+/// formats and SubShard::Decode dispatches per blob — the format choice only
+/// affects what the sharder WRITES. Decoded results are identical.
+enum class SubShardFormat {
+  kNxs1 = 1,  ///< raw fixed-width arrays ("NXS1"): uint32 dsts/counts/srcs.
+  kNxs2 = 2,  ///< delta-varint compact encoding ("NXS2"): varint deltas for
+              ///< dsts, varint per-destination counts, delta-varint srcs
+              ///< within each destination group; weights stay raw floats.
+              ///< 2-4x smaller on unweighted power-law graphs — see
+              ///< docs/storage-format.md.
+};
+
+inline const char* SubShardFormatName(SubShardFormat f) {
+  switch (f) {
+    case SubShardFormat::kNxs1:
+      return "nxs1";
+    case SubShardFormat::kNxs2:
+      return "nxs2";
+  }
+  return "?";
+}
+
+/// Parses "nxs1" / "nxs2"; returns false on anything else.
+bool ParseSubShardFormat(const std::string& name, SubShardFormat* out);
+
+/// The default write format: kNxs2, overridable by the
+/// NXGRAPH_SUBSHARD_FORMAT environment variable ("nxs1" | "nxs2") so the
+/// whole test/bench suite can be swept across formats without code changes
+/// (CI's subshard-formats job); an unparseable value is ignored. Read once
+/// and cached.
+SubShardFormat DefaultSubShardFormat();
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_STORAGE_SUBSHARD_FORMAT_H_

@@ -50,7 +50,9 @@ class SliceReader {
   /// Reads `n` raw bytes into out; returns false on underflow.
   bool ReadBytes(void* out, size_t n) {
     if (remaining() < n) return false;
-    std::memcpy(out, data_ + pos_, n);
+    // n == 0 legitimately pairs with a null destination (an empty
+    // vector's data()), which memcpy's contract forbids passing.
+    if (n > 0) std::memcpy(out, data_ + pos_, n);
     pos_ += n;
     return true;
   }

@@ -1,0 +1,115 @@
+// LEB128 varint codec for the compact on-disk formats (NXS2 sub-shards).
+//
+// Encoding: little-endian base-128 — 7 payload bits per byte, high bit set
+// on every byte except the last. Decoding is strict and bijective:
+//   - truncation (limit hit mid-value) fails;
+//   - overflow (payload bits beyond the output width) fails;
+//   - overlong encodings (a non-final representation padded with a zero
+//     continuation group, e.g. 0x80 0x00 for 0) fail.
+// Strictness matters because the sub-shard decoder must reject corrupt
+// blobs as Status::Corruption rather than silently normalizing them, and
+// bijectivity makes Encode(Decode(blob)) == blob testable.
+#ifndef NXGRAPH_UTIL_VARINT_H_
+#define NXGRAPH_UTIL_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace nxgraph {
+
+inline constexpr size_t kMaxVarint32Bytes = 5;
+inline constexpr size_t kMaxVarint64Bytes = 10;
+
+inline void PutVarint32(std::string* dst, uint32_t v) {
+  char buf[kMaxVarint32Bytes];
+  size_t n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<char>(v | 0x80);
+    v >>= 7;
+  }
+  buf[n++] = static_cast<char>(v);
+  dst->append(buf, n);
+}
+
+inline void PutVarint64(std::string* dst, uint64_t v) {
+  char buf[kMaxVarint64Bytes];
+  size_t n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<char>(v | 0x80);
+    v >>= 7;
+  }
+  buf[n++] = static_cast<char>(v);
+  dst->append(buf, n);
+}
+
+/// Encoded size of `v` (1..5 bytes), for exact reserve() calls.
+inline size_t Varint32Size(uint32_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Decodes one varint32 from [p, limit). Returns the position past the
+/// value, or nullptr on truncation, overflow, or an overlong encoding.
+inline const char* GetVarint32(const char* p, const char* limit,
+                               uint32_t* out) {
+  uint32_t value = 0;
+  for (int shift = 0; shift <= 28 && p < limit; shift += 7) {
+    const uint8_t byte = static_cast<uint8_t>(*p++);
+    if (byte < 0x80) {
+      // Final byte: reject overflow past 32 bits (shift 28 leaves 4 usable
+      // bits) and non-canonical zero continuation groups.
+      if (shift == 28 && byte > 0x0F) return nullptr;
+      if (shift > 0 && byte == 0) return nullptr;
+      *out = value | (static_cast<uint32_t>(byte) << shift);
+      return p;
+    }
+    value |= static_cast<uint32_t>(byte & 0x7F) << shift;
+  }
+  return nullptr;  // truncated, or a 6th continuation byte
+}
+
+/// Decodes one varint64 from [p, limit); same strictness as GetVarint32.
+inline const char* GetVarint64(const char* p, const char* limit,
+                               uint64_t* out) {
+  uint64_t value = 0;
+  for (int shift = 0; shift <= 63 && p < limit; shift += 7) {
+    const uint8_t byte = static_cast<uint8_t>(*p++);
+    if (byte < 0x80) {
+      if (shift == 63 && byte > 0x01) return nullptr;
+      if (shift > 0 && byte == 0) return nullptr;
+      *out = value | (static_cast<uint64_t>(byte) << shift);
+      return p;
+    }
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+  }
+  return nullptr;
+}
+
+/// Bulk decode of `n` varint32 values into `out` (caller-sized to >= n).
+/// The hot loop of the NXS2 decoder: raw varints land in a flat scratch
+/// array first, so the delta/prefix-sum reconstruction over it is a tight
+/// branch-light loop the compiler can unroll and vectorize, instead of a
+/// varint decode interleaved with data-dependent arithmetic. Returns the
+/// position past the last value, or nullptr on any malformed varint.
+inline const char* GetVarint32Array(const char* p, const char* limit,
+                                    size_t n, uint32_t* out) {
+  for (size_t k = 0; k < n; ++k) {
+    // Single-byte fast path: the overwhelmingly common case for deltas.
+    if (p < limit && static_cast<uint8_t>(*p) < 0x80) {
+      out[k] = static_cast<uint8_t>(*p++);
+      continue;
+    }
+    p = GetVarint32(p, limit, &out[k]);
+    if (p == nullptr) return nullptr;
+  }
+  return p;
+}
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_UTIL_VARINT_H_

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/algos/reference.h"
+#include "src/prep/manifest.h"
 #include "src/storage/graph_store.h"
 #include "tests/test_util.h"
 
@@ -217,6 +218,82 @@ TEST(GraphStoreTest, RawReadPlusDecodeMatchesDirectLoad) {
     EXPECT_EQ((*split)[j].dsts, (*direct)[j].dsts);
     EXPECT_EQ((*split)[j].srcs, (*direct)[j].srcs);
     EXPECT_EQ((*split)[j].offsets, (*direct)[j].offsets);
+  }
+}
+
+TEST(GraphStoreTest, MixedFormatStoreLoadsPerBlobMagic) {
+  // A store whose shard file mixes NXS1 and NXS2 blobs must load: decode
+  // dispatches on each blob's own magic, the manifest records per-blob
+  // format and sizes. This is exactly the compatibility contract that lets
+  // old NXS1 stores keep working next to new NXS2 ones.
+  EdgeList edges = testing::RandomGraph(120, 1600, 17);
+  auto ms = [&edges] {
+    testing::MemStore m;
+    m.env = NewMemEnv();
+    BuildOptions options;
+    options.num_intervals = 3;
+    options.build_transpose = false;
+    options.subshard_format = SubShardFormat::kNxs1;
+    options.env = m.env.get();
+    auto store = BuildGraphStore(edges, "g", options);
+    NX_CHECK(store.ok());
+    m.store = *store;
+    return m;
+  }();
+
+  // Reference decode of every blob from the pure-NXS1 store.
+  auto reference = ms.store->LoadSubShardRow(1, 0, 3, false, {});
+  ASSERT_TRUE(reference.ok());
+
+  // Rewrite the shard file re-encoding every second blob as NXS2, patching
+  // offsets/sizes/formats in the manifest.
+  std::string old_bytes;
+  ASSERT_TRUE(
+      ReadFileToString(ms.env.get(), "g/subshards.nxs", &old_bytes).ok());
+  Manifest m = ms.store->manifest();
+  std::string new_bytes;
+  int blob_index = 0;
+  for (uint32_t i = 0; i < 3; ++i) {
+    for (uint32_t j = 0; j < 3; ++j) {
+      SubShardMeta& meta = m.subshards[i * 3 + j];
+      std::string blob = old_bytes.substr(meta.offset, meta.size);
+      if (blob_index++ % 2 == 1) {
+        auto decoded = SubShard::Decode(blob.data(), blob.size(), i, j);
+        ASSERT_TRUE(decoded.ok());
+        blob = decoded->Encode(SubShardFormat::kNxs2);
+        meta.format = SubShardFormat::kNxs2;
+      }
+      meta.offset = new_bytes.size();
+      meta.size = blob.size();
+      new_bytes += blob;
+    }
+  }
+  ASSERT_TRUE(
+      WriteStringToFile(ms.env.get(), "g/subshards.nxs", new_bytes).ok());
+  ASSERT_TRUE(WriteManifest(ms.env.get(), "g", m).ok());
+
+  auto mixed = GraphStore::Open(ms.env.get(), "g");
+  ASSERT_TRUE(mixed.ok());
+  auto row = (*mixed)->LoadSubShardRow(1, 0, 3, false, {});
+  ASSERT_TRUE(row.ok()) << row.status().ToString();
+  ASSERT_EQ(row->size(), reference->size());
+  for (size_t j = 0; j < row->size(); ++j) {
+    EXPECT_EQ((*row)[j].dsts, (*reference)[j].dsts);
+    EXPECT_EQ((*row)[j].offsets, (*reference)[j].offsets);
+    EXPECT_EQ((*row)[j].srcs, (*reference)[j].srcs);
+  }
+  // Single loads and the raw-read/decode split agree as well.
+  for (uint32_t i = 0; i < 3; ++i) {
+    auto raw = (*mixed)->ReadSubShardRowBytes(i, 0, 3, false);
+    ASSERT_TRUE(raw.ok());
+    auto split = (*mixed)->DecodeSubShardRow(i, 0, 3, false, {}, *raw);
+    ASSERT_TRUE(split.ok());
+    for (uint32_t j = 0; j < 3; ++j) {
+      auto one = (*mixed)->LoadSubShard(i, j);
+      ASSERT_TRUE(one.ok());
+      EXPECT_EQ(one->srcs, (*split)[j].srcs);
+      EXPECT_EQ(one->dsts, (*split)[j].dsts);
+    }
   }
 }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/engine/io_model.h"
+#include "src/prep/manifest.h"
 
 namespace nxgraph {
 namespace {
@@ -123,6 +124,44 @@ TEST(IoModelTest, ResidentIntervalsScaleLinearly) {
   p.P = 16;
   p.BM = 0.5 * 2 * p.n * p.Ba;  // half the SPU requirement
   EXPECT_EQ(MpuResidentIntervals(p), 8u);
+}
+
+TEST(IoModelTest, ParamsFromManifestUseActualBlobSizes) {
+  // Be must be the measured encoded bytes per edge from the manifest's
+  // segment table — NOT an assumed constant — so a compressed store's
+  // smaller blobs flow straight into every m*Be term.
+  Manifest m;
+  m.num_vertices = 1000;
+  m.num_edges = 500;
+  m.num_intervals = 2;
+  m.interval_offsets = {0, 500, 1000};
+  SubShardMeta a, b;
+  a.size = 600;
+  a.num_edges = 300;
+  a.num_dsts = 100;
+  b.size = 400;
+  b.num_edges = 200;
+  b.num_dsts = 150;
+  m.subshards = {a, b, SubShardMeta{}, SubShardMeta{}};
+
+  IoModelParams p = MakeIoModelParams(m, 8, 12345);
+  EXPECT_DOUBLE_EQ(p.n, 1000.0);
+  EXPECT_DOUBLE_EQ(p.m, 500.0);
+  EXPECT_DOUBLE_EQ(p.Ba, 8.0);
+  EXPECT_DOUBLE_EQ(p.BM, 12345.0);
+  EXPECT_DOUBLE_EQ(p.P, 2.0);
+  EXPECT_DOUBLE_EQ(p.Be, 1000.0 / 500.0);  // actual bytes per edge: 2
+  EXPECT_DOUBLE_EQ(p.d, 500.0 / 250.0);    // measured avg dst in-degree
+
+  // A compressed store (half the blob bytes) halves Be and with it the
+  // m*Be term of every strategy's read cost.
+  Manifest compressed = m;
+  for (auto& meta : compressed.subshards) meta.size /= 2;
+  IoModelParams pc = MakeIoModelParams(compressed, 8, 12345);
+  EXPECT_DOUBLE_EQ(pc.Be, p.Be / 2);
+  EXPECT_LT(DpuIoCost(pc).read_bytes, DpuIoCost(p).read_bytes);
+  EXPECT_DOUBLE_EQ(DpuIoCost(p).read_bytes - DpuIoCost(pc).read_bytes,
+                   500.0);  // exactly the saved blob bytes
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 #include "src/prep/manifest.h"
 #include "src/prep/sharder.h"
 #include "src/storage/graph_store.h"
+#include "src/util/crc32c.h"
+#include "src/util/serialize.h"
 #include "tests/test_util.h"
 
 namespace nxgraph {
@@ -204,6 +206,142 @@ TEST(ManifestTest, DetectsCorruption) {
   auto decoded = Manifest::Decode(blob);
   ASSERT_FALSE(decoded.ok());
   EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+TEST(ManifestTest, VersionOneManifestStillDecodes) {
+  // Hand-encode a version-1 manifest (no per-blob format byte): stores
+  // written before NXS2 must keep opening, with every blob implied NXS1.
+  Manifest m;
+  m.num_vertices = 10;
+  m.num_edges = 3;
+  m.num_intervals = 1;
+  m.weighted = false;
+  m.has_transpose = false;
+  m.interval_offsets = {0, 10};
+  SubShardMeta meta;
+  meta.offset = 0;
+  meta.size = 100;
+  meta.num_edges = 3;
+  meta.num_dsts = 2;
+  m.subshards = {meta};
+
+  std::string out;
+  EncodeFixed<uint32_t>(&out, kManifestMagic);
+  EncodeFixed<uint32_t>(&out, 1);  // version 1
+  EncodeFixed<uint64_t>(&out, m.num_vertices);
+  EncodeFixed<uint64_t>(&out, m.num_edges);
+  EncodeFixed<uint32_t>(&out, m.num_intervals);
+  EncodeFixed<uint8_t>(&out, 0);  // weighted
+  EncodeFixed<uint8_t>(&out, 0);  // has_transpose
+  EncodeFixed<uint64_t>(&out, m.interval_offsets.size());
+  for (VertexId v : m.interval_offsets) EncodeFixed<uint32_t>(&out, v);
+  // Version-1 sub-shard table: no trailing format byte per entry.
+  auto encode_table = [&out](const std::vector<SubShardMeta>& table) {
+    EncodeFixed<uint64_t>(&out, table.size());
+    for (const auto& t : table) {
+      EncodeFixed<uint64_t>(&out, t.offset);
+      EncodeFixed<uint64_t>(&out, t.size);
+      EncodeFixed<uint64_t>(&out, t.num_edges);
+      EncodeFixed<uint32_t>(&out, t.num_dsts);
+    }
+  };
+  encode_table(m.subshards);
+  encode_table({});
+  EncodeFixed<uint32_t>(&out, crc32c::Value(out.data(), out.size()));
+
+  auto decoded = Manifest::Decode(out);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->num_edges, 3u);
+  ASSERT_EQ(decoded->subshards.size(), 1u);
+  EXPECT_EQ(decoded->subshards[0].size, 100u);
+  EXPECT_EQ(decoded->subshards[0].format, SubShardFormat::kNxs1);
+}
+
+TEST(ManifestTest, RecordsPerBlobFormatAndDecodedBytes) {
+  EdgeList edges = testing::RandomGraph(128, 1024, 20);
+  for (SubShardFormat f : {SubShardFormat::kNxs1, SubShardFormat::kNxs2}) {
+    auto env = NewMemEnv();
+    auto degrees = RunDegreer(env.get(), edges, "g");
+    ASSERT_TRUE(degrees.ok());
+    SharderOptions opt;
+    opt.num_intervals = 4;
+    opt.format = f;
+    auto manifest = RunSharder(env.get(), "g", *degrees, opt);
+    ASSERT_TRUE(manifest.ok());
+    auto reread = ReadManifest(env.get(), "g");
+    ASSERT_TRUE(reread.ok());
+    uint64_t decoded_total = 0;
+    for (const auto& meta : reread->subshards) {
+      EXPECT_EQ(meta.format, f);
+      // DecodedBytes is the exact in-memory footprint of the decoded blob.
+      decoded_total += meta.DecodedBytes(reread->weighted);
+    }
+    auto store = GraphStore::Open(env.get(), "g");
+    ASSERT_TRUE(store.ok());
+    uint64_t memory_total = 0;
+    for (uint32_t i = 0; i < 4; ++i) {
+      for (uint32_t j = 0; j < 4; ++j) {
+        auto ss = (*store)->LoadSubShard(i, j);
+        ASSERT_TRUE(ss.ok());
+        // Empty blobs included: DecodedBytes == MemoryBytes for every blob,
+        // so the cache's accounting and the strategy's pin target agree
+        // exactly.
+        memory_total += ss->MemoryBytes();
+      }
+    }
+    EXPECT_EQ(decoded_total, reread->TotalDecodedSubShardBytes(false));
+    EXPECT_EQ(memory_total, decoded_total);
+  }
+}
+
+TEST(SharderTest, Nxs2StoreIsSmallerAndLoadsIdentically) {
+  // A clustered random graph (the id space is dense, like relabeled real
+  // graphs): the NXS2 store must be materially smaller, and every sub-shard
+  // must decode to exactly the same in-memory representation.
+  EdgeList edges = testing::RandomGraph(400, 8000, 21);
+  auto build = [&edges](SubShardFormat f) {
+    auto env = NewMemEnv();
+    auto degrees = RunDegreer(env.get(), edges, "g");
+    NX_CHECK(degrees.ok());
+    SharderOptions opt;
+    opt.num_intervals = 4;
+    opt.format = f;
+    auto manifest = RunSharder(env.get(), "g", *degrees, opt);
+    NX_CHECK(manifest.ok());
+    return std::make_pair(std::move(env), *manifest);
+  };
+  auto [env1, m1] = build(SubShardFormat::kNxs1);
+  auto [env2, m2] = build(SubShardFormat::kNxs2);
+
+  auto size1 = env1->GetFileSize("g/subshards.nxs");
+  auto size2 = env2->GetFileSize("g/subshards.nxs");
+  ASSERT_TRUE(size1.ok());
+  ASSERT_TRUE(size2.ok());
+  EXPECT_LT(*size2 * 3, *size1 * 2) << "NXS2 " << *size2 << " vs NXS1 "
+                                    << *size1;
+
+  // Decoded representations are identical blob for blob.
+  auto s1 = GraphStore::Open(env1.get(), "g");
+  auto s2 = GraphStore::Open(env2.get(), "g");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  for (uint32_t i = 0; i < 4; ++i) {
+    for (uint32_t j = 0; j < 4; ++j) {
+      for (bool transpose : {false, true}) {
+        auto a = (*s1)->LoadSubShard(i, j, transpose);
+        auto b = (*s2)->LoadSubShard(i, j, transpose);
+        ASSERT_TRUE(a.ok());
+        ASSERT_TRUE(b.ok());
+        EXPECT_EQ(a->dsts, b->dsts);
+        EXPECT_EQ(a->offsets, b->offsets);
+        EXPECT_EQ(a->srcs, b->srcs);
+        EXPECT_EQ(a->weights, b->weights);
+      }
+    }
+  }
+  // The decoded footprint is format-independent; the encoded sizes differ.
+  EXPECT_EQ(m1.TotalDecodedSubShardBytes(false),
+            m2.TotalDecodedSubShardBytes(false));
 }
 
 TEST(ManifestTest, IntervalOfFindsOwner) {

@@ -2,6 +2,7 @@
 
 #include "src/engine/strategy.h"
 #include "src/prep/sharder.h"
+#include "src/util/logging.h"
 
 namespace nxgraph {
 namespace {
@@ -93,9 +94,18 @@ TEST(StrategyTest, ForcedMpuComputesQ) {
 
 // ---- prefetch window funding ----------------------------------------------
 
+// Every blob gets encoded size row_bytes / p and per-blob counts chosen so
+// its decoded footprint equals its encoded size exactly (the NXS1-like
+// case): DecodedBytes = (2*num_dsts + 1 + num_edges) * 4 == size.
 Manifest SizedManifest(uint64_t n, uint32_t p, uint64_t row_bytes) {
   Manifest m = TestManifest(n, p);
-  for (auto& meta : m.subshards) meta.size = row_bytes / p;
+  const uint64_t size = row_bytes / p;
+  NX_CHECK(size >= 16 && size % 4 == 0);
+  for (auto& meta : m.subshards) {
+    meta.size = size;
+    meta.num_dsts = 1;
+    meta.num_edges = size / 4 - 3;
+  }
   return m;
 }
 
@@ -119,9 +129,38 @@ TEST(StrategyTest, PrefetchDepthZeroDisablesWindow) {
 }
 
 TEST(StrategyTest, PrefetchSlotCoversRawDecodeAndValueSegment) {
+  // Decoded == encoded in SizedManifest, so the slot is raw + decoded +
+  // segment = 2 * row + segment.
   Manifest m = SizedManifest(1000, 8, 4096);  // 8 equal intervals of 125
   EXPECT_EQ(PrefetchSlotBytes(m, 8, EdgeDirection::kForward),
             2 * 4096u + 125 * 8u);
+}
+
+TEST(StrategyTest, CompressedBlobsShrinkOnlyTheRawSlotHalf) {
+  // An NXS2-like manifest: same decoded footprint, half the encoded bytes.
+  // The slot must charge raw and decoded separately — raw shrinks, decoded
+  // does not — so the compressed store's slot is smaller by exactly the
+  // encoded saving, and the same budget funds deeper windows.
+  Manifest m = SizedManifest(1000, 8, 4096);
+  Manifest compressed = m;
+  for (auto& meta : compressed.subshards) meta.size /= 2;
+  const uint64_t slot = PrefetchSlotBytes(m, 8, EdgeDirection::kForward);
+  const uint64_t cslot =
+      PrefetchSlotBytes(compressed, 8, EdgeDirection::kForward);
+  EXPECT_EQ(cslot, slot - 8 * (512 / 2));
+
+  // With the budget that funded `depth` slots of the uncompressed store,
+  // the compressed store funds at least as deep a window.
+  RunOptions opt;
+  opt.prefetch_depth = 6;
+  const uint64_t decoded_total = 8 * 4096;  // pin target, format-independent
+  // Surplus beyond the pin funds 3 uncompressed slots (with change) but 4
+  // compressed ones.
+  opt.memory_budget_bytes = 2 * 1000 * 8 + decoded_total + 3 * slot + 3000;
+  auto d = ChooseStrategy(m, 8, 0, opt);
+  auto dc = ChooseStrategy(compressed, 8, 0, opt);
+  EXPECT_EQ(d.prefetch_depth, 4u);   // 1 free slot + 3 funded
+  EXPECT_EQ(dc.prefetch_depth, 5u);  // 1 free slot + 4 funded
 }
 
 TEST(StrategyTest, DeepPrefetchWindowFundedFromCacheLeftover) {

@@ -37,12 +37,14 @@ struct MemStore {
 };
 
 inline MemStore BuildMemStore(const EdgeList& edges, uint32_t num_intervals,
-                              bool transpose = true) {
+                              bool transpose = true,
+                              SubShardFormat format = DefaultSubShardFormat()) {
   MemStore ms;
   ms.env = NewMemEnv();
   BuildOptions options;
   options.num_intervals = num_intervals;
   options.build_transpose = transpose;
+  options.subshard_format = format;
   options.env = ms.env.get();
   auto store = BuildGraphStore(edges, "g", options);
   NX_CHECK(store.ok()) << store.status().ToString();

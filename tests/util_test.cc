@@ -7,6 +7,7 @@
 #include "src/util/result.h"
 #include "src/util/serialize.h"
 #include "src/util/status.h"
+#include "src/util/varint.h"
 
 namespace nxgraph {
 namespace {
@@ -200,6 +201,109 @@ TEST(RandomTest, BoundedStaysInBound) {
   for (int i = 0; i < 1000; ++i) {
     EXPECT_LT(rng.NextBounded(17), 17u);
   }
+}
+
+// ---- varint codec (src/util/varint.h) -------------------------------------
+
+TEST(VarintTest, Roundtrip32AtBoundaries) {
+  const uint32_t values[] = {0,          1,          127,        128,
+                             16383,      16384,      2097151,    2097152,
+                             268435455,  268435456,  UINT32_MAX, 42};
+  for (uint32_t v : values) {
+    std::string buf;
+    PutVarint32(&buf, v);
+    EXPECT_EQ(buf.size(), Varint32Size(v));
+    uint32_t out = 0;
+    const char* end = GetVarint32(buf.data(), buf.data() + buf.size(), &out);
+    ASSERT_NE(end, nullptr) << v;
+    EXPECT_EQ(end, buf.data() + buf.size());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(VarintTest, Roundtrip64AtBoundaries) {
+  const uint64_t values[] = {0, 1, 127, 128, (1ull << 35) - 1, 1ull << 35,
+                             (1ull << 63), UINT64_MAX};
+  for (uint64_t v : values) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    uint64_t out = 0;
+    const char* end = GetVarint64(buf.data(), buf.data() + buf.size(), &out);
+    ASSERT_NE(end, nullptr) << v;
+    EXPECT_EQ(end, buf.data() + buf.size());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(VarintTest, RandomRoundtripIsBijective) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const uint32_t v = static_cast<uint32_t>(rng.Next());
+    std::string buf;
+    PutVarint32(&buf, v);
+    uint32_t out = 0;
+    ASSERT_NE(GetVarint32(buf.data(), buf.data() + buf.size(), &out), nullptr);
+    EXPECT_EQ(out, v);
+    // Bijective: re-encoding the decoded value reproduces the bytes.
+    std::string again;
+    PutVarint32(&again, out);
+    EXPECT_EQ(again, buf);
+  }
+}
+
+TEST(VarintTest, TruncationRejected) {
+  std::string buf;
+  PutVarint32(&buf, 300);  // 2 bytes
+  uint32_t out = 0;
+  EXPECT_EQ(GetVarint32(buf.data(), buf.data() + 1, &out), nullptr);
+  EXPECT_EQ(GetVarint32(buf.data(), buf.data(), &out), nullptr);
+}
+
+TEST(VarintTest, OverlongEncodingRejected) {
+  // 0x80 0x00 is a non-canonical encoding of 0.
+  const char overlong0[] = {'\x80', '\x00'};
+  uint32_t out = 0;
+  EXPECT_EQ(GetVarint32(overlong0, overlong0 + 2, &out), nullptr);
+  // 0xFF 0x80 0x00: value fits 2 bytes, padded to 3.
+  const char overlong1[] = {'\xFF', '\x80', '\x00'};
+  EXPECT_EQ(GetVarint32(overlong1, overlong1 + 3, &out), nullptr);
+  uint64_t out64 = 0;
+  EXPECT_EQ(GetVarint64(overlong0, overlong0 + 2, &out64), nullptr);
+}
+
+TEST(VarintTest, OverflowRejected) {
+  // 5 continuation bytes: a varint32 must terminate by byte 5.
+  const char toolong[] = {'\xFF', '\xFF', '\xFF', '\xFF', '\xFF', '\x01'};
+  uint32_t out = 0;
+  EXPECT_EQ(GetVarint32(toolong, toolong + 6, &out), nullptr);
+  // 5th byte carries payload past bit 32 (max canonical 5th byte is 0x0F).
+  const char overflow[] = {'\xFF', '\xFF', '\xFF', '\xFF', '\x10'};
+  EXPECT_EQ(GetVarint32(overflow, overflow + 5, &out), nullptr);
+  // UINT32_MAX itself is fine.
+  const char max[] = {'\xFF', '\xFF', '\xFF', '\xFF', '\x0F'};
+  ASSERT_NE(GetVarint32(max, max + 5, &out), nullptr);
+  EXPECT_EQ(out, UINT32_MAX);
+}
+
+TEST(VarintTest, ArrayDecodeMatchesScalar) {
+  Xoshiro256 rng(7);
+  std::vector<uint32_t> values(512);
+  std::string buf;
+  for (auto& v : values) {
+    // Mix of tiny deltas (the common case) and full-width values.
+    v = rng.NextBounded(8) == 0 ? static_cast<uint32_t>(rng.Next())
+                                : static_cast<uint32_t>(rng.NextBounded(128));
+    PutVarint32(&buf, v);
+  }
+  std::vector<uint32_t> out(values.size());
+  const char* end = GetVarint32Array(buf.data(), buf.data() + buf.size(),
+                                     out.size(), out.data());
+  ASSERT_EQ(end, buf.data() + buf.size());
+  EXPECT_EQ(out, values);
+  // Truncated array decode fails.
+  EXPECT_EQ(GetVarint32Array(buf.data(), buf.data() + buf.size() - 1,
+                             out.size(), out.data()),
+            nullptr);
 }
 
 }  // namespace
