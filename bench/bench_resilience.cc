@@ -1,0 +1,117 @@
+// Resilience overhead benchmark: forced-DPU PageRank on a throttled SSD
+// Env with a FlakyEnv layer injecting transient faults at increasing
+// rates. Two claims are measured:
+//
+//   1. the retry layer is free on a healthy device — wall-clock at fault
+//      rate 0 with the default RetryPolicy must be within 3% of a
+//      max_attempts=1 run that cannot retry at all;
+//   2. under real fault rates (0.1%, 1%) the run degrades gracefully —
+//      bounded backoff waits, no failures — instead of dying, and the
+//      RunStats tallies (io_retries, retry_wait_seconds) account for the
+//      added wall-clock.
+//
+// `--json` additionally writes BENCH_resilience.json for CI trend gates.
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "src/io/flaky_env.h"
+
+namespace nxgraph {
+namespace {
+
+int g_scratch_counter = 0;
+
+RunStats RunFlaky(const std::string& store_dir, Env* base,
+                  const FlakyFaultRates& rates, const RetryPolicy& retry,
+                  int iterations) {
+  FlakyEnv flaky(base, rates);
+  auto store = OpenGraphStore(store_dir, &flaky);
+  NX_CHECK(store.ok()) << store.status().ToString();
+  PageRankProgram program;
+  program.num_vertices = (*store)->num_vertices();
+  RunOptions opt;
+  opt.strategy = UpdateStrategy::kDoublePhase;
+  opt.max_iterations = iterations;
+  opt.num_threads = 3;
+  opt.io_threads = 1;  // one reader keeps the modelled disk sequential
+  opt.retry = retry;
+  opt.scratch_dir =
+      store_dir + "/resilience_run" + std::to_string(g_scratch_counter++);
+  Engine<PageRankProgram> engine(*store, program, opt);
+  auto stats = engine.Run();
+  NX_CHECK(stats.ok()) << stats.status().ToString();
+  return *stats;
+}
+
+}  // namespace
+}  // namespace nxgraph
+
+int main(int argc, char** argv) {
+  using namespace nxgraph;
+  const bool full = bench::FullMode(argc, argv);
+  const bool json = bench::JsonMode(argc, argv);
+
+  std::printf(
+      "=== Retry-layer overhead: forced-DPU PageRank on a throttled SSD "
+      "Env (live-journal-sim, P=16, 3 compute threads) ===\n\n");
+  auto store = bench::GetStore("live-journal-sim", 16, full);
+  auto env = NewThrottledEnv(Env::Default(), DeviceProfile::Ssd());
+  const int iterations = full ? 10 : 5;
+  const int reps = full ? 5 : 3;
+
+  struct Config {
+    const char* name;
+    double rate;     // applied to read/write/flush errors and short reads
+    int attempts;    // RetryPolicy::max_attempts (1 = retries disabled)
+  };
+  const Config configs[] = {
+      {"no-retry baseline", 0.0, 1},
+      {"rate 0", 0.0, 0},     // 0 = default attempts
+      {"rate 0.1%", 0.001, 0},
+      {"rate 1%", 0.01, 0},
+  };
+
+  bench::Table table({"Config", "Wall (s)", "vs baseline", "Retries",
+                      "Retry wait (s)", "MTEPS"});
+  double baseline_seconds = 0;
+  for (const Config& c : configs) {
+    FlakyFaultRates rates;
+    rates.read_error = c.rate;
+    rates.write_error = c.rate;
+    rates.flush_error = c.rate;
+    rates.short_read = c.rate;
+    RetryPolicy retry;
+    if (c.attempts > 0) retry.max_attempts = c.attempts;
+    // Best-of-reps for the fault-free configs (the <3% claim needs the
+    // noise floor, not the scheduler's mood); faulted runs are single-shot
+    // — their wall-clock legitimately includes the backoff waits.
+    RunStats stats = RunFlaky(store->dir(), env.get(), rates, retry,
+                              iterations);
+    if (c.rate == 0.0) {
+      for (int r = 1; r < reps; ++r) {
+        RunStats again = RunFlaky(store->dir(), env.get(), rates, retry,
+                                  iterations);
+        if (again.seconds < stats.seconds) stats = again;
+      }
+    }
+    if (baseline_seconds == 0) baseline_seconds = stats.seconds;
+    table.AddRow({c.name, bench::Fmt(stats.seconds, 3),
+                  bench::Fmt(stats.seconds / baseline_seconds, 3) + "x",
+                  std::to_string(stats.io_retries),
+                  bench::Fmt(stats.retry_wait_seconds, 3),
+                  bench::Fmt(stats.Mteps(), 1)});
+    if (c.rate == 0.0 && c.attempts == 0) {
+      const double overhead =
+          (stats.seconds - baseline_seconds) / baseline_seconds * 100.0;
+      std::printf("retry-layer overhead at fault rate 0: %+.2f%% (target "
+                  "< 3%%)\n",
+                  overhead);
+    }
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf("\nCSV:\n");
+  table.PrintCsv();
+  if (json) table.WriteJson("resilience");
+  return 0;
+}

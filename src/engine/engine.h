@@ -39,6 +39,7 @@
 #include "src/storage/hub_file.h"
 #include "src/storage/interval_store.h"
 #include "src/util/logging.h"
+#include "src/util/retry.h"
 #include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
@@ -83,12 +84,37 @@ class Engine {
   // Commits a checkpoint if `completed_iterations` lands on the interval.
   Status MaybeCheckpoint(int completed_iterations);
 
+  // ---- graceful backend degradation ----
+  // True when `s` is the kind of failure a backend swap can fix: a
+  // permanent (non-retryable — transient ones already got their bounded
+  // retries) I/O error while a non-buffered backend serves the run. The
+  // canonical producer is a dead io_uring ring, whose every subsequent
+  // submission fails with EIO.
+  bool ShouldDowngrade(const Status& s) const {
+    return !s.ok() && s.IsIOError() && !s.retryable() &&
+           effective_backend_ != IoBackend::kBuffered;
+  }
+  // Re-resolves the run to the buffered backend mid-flight: drains the
+  // write-behind queue against the old files, then reopens the graph
+  // store, scratch stores, hubs and checkpoint manager against
+  // Env::Default() (the reopen mirror of Prepare's backend selection).
+  // The caller restores its iteration snapshot and re-runs the failed
+  // step. `cause` is the failure being healed, for the log line.
+  Status DowngradeToBuffered(const Status& cause);
+
   // ---- one iteration ----
+  // Phases A-D plus the activity-bitmap commit. Restartable until Phase D
+  // runs: A-C only read old_values_, the ping-pong writes of Phase C land
+  // in the opposite parity, and D (the in-memory swap) cannot fail — so a
+  // failed iteration can be re-run after restoring the active_ and
+  // value_parity_ snapshots taken at its start (the downgrade path).
   Status RunIteration(int iter);
   Status PhaseResidentRows();                    // A
   Status PhaseDiskRows();                        // B
   Status PhaseDiskColumns();                     // C
   Status PhaseApplyResident();                   // D
+  // Reads the final per-vertex values into final_values_.
+  Status CollectFinalValues();
 
   // ---- helpers ----
   void ProcessGroups(const SubShard& ss, const Value* src_vals,
@@ -123,14 +149,22 @@ class Engine {
     return rows;
   }
 
+  // Funnel for cache-mediated sub-shard loads, with transient-fault
+  // retries: each attempt re-enters the cache, so a failed leader load is
+  // retried by a freshly elected leader (followers that shared the failed
+  // load retry independently and re-coalesce).
   Result<std::shared_ptr<const SubShard>> GetSubShard(uint32_t i, uint32_t j,
                                                       bool transpose) {
-    auto r = cache_->Get(i, j, transpose);
-    if (r.ok()) {
-      edges_traversed_.fetch_add((*r)->num_edges(),
-                                 std::memory_order_relaxed);
-    }
-    return r;
+    std::shared_ptr<const SubShard> ss;
+    Status s = RunWithRetry(options_.retry, &counters_, [&] {
+      auto r = cache_->Get(i, j, transpose);
+      if (!r.ok()) return r.status();
+      ss = std::move(r).value();
+      return Status::OK();
+    });
+    if (!s.ok()) return s;
+    edges_traversed_.fetch_add(ss->num_edges(), std::memory_order_relaxed);
+    return ss;
   }
 
   // ---- prefetch streams ---------------------------------------------------
@@ -148,7 +182,8 @@ class Engine {
 
   template <typename T>
   PrefetchStream<T> MakeStream() {
-    return PrefetchStream<T>(io_pool_.get(), pool_.get(), prefetch_depth_);
+    return PrefetchStream<T>(io_pool_.get(), pool_.get(), prefetch_depth_,
+                             options_.retry, &counters_);
   }
 
   // Queues one row-range read (single sequential I/O + off-thread decode).
@@ -175,8 +210,10 @@ class Engine {
         },
         [store, i, j_begin, j_end, transpose,
          mask = std::move(mask)](std::string&& raw) {
-          return store->DecodeSubShardRow(i, j_begin, j_end, transpose, mask,
-                                          raw);
+          // The re-read variant gives a decode corruption one fresh read
+          // (in-flight bit flips heal) before it aborts the run.
+          return store->DecodeSubShardRowWithReread(i, j_begin, j_end,
+                                                    transpose, mask, raw);
         });
   }
 
@@ -213,8 +250,8 @@ class Engine {
         },
         [store, i, j, transpose, mask = std::move(mask)](std::string&& raw)
             -> Result<std::shared_ptr<const SubShard>> {
-          auto row = store->DecodeSubShardRow(i, j, j + 1, transpose, mask,
-                                              raw);
+          auto row = store->DecodeSubShardRowWithReread(i, j, j + 1, transpose,
+                                                        mask, raw);
           if (!row.ok()) return row.status();
           return std::make_shared<const SubShard>(
               std::move((*row)[0]));
@@ -347,6 +384,12 @@ class Engine {
   std::atomic<uint64_t> edges_traversed_{0};
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
+
+  // Shared tally of retry/degradation activity across every pipeline
+  // (prefetch streams, write-behind queue, the engine's own retried ops).
+  // checksum_rereads accumulates the counts of stores replaced by a
+  // downgrade; the live store's count is added at reporting time.
+  RetryCounters counters_;
 
   // Accumulated by the (single-threaded) phase drivers.
   double phase_seconds_[4] = {0, 0, 0, 0};  // A, B, C, D
@@ -525,7 +568,8 @@ Status Engine<Program>::Prepare() {
           std::max(options_.writeback_threads, 1));
     }
     writeback_ = std::make_unique<WritebackQueue>(
-        wb_pool_.get(), decision_.writeback_buffer_bytes);
+        wb_pool_.get(), decision_.writeback_buffer_bytes, options_.retry,
+        &counters_);
   }
 
   directions_.clear();
@@ -633,14 +677,23 @@ Status Engine<Program>::MaybeCheckpoint(int completed_iterations) {
     return Status::OK();
   }
   Timer timer;
+  // Every direct (non-queued) step of the commit below runs under
+  // RunWithRetry: a checkpoint is precisely the work worth re-attempting
+  // through a transient glitch. All of the ops are idempotent positional
+  // reads/writes (or the manager's write-temp + rename), and the
+  // downgrade path may re-run this whole function after restoring the
+  // parity snapshot taken by the caller.
+  //
   // Resident intervals have no disk copy outside the checkpoint: write the
   // freshly applied values into their opposite parity. The engine never
   // reads resident segments, so the parity the current record points at is
   // untouched until the new record commits.
   for (uint32_t i = 0; i < q_; ++i) {
     const int parity = 1 - value_parity_[i];
-    NX_RETURN_NOT_OK(interval_store_->Write(writeback_.get(), i, parity,
-                                            old_values_[i].data()));
+    NX_RETURN_NOT_OK(RunWithRetry(options_.retry, &counters_, [&] {
+      return interval_store_->Write(writeback_.get(), i, parity,
+                                    old_values_[i].data());
+    }));
     value_parity_[i] = parity;
   }
   // With checkpoints further apart than the ping-pong history (interval
@@ -653,9 +706,13 @@ Status Engine<Program>::MaybeCheckpoint(int completed_iterations) {
     std::vector<char> buf;
     for (uint32_t i = q_; i < p_; ++i) {
       buf.resize(interval_store_->segment_bytes(i));
-      NX_RETURN_NOT_OK(interval_store_->Read(i, value_parity_[i], buf.data()));
-      NX_RETURN_NOT_OK(
-          ckpt_store_->Write(writeback_.get(), i, snap_parity, buf.data()));
+      NX_RETURN_NOT_OK(RunWithRetry(options_.retry, &counters_, [&] {
+        return interval_store_->Read(i, value_parity_[i], buf.data());
+      }));
+      NX_RETURN_NOT_OK(RunWithRetry(options_.retry, &counters_, [&] {
+        return ckpt_store_->Write(writeback_.get(), i, snap_parity,
+                                  buf.data());
+      }));
     }
     wrote_snapshot = true;
   }
@@ -664,10 +721,15 @@ Status Engine<Program>::MaybeCheckpoint(int completed_iterations) {
   // the writes pushed through it, but a zero writeback budget records no
   // flush targets (it is the pre-writeback synchronous path) and the
   // resume path's snapshot restore writes directly — so the stores are
-  // synced explicitly as well; a redundant fdatasync is cheap.
+  // synced explicitly as well; a redundant fdatasync is cheap. Drain
+  // retries internally (per write, through the queue's own policy).
   if (writeback_ != nullptr) NX_RETURN_NOT_OK(writeback_->Drain(/*sync=*/true));
-  NX_RETURN_NOT_OK(interval_store_->Sync());
-  if (wrote_snapshot) NX_RETURN_NOT_OK(ckpt_store_->Sync());
+  NX_RETURN_NOT_OK(RunWithRetry(options_.retry, &counters_,
+                                [&] { return interval_store_->Sync(); }));
+  if (wrote_snapshot) {
+    NX_RETURN_NOT_OK(RunWithRetry(options_.retry, &counters_,
+                                  [&] { return ckpt_store_->Sync(); }));
+  }
 
   CheckpointState rec;
   rec.graph_fingerprint = fingerprint_;
@@ -682,10 +744,93 @@ Status Engine<Program>::MaybeCheckpoint(int completed_iterations) {
   rec.snapshot_parity = static_cast<uint8_t>(snap_parity);
   rec.value_parity.assign(value_parity_.begin(), value_parity_.end());
   rec.active = active_;
-  NX_RETURN_NOT_OK(ckpt_->Write(rec));
+  NX_RETURN_NOT_OK(RunWithRetry(options_.retry, &counters_,
+                                [&] { return ckpt_->Write(rec); }));
   ckpt_snapshot_parity_ = snap_parity;
   checkpoint_seconds_ += timer.ElapsedSeconds();
   ++checkpoints_written_;
+  return Status::OK();
+}
+
+template <VertexProgram Program>
+Status Engine<Program>::DowngradeToBuffered(const Status& cause) {
+  NX_LOG(Warn) << "io backend " << IoBackendName(effective_backend_)
+               << " failed mid-run (" << cause.ToString()
+               << "); downgrading to buffered and retrying";
+  // Settle the write-behind queue against the old file objects before any
+  // of them is reopened; failures here are expected (the dying backend is
+  // why we are here) and already recorded by the caller's failed step.
+  if (writeback_ != nullptr) {
+    Status drained = writeback_->Drain(/*sync=*/false);
+    if (!drained.ok()) {
+      NX_LOG(Warn) << "writeback drain during downgrade: "
+                   << drained.ToString();
+    }
+  }
+  const bool had_writeback = writeback_ != nullptr;
+  writeback_.reset();
+  // Drop the cache before the store: its entries pin the old store (and
+  // with it the old backend's file objects). Decoded sub-shards are
+  // re-verified lazily like any fresh run. backend_env_ itself stays
+  // alive untouched until destruction — it is declared first, so no file
+  // object can outlive it even transiently.
+  cache_.reset();
+  counters_.checksum_rereads.fetch_add(store_->checksum_rereads(),
+                                       std::memory_order_relaxed);
+
+  Env* env = Env::Default();
+  NX_ASSIGN_OR_RETURN(store_, GraphStore::Open(env, store_->dir()));
+  cache_ = std::make_unique<SubShardCache>(store_,
+                                           decision_.subshard_cache_budget);
+  const std::string scratch = options_.scratch_dir.empty()
+                                  ? store_->dir() + "/run"
+                                  : options_.scratch_dir;
+  if (ckpt_ != nullptr) {
+    ckpt_ = std::make_unique<CheckpointManager>(env, scratch);
+  }
+  // Scratch stores reopen (Open, not Create: the values on disk are the
+  // run's live state). Hubs are recreated — their contents only live
+  // within one iteration, and the caller restarts the failed iteration,
+  // so Phase B rewrites everything Phase C will read.
+  if (interval_store_ != nullptr) {
+    NX_ASSIGN_OR_RETURN(
+        interval_store_,
+        IntervalStore::Open(env, scratch + "/values.nxi", store_->manifest(),
+                            sizeof(Value)));
+  }
+  if (ckpt_store_ != nullptr) {
+    NX_ASSIGN_OR_RETURN(
+        ckpt_store_,
+        IntervalStore::Open(env, scratch + "/values_ckpt.nxi",
+                            store_->manifest(), sizeof(Value)));
+  }
+  if (hubs_forward_ != nullptr) {
+    NX_ASSIGN_OR_RETURN(
+        hubs_forward_,
+        HubFile::Create(env, scratch + "/hubs_f.nxh", store_->manifest(), q_,
+                        sizeof(Value), /*transpose=*/false));
+  }
+  if (hubs_transpose_ != nullptr) {
+    NX_ASSIGN_OR_RETURN(
+        hubs_transpose_,
+        HubFile::Create(env, scratch + "/hubs_t.nxh", store_->manifest(), q_,
+                        sizeof(Value), /*transpose=*/true));
+  }
+  for (DirectionPlan& dir : directions_) {
+    dir.hubs = dir.transpose ? hubs_transpose_.get() : hubs_forward_.get();
+  }
+  if (had_writeback) {
+    writeback_ = std::make_unique<WritebackQueue>(
+        wb_pool_.get(), decision_.writeback_buffer_bytes, options_.retry,
+        &counters_);
+  }
+  effective_backend_ = IoBackend::kBuffered;
+  counters_.backend_downgrades.fetch_add(1, std::memory_order_relaxed);
+  // The failed step recorded its error; the re-run must start clean.
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    first_error_ = Status::OK();
+  }
   return Status::OK();
 }
 
@@ -703,8 +848,10 @@ Status Engine<Program>::InitValues() {
     for (uint32_t i = 0; i < q_; ++i) {
       const uint32_t size = m.interval_size(i);
       old_values_[i].resize(size);
-      NX_RETURN_NOT_OK(
-          interval_store_->Read(i, value_parity_[i], old_values_[i].data()));
+      NX_RETURN_NOT_OK(RunWithRetry(options_.retry, &counters_, [&] {
+        return interval_store_->Read(i, value_parity_[i],
+                                     old_values_[i].data());
+      }));
       acc_values_[i].assign(size, Program::Identity());
     }
     return Status::OK();
@@ -1309,9 +1456,10 @@ Status Engine<Program>::RunIteration(int iter) {
   for (uint32_t i = 0; i < p_; ++i) {
     active_[i] = next_active_[i].load(std::memory_order_relaxed);
   }
-  // Iteration boundary: the ping-pong snapshot on disk is consistent and
-  // the activity bitmap final — commit a checkpoint if one is due.
-  NX_RETURN_NOT_OK(MaybeCheckpoint(iter + 1));
+  // The checkpoint due at this iteration boundary is committed by the run
+  // loop, NOT here: a checkpoint failure after Phase D's in-memory swap
+  // must be retried on its own (re-running the whole iteration would
+  // double-apply), while a phase failure restarts the iteration.
   return Status::OK();
 }
 
@@ -1324,10 +1472,38 @@ Result<RunStats> Engine<Program>::Run() {
   // the store's effective Env — scratch stores and hubs are opened against
   // it too — so a snapshot delta of its transfer counters measures the
   // bytes that actually crossed the Env boundary, independent of the
-  // engine's own accounting.
-  Env* const run_env = store_->env();
-  const IoStats::Snapshot env_start = run_env->stats()->snapshot();
-  NX_RETURN_NOT_OK(InitValues());
+  // engine's own accounting. A mid-run downgrade swaps the run onto
+  // Env::Default(); its traffic is added in the same way below.
+  Env* run_env = store_->env();
+  IoStats::Snapshot env_start = run_env->stats()->snapshot();
+  uint64_t env_read_acc = 0;
+  uint64_t env_written_acc = 0;
+  // Folds the Env transfer delta accumulated so far and re-bases the
+  // snapshot; called before a downgrade swaps Envs and at reporting time.
+  auto settle_env_stats = [&] {
+    const IoStats::Snapshot now = run_env->stats()->snapshot();
+    env_read_acc += now.bytes_read - env_start.bytes_read;
+    env_written_acc += now.bytes_written - env_start.bytes_written;
+    env_start = now;
+  };
+  // Runs `step` once; on a downgradable backend failure, swaps to the
+  // buffered backend and runs `step` a second time (`restore` first puts
+  // the engine state back to the step's entry snapshot). Any other
+  // failure — including a failure of the re-run, now on the buffered
+  // floor — surfaces unchanged.
+  auto with_downgrade = [&](auto&& step, auto&& restore) -> Status {
+    Status s = step();
+    if (!ShouldDowngrade(s)) return s;
+    settle_env_stats();
+    NX_RETURN_NOT_OK(DowngradeToBuffered(s));
+    run_env = store_->env();
+    env_start = run_env->stats()->snapshot();
+    restore();
+    return step();
+  };
+
+  Status init = with_downgrade([&] { return InitValues(); }, [] {});
+  NX_RETURN_NOT_OK(init);
   stats.preprocess_seconds = total.ElapsedSeconds();
   stats.strategy = decision_.name;
   stats.resident_intervals = q_;
@@ -1342,7 +1518,28 @@ Result<RunStats> Engine<Program>::Run() {
     }
     if (!any_active) break;
     Timer iter_timer;
-    NX_RETURN_NOT_OK(RunIteration(iter));
+    // Snapshot the restartable iteration state: phases A-C only read
+    // old_values_ and write the opposite value parity, so restoring these
+    // two vectors makes the iteration re-runnable (see RunIteration).
+    const std::vector<uint8_t> active_snapshot = active_;
+    const std::vector<int> parity_snapshot = value_parity_;
+    NX_RETURN_NOT_OK(with_downgrade([&] { return RunIteration(iter); },
+                                    [&] {
+                                      active_ = active_snapshot;
+                                      value_parity_ = parity_snapshot;
+                                    }));
+    // Iteration boundary: the ping-pong snapshot on disk is consistent and
+    // the activity bitmap final — commit a checkpoint if one is due. Its
+    // parity mutations are restored on a downgrade re-run so the commit
+    // replays identically (all its writes are idempotent).
+    const std::vector<int> ckpt_parity_snapshot = value_parity_;
+    const int snap_parity_snapshot = ckpt_snapshot_parity_;
+    NX_RETURN_NOT_OK(
+        with_downgrade([&] { return MaybeCheckpoint(iter + 1); },
+                       [&] {
+                         value_parity_ = ckpt_parity_snapshot;
+                         ckpt_snapshot_parity_ = snap_parity_snapshot;
+                       }));
     stats.iteration_seconds.push_back(iter_timer.ElapsedSeconds());
     ++iter;
   }
@@ -1353,11 +1550,9 @@ Result<RunStats> Engine<Program>::Run() {
       bytes_read_.load(std::memory_order_relaxed) +
       cache_->bytes_loaded_from_disk();
   stats.bytes_written = bytes_written_.load(std::memory_order_relaxed);
-  {
-    const IoStats::Snapshot env_end = run_env->stats()->snapshot();
-    stats.env_bytes_read = env_end.bytes_read - env_start.bytes_read;
-    stats.env_bytes_written = env_end.bytes_written - env_start.bytes_written;
-  }
+  settle_env_stats();
+  stats.env_bytes_read = env_read_acc;
+  stats.env_bytes_written = env_written_acc;
   stats.phase_a_seconds = phase_seconds_[0];
   stats.phase_b_seconds = phase_seconds_[1];
   stats.phase_c_seconds = phase_seconds_[2];
@@ -1373,7 +1568,27 @@ Result<RunStats> Engine<Program>::Run() {
   stats.checkpoints_written = checkpoints_written_;
   stats.checkpoint_seconds = checkpoint_seconds_;
 
-  // Collect final values.
+  NX_RETURN_NOT_OK(with_downgrade([&] { return CollectFinalValues(); }, [] {}));
+
+  // Resilience tallies last: the collection above may retry too.
+  stats.io_retries = counters_.io_retries.load(std::memory_order_relaxed);
+  stats.retry_wait_seconds =
+      static_cast<double>(
+          counters_.retry_wait_micros.load(std::memory_order_relaxed)) /
+      1e6;
+  stats.checksum_rereads =
+      counters_.checksum_rereads.load(std::memory_order_relaxed) +
+      store_->checksum_rereads();
+  stats.backend_downgrades =
+      counters_.backend_downgrades.load(std::memory_order_relaxed);
+  stats.dropped_write_errors =
+      counters_.dropped_write_errors.load(std::memory_order_relaxed);
+  stats.io_backend = IoBackendName(effective_backend_);
+  return stats;
+}
+
+template <VertexProgram Program>
+Status Engine<Program>::CollectFinalValues() {
   final_values_.resize(store_->num_vertices());
   const Manifest& m = store_->manifest();
   std::vector<Value> buf;
@@ -1385,12 +1600,13 @@ Result<RunStats> Engine<Program>::Run() {
                 final_values_.begin() + base);
     } else {
       buf.resize(isize);
-      NX_RETURN_NOT_OK(
-          interval_store_->Read(i, value_parity_[i], buf.data()));
+      NX_RETURN_NOT_OK(RunWithRetry(options_.retry, &counters_, [&] {
+        return interval_store_->Read(i, value_parity_[i], buf.data());
+      }));
       std::copy(buf.begin(), buf.end(), final_values_.begin() + base);
     }
   }
-  return stats;
+  return Status::OK();
 }
 
 }  // namespace nxgraph

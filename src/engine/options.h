@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/io/io_backend.h"
+#include "src/util/retry.h"
 
 namespace nxgraph {
 
@@ -145,6 +146,13 @@ struct RunOptions {
   /// record). Empty uses "<store dir>/run". A resumable run must point at
   /// the scratch directory of the interrupted one.
   std::string scratch_dir;
+
+  /// Transient-fault handling for every I/O the run's pipelines issue
+  /// (prefetch reads, write-behind writes/flushes, checkpoint commits):
+  /// retryable failures are retried with deterministic-jitter backoff
+  /// before they surface (docs/io-stack.md "Error handling, retries, and
+  /// degradation"). Set `retry.max_attempts = 1` to disable retries.
+  RetryPolicy retry;
 };
 
 /// \brief Statistics from one engine run.
@@ -206,6 +214,22 @@ struct RunStats {
   /// Wall-clock spent writing checkpoints (resident/snapshot segment
   /// writes, the durability drain, and the atomic record commit).
   double checkpoint_seconds = 0;
+
+  // -- transient-fault resilience -----------------------------------------
+  /// Retries of transiently-failed I/O operations across every pipeline
+  /// (prefetch reads, write-behind writes/flushes, checkpoint commits).
+  /// 0 on a healthy device — the retry layer is pure bookkeeping then.
+  uint64_t io_retries = 0;
+  /// Wall-clock the retry loops spent in backoff waits.
+  double retry_wait_seconds = 0;
+  /// Decode corruptions given a second read (GraphStore re-read path).
+  uint64_t checksum_rereads = 0;
+  /// Mid-run I/O backend downgrades (uring ring died -> reopened
+  /// buffered). 0 or 1: a downgraded run is already on the buffered floor.
+  uint64_t backend_downgrades = 0;
+  /// Write/flush errors suppressed by first-error-wins reporting at
+  /// write-behind Drain barriers (each was also logged).
+  uint64_t dropped_write_errors = 0;
 
   /// Millions of traversed edges per second (the paper's Fig. 11 metric).
   double Mteps() const {

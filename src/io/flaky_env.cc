@@ -1,0 +1,197 @@
+#include "src/io/flaky_env.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nxgraph {
+
+namespace {
+
+Status InjectedError(const char* op) {
+  return Status::TransientIOError(std::string("flaky: injected transient ") +
+                                  op + " error");
+}
+
+}  // namespace
+
+/// Positional reader: consults the env for a fault decision per ReadAt.
+class FlakyRandomAccessFile : public RandomAccessFile {
+ public:
+  FlakyRandomAccessFile(std::unique_ptr<RandomAccessFile> base, FlakyEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status ReadAt(uint64_t offset, size_t n, void* buf,
+                size_t* bytes_read) const override {
+    const FlakyEnv::Injection inj = env_->Decide(FlakyEnv::OpKind::kRead);
+    if (inj.fault && inj.kind == FlakyEnv::FaultKind::kTransientError) {
+      // As if the syscall failed: no base I/O happened.
+      return InjectedError("read");
+    }
+    NX_RETURN_NOT_OK(base_->ReadAt(offset, n, buf, bytes_read));
+    if (!inj.fault || *bytes_read == 0) return Status::OK();
+    if (inj.kind == FlakyEnv::FaultKind::kShortRead) {
+      // Truncate to a strict prefix of what actually landed (at least one
+      // byte short, possibly zero bytes). The data delivered is real —
+      // only the length lies, exactly like an interrupted pread.
+      *bytes_read = inj.shape % *bytes_read;
+    } else if (inj.kind == FlakyEnv::FaultKind::kBitFlip) {
+      // Corrupt one bit in the caller's buffer only; the base file is
+      // untouched, so a re-read returns clean data (a heal-on-reread
+      // fault, the kind checksum re-reads exist for).
+      const uint64_t bit = inj.shape % (*bytes_read * 8);
+      static_cast<char*>(buf)[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  FlakyEnv* env_;
+};
+
+/// Positional writer: faultable WriteAt/Flush; Truncate/Close pass through.
+class FlakyRandomWriteFile : public RandomWriteFile {
+ public:
+  FlakyRandomWriteFile(std::unique_ptr<RandomWriteFile> base, FlakyEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status WriteAt(uint64_t offset, const void* data, size_t n) override {
+    const FlakyEnv::Injection inj = env_->Decide(FlakyEnv::OpKind::kWrite);
+    if (inj.fault) return InjectedError("write");
+    return base_->WriteAt(offset, data, n);
+  }
+
+  Status Flush() override {
+    const FlakyEnv::Injection inj = env_->Decide(FlakyEnv::OpKind::kFlush);
+    if (inj.fault) return InjectedError("flush");
+    return base_->Flush();
+  }
+
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<RandomWriteFile> base_;
+  FlakyEnv* env_;
+};
+
+FlakyEnv::FlakyEnv(Env* base, FlakyFaultRates rates)
+    : base_(base), rates_(rates), rng_(rates.seed) {}
+
+void FlakyEnv::ScheduleFault(OpKind op, uint64_t nth, FaultKind fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scripted_[{static_cast<uint8_t>(op), nth}] = fault;
+}
+
+FlakyEnv::Injection FlakyEnv::Decide(OpKind op) {
+  Injection inj;
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t nth = op_counts_[Idx(op)].fetch_add(1) + 1;
+  const auto it = scripted_.find({static_cast<uint8_t>(op), nth});
+  if (it != scripted_.end()) {
+    inj.fault = true;
+    inj.kind = it->second;
+    inj.shape = rng_.Next();
+    scripted_.erase(it);
+  } else {
+    // One probability draw per op keeps the stream aligned across op
+    // kinds; the shaping draw only happens for ops that fault.
+    const double p = rng_.NextDouble();
+    double threshold = 0.0;
+    switch (op) {
+      case OpKind::kRead: {
+        // Stack the read fault kinds on one draw: [0, err) -> error,
+        // [err, err+short) -> short read, [.., +flip) -> bit flip.
+        if (p < (threshold += rates_.read_error)) {
+          inj.fault = true;
+          inj.kind = FaultKind::kTransientError;
+        } else if (p < (threshold += rates_.short_read)) {
+          inj.fault = true;
+          inj.kind = FaultKind::kShortRead;
+        } else if (p < (threshold += rates_.bit_flip)) {
+          inj.fault = true;
+          inj.kind = FaultKind::kBitFlip;
+        }
+        break;
+      }
+      case OpKind::kWrite:
+        inj.fault = p < rates_.write_error;
+        break;
+      case OpKind::kFlush:
+        inj.fault = p < rates_.flush_error;
+        break;
+    }
+    if (inj.fault) inj.shape = rng_.Next();
+  }
+  if (inj.fault) {
+    switch (inj.kind) {
+      case FaultKind::kTransientError:
+        injected_errors_.fetch_add(1);
+        break;
+      case FaultKind::kShortRead:
+        injected_short_reads_.fetch_add(1);
+        break;
+      case FaultKind::kBitFlip:
+        injected_bit_flips_.fetch_add(1);
+        break;
+    }
+  }
+  return inj;
+}
+
+Status FlakyEnv::NewSequentialFile(const std::string& path,
+                                   std::unique_ptr<SequentialFile>* out) {
+  return base_->NewSequentialFile(path, out);
+}
+
+Status FlakyEnv::NewRandomAccessFile(const std::string& path,
+                                     std::unique_ptr<RandomAccessFile>* out) {
+  std::unique_ptr<RandomAccessFile> file;
+  NX_RETURN_NOT_OK(base_->NewRandomAccessFile(path, &file));
+  *out = std::make_unique<FlakyRandomAccessFile>(std::move(file), this);
+  return Status::OK();
+}
+
+Status FlakyEnv::NewWritableFile(const std::string& path,
+                                 std::unique_ptr<WritableFile>* out) {
+  return base_->NewWritableFile(path, out);
+}
+
+Status FlakyEnv::NewRandomWriteFile(const std::string& path,
+                                    std::unique_ptr<RandomWriteFile>* out) {
+  std::unique_ptr<RandomWriteFile> file;
+  NX_RETURN_NOT_OK(base_->NewRandomWriteFile(path, &file));
+  *out = std::make_unique<FlakyRandomWriteFile>(std::move(file), this);
+  return Status::OK();
+}
+
+bool FlakyEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> FlakyEnv::GetFileSize(const std::string& path) {
+  return base_->GetFileSize(path);
+}
+
+Status FlakyEnv::CreateDirs(const std::string& path) {
+  return base_->CreateDirs(path);
+}
+
+Status FlakyEnv::RemoveFile(const std::string& path) {
+  return base_->RemoveFile(path);
+}
+
+Status FlakyEnv::RemoveDirRecursively(const std::string& path) {
+  return base_->RemoveDirRecursively(path);
+}
+
+Status FlakyEnv::RenameFile(const std::string& from, const std::string& to) {
+  return base_->RenameFile(from, to);
+}
+
+Status FlakyEnv::ListDir(const std::string& path,
+                         std::vector<std::string>* names) {
+  return base_->ListDir(path, names);
+}
+
+}  // namespace nxgraph

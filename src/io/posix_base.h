@@ -21,7 +21,10 @@
 namespace nxgraph {
 namespace internal {
 
-/// Status from errno, prefixed with `context`.
+/// Status from errno, prefixed with `context`. Thin wrapper over
+/// Status::FromErrno — the one errno→Status funnel shared by the
+/// buffered, direct-I/O and io_uring backends; it sets the retryability
+/// bit for transient errnos (Status::TransientErrno).
 Status PosixError(const std::string& context, int err);
 
 /// Open-failure status for `path` from the current errno (NotFound for
@@ -64,6 +67,13 @@ class PosixFsEnv : public Env {
 /// kernels whose tmpfs accepts O_DIRECT (Linux >= 6.5 — the natural refusal
 /// vehicle disappeared there).
 std::unique_ptr<Env> NewDirectIOEnvRefusingODirectForTest();
+
+/// Test-only: makes every UringEnv submission fail permanently (dead-ring
+/// -EIO) after `n` more successful positional transfers process-wide, as
+/// if the ring died mid-run; 0 re-arms to "never fail". Drives the
+/// engine's live uring→buffered downgrade path deterministically. No-op
+/// when io_uring support is compiled out.
+void SetUringFailAfterForTest(uint64_t n);
 
 }  // namespace internal
 }  // namespace nxgraph

@@ -19,7 +19,11 @@ namespace internal {
 namespace fs = std::filesystem;
 
 Status PosixError(const std::string& context, int err) {
-  return Status::IOError(context + ": " + std::strerror(err));
+  // Single funnel for errno translation across the buffered, direct-I/O
+  // and io_uring backends; FromErrno also sets the retryability bit for
+  // transient errnos so pipeline retry loops can classify without
+  // re-parsing messages.
+  return Status::FromErrno(context, err);
 }
 
 Status PosixOpenError(const std::string& path) {

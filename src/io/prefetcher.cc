@@ -5,8 +5,13 @@
 namespace nxgraph {
 
 Prefetcher::Prefetcher(ThreadPool* io_pool, ThreadPool* compute_pool,
-                       size_t depth)
-    : io_pool_(io_pool), compute_pool_(compute_pool), depth_(depth) {}
+                       size_t depth, RetryPolicy retry,
+                       RetryCounters* counters)
+    : io_pool_(io_pool),
+      compute_pool_(compute_pool),
+      depth_(depth),
+      retry_(retry),
+      counters_(counters) {}
 
 Prefetcher::~Prefetcher() {
   Cancel();
@@ -58,8 +63,10 @@ void Prefetcher::RunIo(std::shared_ptr<Slot> slot) {
     std::lock_guard<std::mutex> lock(mu_);
     cancelled = cancelled_;
   }
-  Status s = cancelled ? Status::Aborted("prefetch cancelled")
-                       : slot->job.io();
+  Status s = cancelled
+                 ? Status::Aborted("prefetch cancelled")
+                 : RunWithRetry(retry_, counters_,
+                                [&] { return slot->job.io(); });
   if (s.ok() && slot->job.decode && !cancelled) {
     if (compute_pool_ != nullptr) {
       {
@@ -95,7 +102,8 @@ void Prefetcher::TaskDone() {
 }
 
 Status Prefetcher::RunInline(const std::shared_ptr<Slot>& slot) {
-  Status s = slot->job.io();
+  Status s =
+      RunWithRetry(retry_, counters_, [&] { return slot->job.io(); });
   if (s.ok() && slot->job.decode) s = slot->job.decode();
   return s;
 }

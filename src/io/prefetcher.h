@@ -34,6 +34,7 @@
 #include <utility>
 
 #include "src/util/result.h"
+#include "src/util/retry.h"
 #include "src/util/status.h"
 #include "src/util/thread_pool.h"
 
@@ -55,8 +56,15 @@ class Prefetcher {
   };
 
   /// Neither pool is owned. `depth == 0` means synchronous: stages run
-  /// inline in Next() and the pools are never used.
-  Prefetcher(ThreadPool* io_pool, ThreadPool* compute_pool, size_t depth);
+  /// inline in Next() and the pools are never used. The io stage of every
+  /// job runs under `retry`: transient failures (retryable Status) are
+  /// retried with backoff before the job's status is surfaced — io
+  /// closures must therefore be idempotent (all of the engine's are: they
+  /// read into owned buffers). Decode stages are never retried here;
+  /// checksum re-reads are the store's job. `counters` (not owned, may be
+  /// null) tallies the retries.
+  Prefetcher(ThreadPool* io_pool, ThreadPool* compute_pool, size_t depth,
+             RetryPolicy retry = {}, RetryCounters* counters = nullptr);
 
   /// Cancels queued jobs and blocks until in-flight stages finish.
   ~Prefetcher();
@@ -104,6 +112,8 @@ class Prefetcher {
   ThreadPool* io_pool_;
   ThreadPool* compute_pool_;
   const size_t depth_;
+  const RetryPolicy retry_;
+  RetryCounters* counters_;  // not owned; may be null
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -132,8 +142,9 @@ struct ResultValue<Result<V>> {
 template <typename T>
 class PrefetchStream {
  public:
-  PrefetchStream(ThreadPool* io_pool, ThreadPool* compute_pool, size_t depth)
-      : core_(io_pool, compute_pool, depth) {}
+  PrefetchStream(ThreadPool* io_pool, ThreadPool* compute_pool, size_t depth,
+                 RetryPolicy retry = {}, RetryCounters* counters = nullptr)
+      : core_(io_pool, compute_pool, depth, retry, counters) {}
 
   /// Single-stage job: the whole load (read + any decode) runs on the I/O
   /// pool. Use for raw reads with no decode work worth offloading.

@@ -60,6 +60,12 @@ namespace {
 using internal::PosixError;
 using internal::PosixOpenError;
 
+/// Test-only submission budget (SetUringFailAfterForTest): < 0 means
+/// unlimited; otherwise each SubmitAndWait decrements and fails with the
+/// dead-ring -EIO once the budget is spent, simulating a ring that dies
+/// mid-run.
+std::atomic<int64_t> g_uring_fail_budget{-1};
+
 int UringSetup(unsigned entries, io_uring_params* p) {
   return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
 }
@@ -148,6 +154,14 @@ class UringCore {
   /// future submitters while the reaper drains what remains.
   int32_t SubmitAndWait(uint8_t opcode, int fd, void* addr, uint32_t len,
                         uint64_t offset) {
+    if (g_uring_fail_budget.load(std::memory_order_relaxed) >= 0 &&
+        g_uring_fail_budget.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      // Injected ring death: permanent because dead_ sticks, exactly like
+      // a real fatal submission error.
+      std::lock_guard<std::mutex> lock(sq_mu_);
+      dead_ = true;
+      return -EIO;
+    }
     UringOp op;
     op.ready.store(true, std::memory_order_release);
     {
@@ -243,12 +257,14 @@ class UringCore {
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
       int r = UringEnter(ring_fd_, 1, 0, 0);
       if (r >= 1) return true;
-      if (r == 0 || errno == EINTR) continue;  // nothing consumed: retry
-      if (errno == EAGAIN || errno == EBUSY) {
+      if (r == 0) continue;  // nothing consumed: retry immediately
+      // Transient-errno classification is shared with the rest of the I/O
+      // stack (Status::TransientErrno); EINTR retries immediately, the
+      // rest (EAGAIN/EBUSY/...) back off first.
+      if (!Status::TransientErrno(errno)) break;  // SQE was not consumed
+      if (errno != EINTR) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        continue;
       }
-      break;  // non-retryable; the SQE was not consumed
     }
     // Roll the tail back so the unconsumed SQE cannot be handed to the
     // kernel by a later enter (it would reference this op's dead stack
@@ -285,7 +301,7 @@ class UringCore {
       __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
       if (stop) return;
       int r = UringEnter(ring_fd_, 0, 1, IORING_ENTER_GETEVENTS);
-      if (r < 0 && errno != EINTR && errno != EAGAIN && errno != EBUSY) {
+      if (r < 0 && !Status::TransientErrno(errno)) {
         // Even a "fatal" wait error must not exit the loop: outstanding
         // ops would hang forever, and completing them early would free
         // buffers the kernel still owns. Back off and retry until the NOP
@@ -329,7 +345,12 @@ Status UringTransfer(UringCore* core, uint8_t opcode, int fd, void* buf,
     const int32_t res = core->SubmitAndWait(opcode, fd, p + total, len,
                                             offset + total);
     if (res < 0) {
-      if (res == -EINTR || res == -EAGAIN) continue;
+      // Retry CQE-level transient errnos in place; everything else is
+      // translated through the shared errno funnel (PosixError →
+      // Status::FromErrno), which still marks e.g. ENOBUFS retryable for
+      // the pipeline-level retry loops. The dead-ring -EIO comes out
+      // non-retryable by design: it triggers backend downgrade, not retry.
+      if (Status::TransientErrno(-res)) continue;
       return PosixError(opcode == IORING_OP_READ ? "io_uring read"
                                                  : "io_uring write",
                         -res);
@@ -454,6 +475,15 @@ bool ProbeUring() {
 
 }  // namespace
 
+namespace internal {
+
+void SetUringFailAfterForTest(uint64_t n) {
+  g_uring_fail_budget.store(n == 0 ? -1 : static_cast<int64_t>(n),
+                            std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
 bool UringSupported() {
   static const bool supported = ProbeUring();
   return supported;
@@ -471,6 +501,12 @@ std::unique_ptr<Env> NewUringEnv() {
 #else  // no <linux/io_uring.h>: compile-time fallback
 
 namespace nxgraph {
+
+namespace internal {
+
+void SetUringFailAfterForTest(uint64_t) {}  // no ring to kill
+
+}  // namespace internal
 
 bool UringSupported() { return false; }
 

@@ -1,17 +1,30 @@
 #include "src/io/writeback.h"
 
 #include <algorithm>
+#include <cerrno>
 
+#include "src/util/logging.h"
 #include "src/util/timer.h"
 
 namespace nxgraph {
 
-WritebackQueue::WritebackQueue(ThreadPool* io_pool, uint64_t budget_bytes)
+namespace {
+
+/// Permanent write failures parked before the queue declares itself dead
+/// and degrades to synchronous pushes (ENOSPC degrades immediately).
+constexpr size_t kDeadQueueFailures = 8;
+
+}  // namespace
+
+WritebackQueue::WritebackQueue(ThreadPool* io_pool, uint64_t budget_bytes,
+                               RetryPolicy retry, RetryCounters* counters)
     : io_pool_(io_pool),
       budget_bytes_(budget_bytes),
       issue_cap_(io_pool != nullptr && io_pool->num_threads() > 0
                      ? static_cast<size_t>(io_pool->num_threads())
-                     : 1) {}
+                     : 1),
+      retry_(retry),
+      counters_(counters) {}
 
 WritebackQueue::~WritebackQueue() {
   // Writes are never dropped: a write-behind queue that discarded pending
@@ -52,7 +65,8 @@ Status WritebackQueue::Push(RandomWriteFile* file, uint64_t offset,
     // budget 0 reproduces the pre-writeback path exactly, which never
     // synced these files.
     Timer timer;
-    Status s = file->WriteAt(offset, data, n);
+    Status s = RunWithRetry(retry_, counters_,
+                            [&] { return file->WriteAt(offset, data, n); });
     write_wait_micros_.fetch_add(timer.ElapsedMicros(),
                                  std::memory_order_relaxed);
     return s;
@@ -63,6 +77,29 @@ Status WritebackQueue::Push(RandomWriteFile* file, uint64_t offset,
 Status WritebackQueue::Push(RandomWriteFile* file, uint64_t offset,
                             std::string data) {
   if (budget_bytes_ == 0) return Push(file, offset, data.data(), data.size());
+  if (degraded_.load(std::memory_order_acquire)) {
+    // Degraded mode: the async pipeline is considered dead (ENOSPC or
+    // repeated permanent failures). Quiesce the remaining window so
+    // ordering against earlier queued writes holds, then write inline and
+    // hand the status straight to the producer — no more doomed writes
+    // enter the pipeline. The target is still recorded so Drain keeps its
+    // durability-barrier meaning.
+    Timer timer;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return pending_writes_ == 0; });
+      if (std::find(targets_.begin(), targets_.end(), file) ==
+          targets_.end()) {
+        targets_.push_back(file);
+      }
+    }
+    Status s = RunWithRetry(retry_, counters_, [&] {
+      return file->WriteAt(offset, data.data(), data.size());
+    });
+    write_wait_micros_.fetch_add(timer.ElapsedMicros(),
+                                 std::memory_order_relaxed);
+    return s;
+  }
 
   auto w = std::make_shared<Pending>();
   w->file = file;
@@ -192,10 +229,11 @@ void WritebackQueue::RunWrite(std::shared_ptr<Pending> w) {
       std::string().swap(member->data);
     }
   }
-  Status s = w->file->WriteAt(w->offset, w->data.data(), w->data.size());
+  Status s = RunWithRetry(retry_, counters_, [&] {
+    return w->file->WriteAt(w->offset, w->data.data(), w->data.size());
+  });
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!s.ok() && first_error_.ok()) first_error_ = std::move(s);
     FileState& fs = files_[w->file];
     fs.inflight.erase(
         std::find(fs.inflight.begin(), fs.inflight.end(), w));
@@ -203,6 +241,21 @@ void WritebackQueue::RunWrite(std::shared_ptr<Pending> w) {
     pending_writes_ -= w->merged;  // a group-committed write retires all
                                    // the pushes folded into it
     --inflight_writes_;
+    if (!s.ok()) {
+      // Park the write, payload and all, for a synchronous re-attempt at
+      // the Drain barrier — the error is only reported if it fails again
+      // there (degrade, don't abort). ENOSPC, or a pile of permanent
+      // failures, marks the whole queue dead: later Pushes go inline.
+      const bool enospc = s.sys_errno() == ENOSPC;
+      failed_.push_back(w);
+      if (!degraded_.load(std::memory_order_relaxed) &&
+          (enospc || failed_.size() >= kDeadQueueFailures)) {
+        degraded_.store(true, std::memory_order_release);
+        NX_LOG(Warn) << "writeback: degrading to synchronous writes after "
+                     << (enospc ? "ENOSPC" : "repeated write failures")
+                     << ": " << s.ToString();
+      }
+    }
     cv_.notify_all();
   }
   Issue();  // the landed write may have released a deferred write
@@ -217,21 +270,54 @@ void WritebackQueue::TaskDone() {
 Status WritebackQueue::Drain(bool sync) {
   Timer timer;
   std::vector<RandomWriteFile*> targets;
+  std::vector<std::shared_ptr<Pending>> failed;
   Status s;
   {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return pending_writes_ == 0; });
-    s = std::move(first_error_);
-    first_error_ = Status::OK();
+    failed.swap(failed_);
     // Ordering-only barriers leave targets_ accumulating; the next
     // syncing Drain (or destruction) settles the flush debt.
     if (sync) targets.swap(targets_);
   }
+  // Second chance for writes that failed permanently in flight: the
+  // barrier must not return with data silently missing, so each parked
+  // write is re-attempted synchronously right here. One that succeeds now
+  // (the condition healed) never surfaces as an error at all.
+  for (const auto& w : failed) {
+    Status ws = RunWithRetry(retry_, counters_, [&] {
+      return w->file->WriteAt(w->offset, w->data.data(), w->data.size());
+    });
+    if (ws.ok()) continue;
+    if (s.ok()) {
+      s = std::move(ws);
+      continue;
+    }
+    // First-error-wins for the return value, but never silently: every
+    // suppressed error is counted and logged.
+    dropped_write_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (counters_ != nullptr) {
+      counters_->dropped_write_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    NX_LOG(Warn) << "writeback: suppressed write error (first error wins): "
+                 << ws.ToString();
+  }
   // Durability barrier: per-target flush, first error wins (write errors
   // precede flush errors chronologically, so they take precedence).
   for (RandomWriteFile* f : targets) {
-    Status fs = f->Flush();
-    if (s.ok() && !fs.ok()) s = std::move(fs);
+    Status fs =
+        RunWithRetry(retry_, counters_, [&] { return f->Flush(); });
+    if (fs.ok()) continue;
+    if (s.ok()) {
+      s = std::move(fs);
+      continue;
+    }
+    dropped_write_errors_.fetch_add(1, std::memory_order_relaxed);
+    if (counters_ != nullptr) {
+      counters_->dropped_write_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    NX_LOG(Warn) << "writeback: suppressed flush error (first error wins): "
+                 << fs.ToString();
   }
   write_wait_micros_.fetch_add(timer.ElapsedMicros(),
                                std::memory_order_relaxed);

@@ -36,6 +36,20 @@
 // distinct target file written since the previous barrier, and returns the
 // first error any write or flush produced — a failed flush surfaces here,
 // never silently dropped.
+//
+// Resilience (docs/io-stack.md "Error handling, retries, and degradation"):
+// every WriteAt/Flush the queue issues runs under the RetryPolicy, so
+// transient failures (retryable Status) are absorbed invisibly. A write
+// that still fails is parked with its payload and re-attempted
+// synchronously at the next Drain barrier — an error that heals by then
+// (ENOSPC cleared by a log rotation, a device that came back) never
+// surfaces at all. Drain keeps first-error-wins semantics for its return
+// value but counts and logs every suppressed error (dropped_write_errors).
+// An ENOSPC failure, or a queue whose writes fail repeatedly (dead queue),
+// flips the queue into degraded mode: subsequent Pushes write inline
+// (synchronously, after quiescing the async window) and return their
+// status directly to the producer instead of piling more doomed writes
+// into the pipeline.
 #ifndef NXGRAPH_IO_WRITEBACK_H_
 #define NXGRAPH_IO_WRITEBACK_H_
 
@@ -51,6 +65,7 @@
 
 #include "src/io/env.h"
 #include "src/util/macros.h"
+#include "src/util/retry.h"
 #include "src/util/status.h"
 #include "src/util/thread_pool.h"
 
@@ -67,8 +82,11 @@ class WritebackQueue {
   /// `io_pool` is not owned and may be null when `budget_bytes == 0`.
   /// Synchronous mode never touches the pool and never records flush
   /// targets either — budget 0 is exactly the pre-writeback write path,
-  /// which issued no durability syncs.
-  WritebackQueue(ThreadPool* io_pool, uint64_t budget_bytes);
+  /// which issued no durability syncs. `counters` (not owned, may be null)
+  /// receives retry / suppressed-error tallies; `retry` governs every
+  /// WriteAt and Flush the queue issues.
+  WritebackQueue(ThreadPool* io_pool, uint64_t budget_bytes,
+                 RetryPolicy retry = {}, RetryCounters* counters = nullptr);
 
   /// Drains outstanding writes (they are completed, never dropped — this
   /// is a write path; cancellation would lose data). Flush errors during
@@ -81,8 +99,9 @@ class WritebackQueue {
   /// `budget_bytes` or more of pending payload (a single payload larger
   /// than the whole budget is admitted once the queue is empty, so Push
   /// can never deadlock). In synchronous mode returns the WriteAt status
-  /// directly; in asynchronous mode always returns OK — failures surface
-  /// from the next Drain().
+  /// directly; in asynchronous mode returns OK — failures surface from
+  /// the next Drain() — unless the queue has degraded (see degraded()),
+  /// in which case the write runs inline and its status is returned.
   Status Push(RandomWriteFile* file, uint64_t offset, std::string data);
 
   /// As above, but copies `data` into an owned buffer only when the queue
@@ -95,9 +114,12 @@ class WritebackQueue {
   /// `sync` (the default) it then Flush()es each distinct target touched
   /// since the last syncing Drain — the durability barrier; `sync = false`
   /// is an ordering-only barrier (reads issued after it see every write)
-  /// and leaves the flush debt to the next syncing Drain. Returns the
-  /// first write error, else the first flush error, and resets the error
-  /// state so the queue can be reused for the next phase.
+  /// and leaves the flush debt to the next syncing Drain. Writes that
+  /// failed permanently in flight are re-attempted synchronously here
+  /// first (degrade, don't abort — see the file comment). Returns the
+  /// first surviving write error, else the first flush error; additional
+  /// errors are counted in dropped_write_errors and logged. Resets the
+  /// error state so the queue can be reused for the next phase.
   Status Drain(bool sync = true);
 
   /// Bytes queued or in flight right now.
@@ -115,6 +137,19 @@ class WritebackQueue {
   /// Queued writes absorbed into a neighbor by group commit (each absorbed
   /// write saved one WriteAt).
   uint64_t coalesced_writes() const;
+
+  /// True once the queue has fallen back to synchronous inline writes
+  /// (ENOSPC or repeated permanent write failures). Sticky for the life
+  /// of the queue.
+  bool degraded() const {
+    return degraded_.load(std::memory_order_acquire);
+  }
+
+  /// Errors suppressed by first-error-wins reporting at Drain barriers
+  /// (each was logged when dropped).
+  uint64_t dropped_write_errors() const {
+    return dropped_write_errors_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Pending {
@@ -169,6 +204,8 @@ class WritebackQueue {
   ThreadPool* io_pool_;
   const uint64_t budget_bytes_;
   const size_t issue_cap_;  // max writes submitted to the pool at once
+  const RetryPolicy retry_;
+  RetryCounters* counters_;  // not owned; may be null
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -178,10 +215,15 @@ class WritebackQueue {
   size_t inflight_writes_ = 0;   // issued to the pool, not yet landed
   size_t outstanding_tasks_ = 0;  // pool closures still referencing this
   bool issuing_ = false;
-  Status first_error_;
   uint64_t coalesced_writes_ = 0;
   std::vector<RandomWriteFile*> targets_;  // distinct files since last Drain
+  /// Writes that failed permanently in flight, parked with their payloads
+  /// for the synchronous re-attempt at the next Drain. Their bytes no
+  /// longer count against the budget (they left the async pipeline).
+  std::vector<std::shared_ptr<Pending>> failed_;
 
+  std::atomic<bool> degraded_{false};
+  std::atomic<uint64_t> dropped_write_errors_{0};
   std::atomic<int64_t> write_wait_micros_{0};
 };
 

@@ -31,16 +31,32 @@ Result<SubShard> GraphStore::LoadSubShard(uint32_t i, uint32_t j,
   }
   const SubShardMeta& meta = manifest_.subshard(i, j, transpose);
   std::string buf(meta.size, '\0');
-  size_t n = 0;
   const RandomAccessFile* file =
       transpose ? shards_transpose_.get() : shards_.get();
-  NX_RETURN_NOT_OK(file->ReadAt(meta.offset, meta.size, buf.data(), &n));
-  if (n != meta.size) {
-    return Status::Corruption("sub-shard blob truncated on disk");
-  }
   // Same per-thread staging reuse as DecodeSubShardRow: repeated cache-miss
   // loads (the underbudget-cache regime) must not reallocate per blob.
   static thread_local SubShardDecodeScratch scratch;
+  auto read = [&]() -> Status {
+    size_t n = 0;
+    NX_RETURN_NOT_OK(file->ReadAt(meta.offset, meta.size, buf.data(), &n));
+    if (n != meta.size) {
+      // Retryable: a short read may fill in on the next attempt (an
+      // interrupted transfer), unlike a decode-level corruption of a
+      // full-length blob.
+      return Status::MakeRetryable(
+          Status::Corruption("sub-shard blob truncated on disk"));
+    }
+    return Status::OK();
+  };
+  NX_RETURN_NOT_OK(read());
+  auto decoded = SubShard::Decode(buf.data(), buf.size(), i, j,
+                                  verify_checksum, &scratch);
+  if (decoded.ok() || !decoded.status().IsCorruption()) return decoded;
+  // One fresh read before declaring the blob corrupt: an in-flight bit
+  // flip (bus/DMA/firmware) corrupts the buffer, not the medium, and
+  // heals on re-read. A corruption that survives the re-read is real.
+  checksum_rereads_.fetch_add(1, std::memory_order_relaxed);
+  NX_RETURN_NOT_OK(read());
   return SubShard::Decode(buf.data(), buf.size(), i, j, verify_checksum,
                           &scratch);
 }
@@ -65,7 +81,9 @@ Result<std::string> GraphStore::ReadSubShardRowBytes(uint32_t i,
   size_t n = 0;
   NX_RETURN_NOT_OK(file->ReadAt(first.offset, bytes, buf.data(), &n));
   if (n != bytes) {
-    return Status::Corruption("sub-shard row truncated on disk");
+    // Retryable (see LoadSubShard): short reads may fill in on retry.
+    return Status::MakeRetryable(
+        Status::Corruption("sub-shard row truncated on disk"));
   }
   return buf;
 }
@@ -104,12 +122,34 @@ Result<std::vector<SubShard>> GraphStore::DecodeSubShardRow(
   return row;
 }
 
+Result<std::vector<SubShard>> GraphStore::DecodeSubShardRowWithReread(
+    uint32_t i, uint32_t j_begin, uint32_t j_end, bool transpose,
+    const std::vector<uint8_t>& verify_mask, const std::string& raw) const {
+  auto row = DecodeSubShardRow(i, j_begin, j_end, transpose, verify_mask, raw);
+  if (row.ok() || !row.status().IsCorruption()) return row;
+  // The raw bytes failed to decode (checksum mismatch or a mangled
+  // header). Before declaring the store corrupt, read the row again: a
+  // transfer-level bit flip lives in the buffer, not on the medium, and
+  // vanishes on a fresh read. If the re-read itself fails, or the fresh
+  // bytes still fail to decode, the corruption is real and the ORIGINAL
+  // corruption status surfaces (a transient re-read error must not mask
+  // what the caller needs to know).
+  checksum_rereads_.fetch_add(1, std::memory_order_relaxed);
+  auto reread = ReadSubShardRowBytes(i, j_begin, j_end, transpose);
+  if (!reread.ok()) return row.status();
+  auto retried =
+      DecodeSubShardRow(i, j_begin, j_end, transpose, verify_mask, *reread);
+  if (!retried.ok()) return row.status();
+  return retried;
+}
+
 Result<std::vector<SubShard>> GraphStore::LoadSubShardRow(
     uint32_t i, uint32_t j_begin, uint32_t j_end, bool transpose,
     const std::vector<uint8_t>& verify_mask) const {
   NX_ASSIGN_OR_RETURN(std::string raw,
                       ReadSubShardRowBytes(i, j_begin, j_end, transpose));
-  return DecodeSubShardRow(i, j_begin, j_end, transpose, verify_mask, raw);
+  return DecodeSubShardRowWithReread(i, j_begin, j_end, transpose,
+                                     verify_mask, raw);
 }
 
 Result<std::vector<uint32_t>> GraphStore::LoadOutDegrees() const {

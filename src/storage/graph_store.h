@@ -2,6 +2,7 @@
 #ifndef NXGRAPH_STORAGE_GRAPH_STORE_H_
 #define NXGRAPH_STORAGE_GRAPH_STORE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -66,6 +67,16 @@ class GraphStore {
       uint32_t i, uint32_t j_begin, uint32_t j_end, bool transpose,
       const std::vector<uint8_t>& verify_mask, const std::string& raw) const;
 
+  /// DecodeSubShardRow with one corruption re-read: a checksum mismatch
+  /// (or other decode Corruption) triggers a single fresh
+  /// ReadSubShardRowBytes + re-decode before the corruption is declared
+  /// real — the defense against in-flight bit flips (bus/DMA/firmware)
+  /// that heal on re-read. Counted in checksum_rereads(). The engine's
+  /// staged prefetch pipeline decodes through this entry point.
+  Result<std::vector<SubShard>> DecodeSubShardRowWithReread(
+      uint32_t i, uint32_t j_begin, uint32_t j_end, bool transpose,
+      const std::vector<uint8_t>& verify_mask, const std::string& raw) const;
+
   /// Out-degrees (or in-degrees) for all vertices, indexed by id.
   Result<std::vector<uint32_t>> LoadOutDegrees() const;
   Result<std::vector<uint32_t>> LoadInDegrees() const;
@@ -73,6 +84,12 @@ class GraphStore {
   /// Total bytes of all sub-shard blobs in one direction — the `m * Be`
   /// term of the paper's I/O model.
   uint64_t TotalSubShardBytes(bool transpose = false) const;
+
+  /// Corruption re-reads attempted so far (each one was a decode
+  /// Corruption that got a second chance; it may or may not have healed).
+  uint64_t checksum_rereads() const {
+    return checksum_rereads_.load(std::memory_order_relaxed);
+  }
 
  private:
   GraphStore(Env* env, std::string dir) : env_(env), dir_(std::move(dir)) {}
@@ -82,6 +99,7 @@ class GraphStore {
   Manifest manifest_;
   std::unique_ptr<RandomAccessFile> shards_;
   std::unique_ptr<RandomAccessFile> shards_transpose_;
+  mutable std::atomic<uint64_t> checksum_rereads_{0};
 };
 
 /// \brief Byte-budgeted cache of decoded sub-shards ("if there are still

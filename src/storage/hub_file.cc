@@ -81,18 +81,29 @@ Status HubFile::ReadHub(uint32_t i, uint32_t j, std::string* out) const {
   size_t n = 0;
   NX_RETURN_NOT_OK(
       reader_->ReadAt(offsets_[idx], sizeof(count_buf), count_buf, &n));
-  if (n != sizeof(count_buf)) return Status::Corruption("hub prefix truncated");
+  // The truncation and bad-count cases are marked retryable: the file has
+  // its full preallocated size (Create wrote every segment), so a short
+  // read is a transient transfer hiccup and a count exceeding the segment
+  // capacity is bus/DMA garbage — both heal on a fresh read, and a real
+  // on-medium corruption still fails after the pipeline's bounded retries.
+  if (n != sizeof(count_buf)) {
+    return Status::MakeRetryable(Status::Corruption("hub prefix truncated"));
+  }
   const uint64_t count = DecodeFixed<uint64_t>(count_buf);
   const uint64_t payload = count * (4 + value_bytes_);
   if (8 + payload > capacities_[idx]) {
-    return Status::Corruption("hub entry count exceeds capacity");
+    return Status::MakeRetryable(
+        Status::Corruption("hub entry count exceeds capacity"));
   }
   out->resize(8 + payload);
   std::memcpy(out->data(), count_buf, 8);
   if (payload > 0) {
     NX_RETURN_NOT_OK(reader_->ReadAt(offsets_[idx] + 8, payload,
                                      out->data() + 8, &n));
-    if (n != payload) return Status::Corruption("hub payload truncated");
+    if (n != payload) {
+      return Status::MakeRetryable(
+          Status::Corruption("hub payload truncated"));
+    }
   }
   return Status::OK();
 }

@@ -60,7 +60,12 @@ Status IntervalStore::Read(uint32_t interval, int parity, void* buf) const {
       offsets_[interval] + (parity ? bytes : 0);
   size_t n = 0;
   NX_RETURN_NOT_OK(reader_->ReadAt(offset, bytes, buf, &n));
-  if (n != bytes) return Status::Corruption("interval segment truncated");
+  if (n != bytes) {
+    // Retryable: a short read of a correctly-sized segment (Open checked
+    // the file size) can only be a transient transfer hiccup.
+    return Status::MakeRetryable(
+        Status::Corruption("interval segment truncated"));
+  }
   return Status::OK();
 }
 

@@ -1,5 +1,8 @@
 #include "src/util/status.h"
 
+#include <cerrno>
+#include <cstring>
+
 namespace nxgraph {
 
 namespace {
@@ -31,7 +34,29 @@ std::string Status::ToString() const {
   std::string out = CodeName(code());
   out += ": ";
   out += message();
+  if (retryable()) out += " (retryable)";
   return out;
+}
+
+bool Status::TransientErrno(int err) {
+  switch (err) {
+    case EINTR:
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case EBUSY:
+    case ETIMEDOUT:
+    case ENOBUFS:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status Status::FromErrno(const std::string& context, int err) {
+  return Status(Code::kIOError, context + ": " + std::strerror(err),
+                TransientErrno(err), err);
 }
 
 }  // namespace nxgraph

@@ -14,6 +14,13 @@ namespace nxgraph {
 /// A Status is cheap to copy in the OK case (no allocation); error states
 /// carry a code and a human-readable message. Library code returns Status
 /// (or Result<T>) instead of throwing exceptions.
+///
+/// Orthogonal to the code, an error may be marked *retryable*: the failure
+/// is transient (interrupted syscall, momentary resource exhaustion, a
+/// short read that may fill in on the next attempt) and repeating the same
+/// operation is both safe and plausibly useful. Retry loops live in the
+/// pipelines (prefetcher, writeback, checkpoint commits) — Env backends
+/// only classify, via FromErrno / TransientErrno.
 class Status {
  public:
   enum class Code : uint8_t {
@@ -53,6 +60,31 @@ class Status {
     return Status(Code::kOutOfMemory, std::move(msg));
   }
 
+  /// I/O error already known to be transient (retry may succeed).
+  static Status TransientIOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg), /*retryable=*/true, 0);
+  }
+
+  /// Builds an IOError from an errno value, formatted as
+  /// "<context>: <strerror>", with the retryability bit set when
+  /// TransientErrno(err) holds. The single funnel for errno translation
+  /// across the posix / direct-I/O / io_uring backends.
+  static Status FromErrno(const std::string& context, int err);
+
+  /// True for errnos that name transient conditions worth retrying:
+  /// EINTR, EAGAIN/EWOULDBLOCK, EBUSY, ETIMEDOUT, ENOBUFS. Notably
+  /// excludes EIO (media/ring failure: degrade, don't retry) and ENOSPC
+  /// (retry cannot create space; writeback degrades to sync instead).
+  static bool TransientErrno(int err);
+
+  /// Copy of `s` with the retryability bit set (no-op for OK). Used to
+  /// mark short-read Corruption as worth one more attempt without
+  /// changing its code.
+  static Status MakeRetryable(Status s) {
+    if (s.ok() || s.retryable()) return s;
+    return Status(s.code(), s.message(), /*retryable=*/true, s.sys_errno());
+  }
+
   /// True iff the operation succeeded.
   bool ok() const { return rep_ == nullptr; }
   bool IsNotFound() const { return code() == Code::kNotFound; }
@@ -64,6 +96,13 @@ class Status {
   bool IsOutOfMemory() const { return code() == Code::kOutOfMemory; }
 
   Code code() const { return rep_ ? rep_->code : Code::kOk; }
+
+  /// True when the error is transient and the operation may be retried.
+  /// Always false for OK.
+  bool retryable() const { return rep_ && rep_->retryable; }
+
+  /// Originating errno when built via FromErrno, else 0.
+  int sys_errno() const { return rep_ ? rep_->sys_errno : 0; }
 
   /// Error message; empty for OK statuses.
   const std::string& message() const {
@@ -80,10 +119,14 @@ class Status {
   struct Rep {
     Code code;
     std::string message;
+    bool retryable = false;
+    int sys_errno = 0;
   };
 
-  Status(Code code, std::string msg)
-      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+  Status(Code code, std::string msg, bool retryable = false,
+         int sys_errno = 0)
+      : rep_(std::make_shared<Rep>(
+            Rep{code, std::move(msg), retryable, sys_errno})) {}
 
   std::shared_ptr<Rep> rep_;  // null == OK
 };

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <future>
@@ -34,6 +35,10 @@ class FakeWriteFile : public RandomWriteFile {
       std::this_thread::sleep_for(
           std::chrono::milliseconds((delay_per_write_count_ - seq) * 2));
     }
+    if (fail_next_writes_.load() > 0) {
+      fail_next_writes_.fetch_sub(1);
+      return Status::TransientIOError("fake transient write");
+    }
     if (!write_status_.ok()) return write_status_;
     std::lock_guard<std::mutex> lock(mu_);
     if (buffer_.size() < offset + n) buffer_.resize(offset + n);
@@ -45,6 +50,10 @@ class FakeWriteFile : public RandomWriteFile {
 
   Status Flush() override {
     flushes_.fetch_add(1);
+    if (fail_next_flushes_.load() > 0) {
+      fail_next_flushes_.fetch_sub(1);
+      return Status::TransientIOError("fake transient flush");
+    }
     return flush_status_;
   }
   Status Truncate(uint64_t size) override {
@@ -69,6 +78,10 @@ class FakeWriteFile : public RandomWriteFile {
   Status flush_status_;
   std::shared_future<void>* gate_ = nullptr;
   int delay_per_write_count_ = 0;
+  /// When > 0, the next N writes / flushes fail with a retryable
+  /// TransientIOError (consulted before write_status_ / flush_status_).
+  std::atomic<int> fail_next_writes_{0};
+  std::atomic<int> fail_next_flushes_{0};
 
  private:
   std::mutex mu_;
@@ -476,6 +489,99 @@ TEST(EngineWritebackTest, DefaultOutOfCoreRunUsesWriteback) {
   // Write-behind is on by default for out-of-core runs.
   EXPECT_EQ(stats->writeback_buffer_bytes, opt.writeback_buffer_bytes);
   EXPECT_GT(stats->bytes_written, 0u);
+}
+
+// ---- transient faults, parked failures, degradation ------------------------
+
+TEST(WritebackResilienceTest, TransientWriteFailuresRetriedInvisibly) {
+  ThreadPool io(2);
+  FakeWriteFile file;
+  file.fail_next_writes_ = 2;
+  RetryCounters counters;
+  WritebackQueue wb(&io, 1 << 20, RetryPolicy{}, &counters);
+  ASSERT_TRUE(wb.Push(&file, 0, std::string("payload")).ok());
+  ASSERT_TRUE(wb.Drain().ok());
+  EXPECT_EQ(file.buffer(), "payload");
+  EXPECT_GE(counters.io_retries.load(), 2u);
+  EXPECT_FALSE(wb.degraded());
+  EXPECT_EQ(wb.dropped_write_errors(), 0u);
+}
+
+TEST(WritebackResilienceTest, TransientFlushFailureRetriedAtDrain) {
+  ThreadPool io(2);
+  FakeWriteFile file;
+  RetryCounters counters;
+  WritebackQueue wb(&io, 1 << 20, RetryPolicy{}, &counters);
+  ASSERT_TRUE(wb.Push(&file, 0, std::string("data")).ok());
+  file.fail_next_flushes_ = 1;
+  ASSERT_TRUE(wb.Drain().ok());
+  // First flush attempt faulted, the retry succeeded.
+  EXPECT_GE(file.flushes(), 2);
+  EXPECT_GE(counters.io_retries.load(), 1u);
+}
+
+// A write that fails permanently in flight is parked with its payload; if
+// the condition clears by the next Drain barrier, the synchronous
+// re-attempt lands it and no error ever surfaces. ENOSPC additionally
+// flips the queue into degraded (inline) mode, where Push returns each
+// write's status directly instead of queueing more doomed writes.
+TEST(WritebackResilienceTest, EnospcDegradesAndParkedWriteHealsAtDrain) {
+  ThreadPool io(2);
+  FakeWriteFile file;
+  RetryCounters counters;
+  WritebackQueue wb(&io, 1 << 20, RetryPolicy{}, &counters);
+
+  file.write_status_ = Status::FromErrno("write", ENOSPC);
+  ASSERT_TRUE(wb.Push(&file, 0, std::string("hello")).ok());  // async: parks
+  for (int spin = 0; spin < 5000 && !wb.degraded(); ++spin) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_TRUE(wb.degraded());
+
+  // Degraded Push writes inline and hands the failure to the producer.
+  Status s = wb.Push(&file, 100, std::string("doomed"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.sys_errno(), ENOSPC);
+
+  // Space comes back before the barrier: the inline path works again and
+  // the parked write heals at Drain — no error surfaces at all.
+  file.write_status_ = Status::OK();
+  ASSERT_TRUE(wb.Push(&file, 100, std::string("world")).ok());
+  ASSERT_TRUE(wb.Drain().ok());
+  std::string buffer = file.buffer();
+  EXPECT_EQ(buffer.substr(0, 5), "hello");
+  EXPECT_EQ(buffer.substr(100, 5), "world");
+  EXPECT_EQ(wb.dropped_write_errors(), 0u);
+  EXPECT_TRUE(wb.degraded());  // sticky for the life of the queue
+}
+
+// Repeated permanent failures (a dead device, not ENOSPC) also degrade the
+// queue, and Drain reports the first error while counting and logging the
+// suppressed rest.
+TEST(WritebackResilienceTest, DeadQueueDegradesAndCountsSuppressedErrors) {
+  ThreadPool io(4);
+  FakeWriteFile file;
+  RetryCounters counters;
+  WritebackQueue wb(&io, 1 << 20, RetryPolicy{}, &counters);
+  file.write_status_ = Status::IOError("fake dead device");
+  constexpr int kWrites = 10;
+  for (int k = 0; k < kWrites; ++k) {
+    // Disjoint offsets so every write is issued (and fails) independently.
+    // Once the dead-queue threshold trips, Push turns inline and returns
+    // the failure directly; both outcomes keep the pressure on.
+    (void)wb.Push(&file, static_cast<uint64_t>(k) * 64, std::string(8, 'x'));
+  }
+  for (int spin = 0; spin < 5000 && !wb.degraded(); ++spin) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(wb.degraded());
+  Status s = wb.Drain();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsIOError());
+  // Every parked write re-failed at the barrier; one became the return
+  // value, the rest were suppressed (counted + logged).
+  EXPECT_GE(wb.dropped_write_errors(), 1u);
+  EXPECT_EQ(counters.dropped_write_errors.load(), wb.dropped_write_errors());
 }
 
 }  // namespace
