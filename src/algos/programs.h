@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <vector>
 
 #include "src/engine/vertex_program.h"
 
@@ -87,6 +88,10 @@ struct BfsProgram {
     return old_value != new_value;
   }
   bool InitiallyActive(VertexId v) const { return v == root; }
+  /// SeededProgram hooks (src/engine/traversal.h): everything starts at
+  /// kInfinity except the root.
+  Value DefaultValue() const { return kInfinity; }
+  std::vector<VertexId> SeedVertices() const { return {root}; }
   uint64_t StateFingerprint() const {
     return internal::FoldFingerprint(1469598103934665603ull, root);
   }
@@ -139,6 +144,9 @@ struct SsspProgram {
     return old_value != new_value;
   }
   bool InitiallyActive(VertexId v) const { return v == root; }
+  /// SeededProgram hooks (src/engine/traversal.h).
+  Value DefaultValue() const { return kInfinity; }
+  std::vector<VertexId> SeedVertices() const { return {root}; }
   uint64_t StateFingerprint() const {
     return internal::FoldFingerprint(1469598103934665603ull, root);
   }

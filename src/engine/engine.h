@@ -32,6 +32,7 @@
 #include "src/engine/checkpoint.h"
 #include "src/engine/options.h"
 #include "src/engine/strategy.h"
+#include "src/engine/traversal.h"
 #include "src/engine/vertex_program.h"
 #include "src/io/prefetcher.h"
 #include "src/io/writeback.h"
@@ -857,16 +858,9 @@ Status Engine<Program>::InitValues() {
     return Status::OK();
   }
   for (uint32_t i = 0; i < p_; ++i) {
-    const VertexId begin = m.interval_begin(i);
     const uint32_t size = m.interval_size(i);
-    std::vector<Value> init(size);
-    bool any_active = false;
-    for (uint32_t k = 0; k < size; ++k) {
-      const VertexId v = begin + k;
-      init[k] = program_.Init(v, degrees[v]);
-      any_active = any_active || program_.InitiallyActive(v);
-    }
-    active_[i] = any_active ? 1 : 0;
+    std::vector<Value> init;
+    active_[i] = InitIntervalValues(program_, m, i, degrees, &init) ? 1 : 0;
     if (i < q_) {
       old_values_[i] = std::move(init);
       acc_values_[i].assign(size, Program::Identity());

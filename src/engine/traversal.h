@@ -1,0 +1,94 @@
+// Reusable root-seeded traversal initialization, shared by Engine::Run and
+// the serving layer's point queries.
+#ifndef NXGRAPH_ENGINE_TRAVERSAL_H_
+#define NXGRAPH_ENGINE_TRAVERSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/engine/vertex_program.h"
+#include "src/graph/types.h"
+#include "src/prep/manifest.h"
+
+namespace nxgraph {
+
+/// A VertexProgram whose initial state is a constant default everywhere
+/// except a small explicit seed set (BFS and SSSP: kInfinity everywhere,
+/// 0 at the root). The contract:
+///
+///   Value DefaultValue() const;
+///     Init(v, d) == DefaultValue() for every v not in SeedVertices(),
+///     regardless of d.
+///
+///   std::vector<VertexId> SeedVertices() const;
+///     The vertices whose Init differs from the default — exactly the
+///     initially active set (InitiallyActive(v) iff v is a seed).
+///
+/// Seeded initialization lets a point query activate only the intervals
+/// containing seeds in O(|seeds|) instead of paying a full O(V) InitValues
+/// scan, and lets per-query scratch state materialize intervals lazily
+/// (fill with DefaultValue on first touch).
+template <typename P>
+concept SeededProgram = VertexProgram<P> && requires(const P p) {
+  { p.DefaultValue() } -> std::same_as<typename P::Value>;
+  { p.SeedVertices() } -> std::same_as<std::vector<VertexId>>;
+};
+
+/// Fills `values` with interval i's initial attributes and returns whether
+/// any vertex activates the interval. For a SeededProgram this is a bulk
+/// default-fill plus O(|seeds|) point writes; otherwise it is the dense
+/// per-vertex Init/InitiallyActive scan. `degrees` is indexed by global
+/// vertex id (out-degrees, or in-degrees for transpose-only stores).
+template <VertexProgram Program>
+bool InitIntervalValues(const Program& program, const Manifest& m, uint32_t i,
+                        const std::vector<uint32_t>& degrees,
+                        std::vector<typename Program::Value>* values) {
+  const VertexId begin = m.interval_begin(i);
+  const uint32_t size = m.interval_size(i);
+  if constexpr (SeededProgram<Program>) {
+    values->assign(size, program.DefaultValue());
+    bool any_active = false;
+    for (VertexId v : program.SeedVertices()) {
+      if (v < begin || v >= begin + size) continue;
+      (*values)[v - begin] = program.Init(v, degrees[v]);
+      any_active = true;
+    }
+    return any_active;
+  } else {
+    values->resize(size);
+    bool any_active = false;
+    for (uint32_t k = 0; k < size; ++k) {
+      const VertexId v = begin + k;
+      (*values)[k] = program.Init(v, degrees[v]);
+      any_active = any_active || program.InitiallyActive(v);
+    }
+    return any_active;
+  }
+}
+
+/// Initial per-interval activity bitmap (1 = active before iteration 0)
+/// without materializing any values: O(|seeds|) for a SeededProgram,
+/// O(V) dense scan otherwise.
+template <VertexProgram Program>
+std::vector<uint8_t> InitialActivity(const Program& program,
+                                     const Manifest& m) {
+  std::vector<uint8_t> active(m.num_intervals, 0);
+  if constexpr (SeededProgram<Program>) {
+    for (VertexId v : program.SeedVertices()) {
+      active[m.IntervalOf(v)] = 1;
+    }
+  } else {
+    for (uint32_t i = 0; i < m.num_intervals; ++i) {
+      const VertexId begin = m.interval_begin(i);
+      const VertexId end = begin + m.interval_size(i);
+      for (VertexId v = begin; v < end && !active[i]; ++v) {
+        if (program.InitiallyActive(v)) active[i] = 1;
+      }
+    }
+  }
+  return active;
+}
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_ENGINE_TRAVERSAL_H_

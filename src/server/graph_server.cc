@@ -1,0 +1,247 @@
+#include "src/server/graph_server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/algos/programs.h"
+
+namespace nxgraph {
+
+namespace {
+
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
+double SecondsSince(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t)
+      .count();
+}
+
+Outcome<PointResult> ExecutePoint(const PointQuery& query,
+                                  const QueryContext& ctx) {
+  Outcome<PointResult> out;
+  if (query.kind == QueryKind::kSssp) {
+    CostCappedSsspProgram program;
+    program.root = query.root;
+    if (query.limits.max_cost > 0) program.max_cost = query.limits.max_cost;
+    auto r = RunPointTraversal(program, ctx, query.limits.max_hops,
+                               query.limits.io_byte_budget);
+    out.status = std::move(r.status);
+    out.result.stats = r.result.stats;
+    out.result.vertices = std::move(r.result.vertices);
+    out.result.costs = std::move(r.result.values);
+  } else {  // kBfs and kKHop: k-hop is BFS with the hop cap as the radius
+    BfsProgram program;
+    program.root = query.root;
+    auto r = RunPointTraversal(program, ctx, query.limits.max_hops,
+                               query.limits.io_byte_budget);
+    out.status = std::move(r.status);
+    out.result.stats = r.result.stats;
+    out.result.vertices = std::move(r.result.vertices);
+    out.result.hops = std::move(r.result.values);
+  }
+  return out;
+}
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+Result<std::unique_ptr<GraphServer>> GraphServer::Open(Env* env,
+                                                       const std::string& dir,
+                                                       const Options& options) {
+  Options opts = options;
+  if (opts.num_workers < 1) opts.num_workers = 1;
+  if (opts.max_queue < 0) opts.max_queue = 0;
+  if (opts.prefetch_depth > 0 && opts.io_threads < 1) opts.io_threads = 1;
+  if (opts.io_threads < 0) opts.io_threads = 0;
+
+  std::unique_ptr<GraphServer> server(new GraphServer(env, opts));
+  NX_ASSIGN_OR_RETURN(server->store_, GraphStore::Open(env, dir));
+  server->cache_ = std::make_unique<SubShardCache>(
+      server->store_, opts.cache_budget_bytes, /*evictable=*/true);
+  server->io_pool_ = std::make_unique<ThreadPool>(opts.io_threads);
+  NX_ASSIGN_OR_RETURN(server->out_degrees_, server->store_->LoadOutDegrees());
+  if (server->store_->has_transpose()) {
+    NX_ASSIGN_OR_RETURN(server->in_degrees_, server->store_->LoadInDegrees());
+  }
+  server->started_ = std::chrono::steady_clock::now();
+  server->workers_.reserve(opts.num_workers);
+  for (int w = 0; w < opts.num_workers; ++w) {
+    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+  }
+  return server;
+}
+
+GraphServer::GraphServer(Env* env, Options options)
+    : env_(env), options_(std::move(options)), paused_(options_.start_paused) {}
+
+GraphServer::~GraphServer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  std::deque<Ticket> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+  }
+  for (Ticket& t : leftover) {
+    t.abort(Status::Aborted("GraphServer shutting down"));
+  }
+}
+
+QueryContext GraphServer::MakeContext() const {
+  QueryContext ctx;
+  ctx.store = store_.get();
+  ctx.cache = cache_.get();
+  ctx.io_pool = io_pool_.get();
+  ctx.prefetch_depth = static_cast<size_t>(options_.prefetch_depth);
+  ctx.retry = options_.retry;
+  ctx.out_degrees = &out_degrees_;
+  ctx.in_degrees = &in_degrees_;
+  return ctx;
+}
+
+void GraphServer::EnqueueTicket(std::chrono::milliseconds queue_deadline,
+                                std::function<void(double)> run,
+                                std::function<void(Status)> abort) {
+  Ticket ticket;
+  ticket.submitted = std::chrono::steady_clock::now();
+  ticket.deadline = queue_deadline.count() > 0 ? ticket.submitted + queue_deadline
+                                               : kNoDeadline;
+  ticket.run = std::move(run);
+  ticket.abort = std::move(abort);
+
+  Status reject;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+    if (stopping_) {
+      reject = Status::Aborted("GraphServer shutting down");
+    } else if (queue_.size() >= static_cast<size_t>(options_.max_queue)) {
+      ++rejected_;
+      reject = Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(options_.max_queue) +
+          " waiting queries)");
+    } else {
+      queue_.push_back(std::move(ticket));
+    }
+  }
+  if (!reject.ok()) {
+    ticket.abort(std::move(reject));
+    return;
+  }
+  cv_.notify_one();
+}
+
+void GraphServer::WorkerLoop() {
+  for (;;) {
+    Ticket ticket;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || (!paused_ && !queue_.empty()); });
+      if (stopping_) return;
+      ticket = std::move(queue_.front());
+      queue_.pop_front();
+      if (std::chrono::steady_clock::now() > ticket.deadline) {
+        ++shed_;
+        lock.unlock();
+        ticket.abort(Status::DeadlineExceeded(
+            "queue deadline passed before a worker was free"));
+        continue;
+      }
+      ++running_;
+    }
+    ticket.run(SecondsSince(ticket.submitted));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+    }
+  }
+}
+
+void GraphServer::FinishQuery(const Status& status, const QueryStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (status.ok() || (status.IsResourceExhausted() && stats.truncated)) {
+    ++completed_;
+    if (stats.truncated) ++truncated_;
+  } else {
+    ++failed_;
+  }
+  latencies_ms_.push_back((stats.queue_seconds + stats.run_seconds) * 1e3);
+}
+
+QueryFuture<PointResult> GraphServer::Submit(const PointQuery& query) {
+  QueryFuture<PointResult> future;
+  if (query.root >= store_->num_vertices()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++submitted_;
+      ++failed_;
+    }
+    future.Complete({Status::InvalidArgument(
+                         "query root " + std::to_string(query.root) +
+                         " out of range (" +
+                         std::to_string(store_->num_vertices()) + " vertices)"),
+                     {}});
+    return future;
+  }
+  EnqueueTicket(
+      query.limits.queue_deadline,
+      [this, query, future](double queue_seconds) {
+        const auto start = std::chrono::steady_clock::now();
+        Outcome<PointResult> out = ExecutePoint(query, MakeContext());
+        out.result.stats.queue_seconds = queue_seconds;
+        out.result.stats.run_seconds = SecondsSince(start);
+        FinishQuery(out.status, out.result.stats);
+        future.Complete(std::move(out));
+      },
+      [future](Status s) { future.Complete({std::move(s), {}}); });
+  return future;
+}
+
+void GraphServer::SetPaused(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = paused;
+  }
+  cv_.notify_all();
+}
+
+GraphServer::Stats GraphServer::stats() const {
+  Stats s;
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.truncated = truncated_;
+    s.rejected = rejected_;
+    s.shed = shed_;
+    s.failed = failed_;
+    s.queued = queue_.size();
+    s.running = running_;
+    sorted = latencies_ms_;
+  }
+  s.uptime_seconds = SecondsSince(started_);
+  s.qps = s.uptime_seconds > 0
+              ? static_cast<double>(s.completed) / s.uptime_seconds
+              : 0;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50_ms = Percentile(sorted, 0.50);
+  s.p95_ms = Percentile(sorted, 0.95);
+  s.p99_ms = Percentile(sorted, 0.99);
+  s.cache = cache_->counters();
+  s.cache_bytes_cached = cache_->bytes_cached();
+  const double lookups = static_cast<double>(s.cache.hits + s.cache.misses);
+  s.cache_hit_rate = lookups > 0 ? static_cast<double>(s.cache.hits) / lookups : 0;
+  return s;
+}
+
+}  // namespace nxgraph

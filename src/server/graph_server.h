@@ -1,0 +1,192 @@
+// GraphServer: a long-lived multi-tenant query server over one shared
+// GraphStore + SubShardCache + I/O stack. See docs/serving.md.
+#ifndef NXGRAPH_SERVER_GRAPH_SERVER_H_
+#define NXGRAPH_SERVER_GRAPH_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/io/env.h"
+#include "src/server/query.h"
+#include "src/server/query_runner.h"
+#include "src/storage/graph_store.h"
+#include "src/util/macros.h"
+#include "src/util/result.h"
+#include "src/util/retry.h"
+#include "src/util/thread_pool.h"
+
+namespace nxgraph {
+
+/// \brief Long-lived query server: owns one open GraphStore, one shared
+/// evictable SubShardCache, one shared I/O pool, and a fixed pool of query
+/// workers; serves many concurrent point (BFS/SSSP/k-hop) and batch
+/// queries against them.
+///
+/// Shared across queries: the store, the decoded-sub-shard cache (read
+/// pins keep a query's rows from being evicted under it), the I/O threads,
+/// and the degree arrays. Per query: all value/accumulator state, so
+/// queries never contend on vertex values and every result is bit-identical
+/// to the same query run alone (see query_runner.h).
+///
+/// Admission control: at most `num_workers` queries execute at once;
+/// beyond that, up to `max_queue` wait in FIFO order. Submissions past the
+/// queue bound are rejected immediately with ResourceExhausted, and queued
+/// queries whose queue_deadline passes before a worker picks them up are
+/// shed with DeadlineExceeded — the future always completes, nothing
+/// hangs.
+class GraphServer {
+ public:
+  struct Options {
+    /// Shared decoded-sub-shard cache budget (evictable, pin-aware).
+    uint64_t cache_budget_bytes = 256ull << 20;
+    /// Concurrent query executions (dedicated worker threads).
+    int num_workers = 4;
+    /// Queries allowed to WAIT beyond the in-flight limit before admission
+    /// rejects.
+    int max_queue = 64;
+    /// Shared I/O threads serving all queries' cache loads.
+    int io_threads = 2;
+    /// Per-query read-ahead window over the shared cache (0 = synchronous).
+    int prefetch_depth = 2;
+    /// Transient-fault retry policy for query I/O (see RunOptions::retry).
+    RetryPolicy retry;
+    /// Start with dispatch paused (test hook): submissions queue (and shed
+    /// and reject) normally but no worker picks anything up until
+    /// SetPaused(false).
+    bool start_paused = false;
+  };
+
+  /// \brief Server-level statistics (the serving analogue of RunStats).
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;  ///< includes truncated
+    uint64_t truncated = 0;  ///< completed with partial results (budget)
+    uint64_t rejected = 0;   ///< admission-rejected (queue full)
+    uint64_t shed = 0;       ///< queue_deadline passed while queued
+    uint64_t failed = 0;     ///< execution errors
+    uint64_t queued = 0;     ///< currently waiting
+    uint64_t running = 0;    ///< currently executing
+    double uptime_seconds = 0;
+    double qps = 0;          ///< completed / uptime
+    /// End-to-end latency (queue + run) percentiles over completed queries,
+    /// milliseconds. 0 when nothing completed yet.
+    double p50_ms = 0;
+    double p95_ms = 0;
+    double p99_ms = 0;
+    /// Shared-cache behavior across all queries.
+    SubShardCache::Counters cache;
+    uint64_t cache_bytes_cached = 0;
+    double cache_hit_rate = 0;  ///< hits / (hits + misses)
+  };
+
+  /// Opens the store and starts the worker/I/O pools. The Env must outlive
+  /// the server.
+  static Result<std::unique_ptr<GraphServer>> Open(Env* env,
+                                                   const std::string& dir,
+                                                   const Options& options);
+
+  /// Completes all queued queries with Aborted, then joins the workers.
+  ~GraphServer();
+  NX_DISALLOW_COPY(GraphServer);
+
+  /// Submits a point query; returns immediately. The future completes with
+  /// the result, a partial result (ResourceExhausted, stats.truncated), or
+  /// the rejection/shedding status.
+  QueryFuture<PointResult> Submit(const PointQuery& query);
+
+  /// Submits a batch-analytics program (PageRank, WCC, ...) through the
+  /// same admission/budget path as point queries.
+  template <VertexProgram Program>
+  QueryFuture<BatchResult<typename Program::Value>> SubmitBatch(
+      const Program& program, const BatchQuery& spec) {
+    using R = BatchResult<typename Program::Value>;
+    QueryFuture<R> future;
+    EnqueueTicket(
+        spec.limits.queue_deadline,
+        [this, program, spec, future](double queue_seconds) {
+          const auto start = std::chrono::steady_clock::now();
+          Outcome<R> out = RunBatchQuery(program, MakeContext(),
+                                         spec.direction, spec.max_iterations,
+                                         spec.limits.io_byte_budget);
+          out.result.stats.queue_seconds = queue_seconds;
+          out.result.stats.run_seconds =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+          FinishQuery(out.status, out.result.stats);
+          future.Complete(std::move(out));
+        },
+        [future](Status s) { future.Complete({std::move(s), {}}); });
+    return future;
+  }
+
+  /// Pauses / resumes dispatch (test hook; see Options::start_paused).
+  void SetPaused(bool paused);
+
+  Stats stats() const;
+  const GraphStore& store() const { return *store_; }
+  SubShardCache* cache() { return cache_.get(); }
+
+ private:
+  /// A queued query: `run(queue_seconds)` executes and completes the
+  /// future; `abort(status)` completes it without running (rejection,
+  /// shedding, shutdown).
+  struct Ticket {
+    std::chrono::steady_clock::time_point submitted;
+    std::chrono::steady_clock::time_point deadline;  // ::max() = none
+    std::function<void(double)> run;
+    std::function<void(Status)> abort;
+  };
+
+  GraphServer(Env* env, Options options);
+
+  QueryContext MakeContext() const;
+
+  /// Admission control: queues the ticket, or calls `abort` inline with
+  /// ResourceExhausted (queue full) / Aborted (shutting down).
+  void EnqueueTicket(std::chrono::milliseconds queue_deadline,
+                     std::function<void(double)> run,
+                     std::function<void(Status)> abort);
+
+  /// Server-side completion accounting (latency sample + counters).
+  void FinishQuery(const Status& status, const QueryStats& stats);
+
+  void WorkerLoop();
+
+  Env* env_;
+  const Options options_;
+  std::shared_ptr<GraphStore> store_;
+  std::unique_ptr<SubShardCache> cache_;
+  std::unique_ptr<ThreadPool> io_pool_;
+  std::vector<uint32_t> out_degrees_;
+  std::vector<uint32_t> in_degrees_;
+  std::chrono::steady_clock::time_point started_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Ticket> queue_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  uint64_t running_ = 0;
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t truncated_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t failed_ = 0;
+  std::vector<double> latencies_ms_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_SERVER_GRAPH_SERVER_H_

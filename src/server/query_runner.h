@@ -1,0 +1,358 @@
+// Per-query execution over the server's shared store/cache/I-O stack.
+//
+// Every query computes SINGLE-THREADED: the server's concurrency is across
+// queries, not within one, so a query's accumulation order is a fixed
+// function of the manifest (i ascending, j ascending, destination groups in
+// stored order) and its results are bit-identical whether it runs alone or
+// next to a hundred others. Sub-shards are pulled through the shared
+// SubShardCache with bounded read-ahead on the shared I/O pool; concurrent
+// queries missing on the same sub-shard share one disk load.
+#ifndef NXGRAPH_SERVER_QUERY_RUNNER_H_
+#define NXGRAPH_SERVER_QUERY_RUNNER_H_
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "src/engine/options.h"
+#include "src/engine/traversal.h"
+#include "src/engine/vertex_program.h"
+#include "src/io/prefetcher.h"
+#include "src/prep/manifest.h"
+#include "src/server/query.h"
+#include "src/storage/graph_store.h"
+#include "src/util/retry.h"
+#include "src/util/thread_pool.h"
+
+namespace nxgraph {
+
+/// \brief The shared server state one query executes against. All pointers
+/// are borrowed from the GraphServer and outlive the query.
+struct QueryContext {
+  const GraphStore* store = nullptr;
+  SubShardCache* cache = nullptr;
+  ThreadPool* io_pool = nullptr;
+  size_t prefetch_depth = 0;  ///< 0 = synchronous loads
+  RetryPolicy retry;
+  const std::vector<uint32_t>* out_degrees = nullptr;
+  /// In-degrees; empty unless the store has a transpose.
+  const std::vector<uint32_t>* in_degrees = nullptr;
+};
+
+/// \brief Sparse traversal output: reached vertices (ascending id) and
+/// their final values. Value must be equality-comparable — "reached" means
+/// value != program.DefaultValue().
+template <typename V>
+struct SparseTraversalResult {
+  std::vector<VertexId> vertices;
+  std::vector<V> values;
+  QueryStats stats;
+};
+
+/// \brief SSSP with a path-cost cap: contributions costlier than max_cost
+/// are pruned, so capped vertices report unreachable. With the default cap
+/// (+inf) this is exactly SsspProgram.
+struct CostCappedSsspProgram {
+  using Value = float;
+  static constexpr Value kInfinity = std::numeric_limits<Value>::infinity();
+  static constexpr bool kMonotoneSkippable = true;
+
+  VertexId root = 0;
+  float max_cost = kInfinity;
+
+  Value Init(VertexId v, uint32_t) const { return v == root ? 0.0f : kInfinity; }
+  static Value Identity() { return kInfinity; }
+  Value Gather(const EdgeContext& e, const Value& src_value) const {
+    if (src_value == kInfinity) return kInfinity;
+    const float cost = src_value + e.weight;
+    return cost > max_cost ? kInfinity : cost;
+  }
+  static Value Accumulate(const Value& a, const Value& b) {
+    return a < b ? a : b;
+  }
+  Value Apply(VertexId, const Value& acc, const Value& old_value) const {
+    return acc < old_value ? acc : old_value;
+  }
+  bool Changed(const Value& old_value, const Value& new_value) const {
+    return old_value != new_value;
+  }
+  bool InitiallyActive(VertexId v) const { return v == root; }
+  Value DefaultValue() const { return kInfinity; }
+  std::vector<VertexId> SeedVertices() const { return {root}; }
+};
+
+namespace server_internal {
+
+/// One planned sub-shard visit of a propagation round.
+struct Visit {
+  bool transpose;
+  uint32_t i;
+  uint32_t j;
+};
+
+/// Plans one round's visits in the fixed deterministic order (direction,
+/// then i ascending, then j ascending), charging each non-empty sub-shard's
+/// encoded size against the byte budget. Charging is independent of cache
+/// residency, so the plan — including the truncation point — depends only
+/// on the query. Returns false (and stops planning) once the budget cannot
+/// fund the next sub-shard.
+inline bool PlanRound(const Manifest& m, const std::vector<uint8_t>& active,
+                      bool skip_inactive, bool use_forward, bool use_transpose,
+                      uint64_t budget, uint64_t* charged,
+                      std::vector<Visit>* visits) {
+  visits->clear();
+  for (int dir = 0; dir < 2; ++dir) {
+    const bool transpose = dir == 1;
+    if (transpose ? !use_transpose : !use_forward) continue;
+    for (uint32_t i = 0; i < m.num_intervals; ++i) {
+      if (skip_inactive && !active[i]) continue;
+      for (uint32_t j = 0; j < m.num_intervals; ++j) {
+        const SubShardMeta& meta = m.subshard(i, j, transpose);
+        if (meta.num_edges == 0) continue;
+        if (budget > 0 && *charged + meta.size > budget) return false;
+        *charged += meta.size;
+        visits->push_back({transpose, i, j});
+      }
+    }
+  }
+  return true;
+}
+
+/// Accumulates one sub-shard's contributions. `ensure_acc(j)` materializes
+/// the destination interval's Identity-filled accumulator on the first
+/// contribution that Changed from Identity (for monotone programs, whole
+/// intervals that receive nothing never allocate).
+template <VertexProgram Program, typename EnsureAcc>
+void AccumulateSubShard(const Program& program, const SubShard& ss,
+                        const typename Program::Value* src_vals,
+                        VertexId src_base, VertexId dst_base,
+                        const std::vector<uint32_t>& degrees,
+                        std::vector<typename Program::Value>* acc,
+                        EnsureAcc ensure_acc) {
+  using Value = typename Program::Value;
+  const bool weighted = !ss.weights.empty();
+  for (size_t g = 0; g < ss.dsts.size(); ++g) {
+    const VertexId dst = ss.dsts[g];
+    Value a = Program::Identity();
+    for (uint32_t k = ss.offsets[g]; k < ss.offsets[g + 1]; ++k) {
+      const VertexId src = ss.srcs[k];
+      const EdgeContext edge{src, dst, weighted ? ss.weights[k] : 1.0f,
+                             degrees[src]};
+      a = Program::Accumulate(a, program.Gather(edge, src_vals[src - src_base]));
+    }
+    if (!program.Changed(Program::Identity(), a)) continue;
+    if (acc->empty()) ensure_acc();
+    Value& slot = (*acc)[dst - dst_base];
+    slot = Program::Accumulate(slot, a);
+  }
+}
+
+inline Status TruncatedStatus(uint64_t budget) {
+  return Status::ResourceExhausted(
+      "io byte budget exhausted (" + std::to_string(budget) +
+      " bytes); partial result returned");
+}
+
+}  // namespace server_internal
+
+/// \brief Runs a root-seeded point traversal (BFS / SSSP / k-hop) to
+/// convergence, the hop cap, or budget exhaustion. Value state is lazy:
+/// intervals the traversal never reaches are never allocated, and the
+/// initial activity is O(|seeds|) (src/engine/traversal.h) — a point query
+/// on a quiet corner of the graph touches a handful of intervals, not V.
+///
+/// Semantics are the engine's synchronous (Jacobi) model: one round
+/// accumulates over all planned sub-shards from the previous round's
+/// values, then applies. `max_rounds` caps propagation (BFS: every vertex
+/// within max_rounds hops is final); <= 0 runs to convergence.
+template <SeededProgram Program>
+Outcome<SparseTraversalResult<typename Program::Value>> RunPointTraversal(
+    const Program& program, const QueryContext& ctx, int max_rounds,
+    uint64_t io_byte_budget) {
+  using Value = typename Program::Value;
+  Outcome<SparseTraversalResult<Value>> out;
+  const Manifest& m = ctx.store->manifest();
+  const uint32_t p = m.num_intervals;
+  const std::vector<uint32_t>& degrees = *ctx.out_degrees;
+  QueryStats& stats = out.result.stats;
+
+  std::vector<uint8_t> active = InitialActivity(program, m);
+  std::vector<std::vector<Value>> values(p);
+  auto ensure_values = [&](uint32_t i) {
+    if (values[i].empty()) InitIntervalValues(program, m, i, degrees, &values[i]);
+  };
+  // The seeds are part of the result even if the budget funds no I/O at
+  // all (a zero-budget BFS still reports its root at hop 0).
+  for (VertexId v : program.SeedVertices()) ensure_values(m.IntervalOf(v));
+
+  bool truncated = false;
+  std::vector<server_internal::Visit> visits;
+  for (int round = 1; max_rounds <= 0 || round <= max_rounds; ++round) {
+    truncated = !server_internal::PlanRound(
+        m, active, /*skip_inactive=*/Program::kMonotoneSkippable,
+        /*use_forward=*/true, /*use_transpose=*/false, io_byte_budget,
+        &stats.bytes_charged, &visits);
+    if (visits.empty()) break;  // converged, or nothing left the budget funds
+    stats.iterations = round;
+
+    PrefetchStream<SubShardCache::Pin> pins(ctx.io_pool, nullptr,
+                                            ctx.prefetch_depth, ctx.retry);
+    for (const auto& v : visits) {
+      pins.Push([cache = ctx.cache, v]() -> Result<SubShardCache::Pin> {
+        return cache->GetPinned(v.i, v.j, v.transpose);
+      });
+    }
+    std::vector<std::vector<Value>> acc(p);
+    for (const auto& v : visits) {
+      Result<SubShardCache::Pin> pin = pins.Next();
+      if (!pin.ok()) {
+        out.status = pin.status();
+        return out;
+      }
+      ++stats.subshards_visited;
+      ensure_values(v.i);
+      server_internal::AccumulateSubShard(
+          program, **pin, values[v.i].data(), m.interval_begin(v.i),
+          m.interval_begin(v.j), degrees, &acc[v.j],
+          [&] { acc[v.j].assign(m.interval_size(v.j), Program::Identity()); });
+    }
+
+    bool any_next = false;
+    std::vector<uint8_t> next_active(p, 0);
+    for (uint32_t j = 0; j < p; ++j) {
+      if (acc[j].empty()) continue;
+      ensure_values(j);
+      const VertexId begin = m.interval_begin(j);
+      bool changed = false;
+      for (uint32_t k = 0; k < values[j].size(); ++k) {
+        const Value old = values[j][k];
+        const Value next = program.Apply(begin + k, acc[j][k], old);
+        if (program.Changed(old, next)) changed = true;
+        values[j][k] = next;
+      }
+      next_active[j] = changed ? 1 : 0;
+      any_next = any_next || changed;
+    }
+    active.swap(next_active);
+    if (truncated || !any_next) break;
+  }
+
+  stats.truncated = truncated;
+  const Value dflt = program.DefaultValue();
+  for (uint32_t i = 0; i < p; ++i) {
+    if (values[i].empty()) continue;
+    const VertexId begin = m.interval_begin(i);
+    for (uint32_t k = 0; k < values[i].size(); ++k) {
+      if (values[i][k] == dflt) continue;
+      out.result.vertices.push_back(begin + k);
+      out.result.values.push_back(values[i][k]);
+    }
+  }
+  out.status = truncated ? server_internal::TruncatedStatus(io_byte_budget)
+                         : Status::OK();
+  return out;
+}
+
+/// \brief Runs a batch-analytics program (the Engine::Run workloads) over
+/// the server's SHARED cache instead of a private engine stack — dense
+/// per-query values, the same Jacobi rounds, and the same deterministic
+/// order as RunPointTraversal. `max_iterations <= 0` runs until every
+/// interval goes inactive.
+template <VertexProgram Program>
+Outcome<BatchResult<typename Program::Value>> RunBatchQuery(
+    const Program& program, const QueryContext& ctx, EdgeDirection direction,
+    int max_iterations, uint64_t io_byte_budget) {
+  using Value = typename Program::Value;
+  Outcome<BatchResult<Value>> out;
+  const Manifest& m = ctx.store->manifest();
+  const uint32_t p = m.num_intervals;
+  const bool use_forward = direction != EdgeDirection::kTranspose;
+  const bool use_transpose = direction != EdgeDirection::kForward;
+  QueryStats& stats = out.result.stats;
+
+  if (use_transpose && !ctx.store->has_transpose()) {
+    out.status = Status::InvalidArgument(
+        "batch query needs transpose edges but the store has none");
+    return out;
+  }
+  const std::vector<uint32_t>& fwd_degrees = *ctx.out_degrees;
+  const std::vector<uint32_t>& t_degrees =
+      use_transpose ? *ctx.in_degrees : *ctx.out_degrees;
+
+  std::vector<uint8_t> active(p, 0);
+  std::vector<std::vector<Value>> values(p);
+  for (uint32_t i = 0; i < p; ++i) {
+    active[i] =
+        InitIntervalValues(program, m, i, fwd_degrees, &values[i]) ? 1 : 0;
+  }
+
+  bool truncated = false;
+  std::vector<server_internal::Visit> visits;
+  for (int iter = 1; max_iterations <= 0 || iter <= max_iterations; ++iter) {
+    bool any_active = false;
+    for (uint32_t i = 0; i < p; ++i) any_active = any_active || active[i];
+    if (!any_active) break;
+
+    truncated = !server_internal::PlanRound(
+        m, active, /*skip_inactive=*/Program::kMonotoneSkippable, use_forward,
+        use_transpose, io_byte_budget, &stats.bytes_charged, &visits);
+    if (visits.empty()) break;
+    stats.iterations = iter;
+
+    PrefetchStream<SubShardCache::Pin> pins(ctx.io_pool, nullptr,
+                                            ctx.prefetch_depth, ctx.retry);
+    for (const auto& v : visits) {
+      pins.Push([cache = ctx.cache, v]() -> Result<SubShardCache::Pin> {
+        return cache->GetPinned(v.i, v.j, v.transpose);
+      });
+    }
+    // Dense accumulators: non-monotone programs (PageRank) need Apply on
+    // every vertex each iteration, contributions or not.
+    std::vector<std::vector<Value>> acc(p);
+    for (uint32_t j = 0; j < p; ++j) {
+      acc[j].assign(m.interval_size(j), Program::Identity());
+    }
+    for (const auto& v : visits) {
+      Result<SubShardCache::Pin> pin = pins.Next();
+      if (!pin.ok()) {
+        out.status = pin.status();
+        return out;
+      }
+      ++stats.subshards_visited;
+      server_internal::AccumulateSubShard(
+          program, **pin, values[v.i].data(), m.interval_begin(v.i),
+          m.interval_begin(v.j), v.transpose ? t_degrees : fwd_degrees,
+          &acc[v.j], [] {});
+    }
+
+    bool any_next = false;
+    for (uint32_t j = 0; j < p; ++j) {
+      const VertexId begin = m.interval_begin(j);
+      bool changed = false;
+      for (uint32_t k = 0; k < values[j].size(); ++k) {
+        const Value old = values[j][k];
+        const Value next = program.Apply(begin + k, acc[j][k], old);
+        if (program.Changed(old, next)) changed = true;
+        values[j][k] = next;
+      }
+      active[j] = changed ? 1 : 0;
+      any_next = any_next || changed;
+    }
+    if (truncated || !any_next) break;
+  }
+
+  stats.truncated = truncated;
+  out.result.values.reserve(m.num_vertices);
+  for (uint32_t i = 0; i < p; ++i) {
+    out.result.values.insert(out.result.values.end(), values[i].begin(),
+                             values[i].end());
+  }
+  out.status = truncated ? server_internal::TruncatedStatus(io_byte_budget)
+                         : Status::OK();
+  return out;
+}
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_SERVER_QUERY_RUNNER_H_

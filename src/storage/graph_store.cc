@@ -175,8 +175,10 @@ uint64_t GraphStore::TotalSubShardBytes(bool transpose) const {
 }
 
 SubShardCache::SubShardCache(std::shared_ptr<const GraphStore> store,
-                             uint64_t budget_bytes)
-    : store_(std::move(store)), budget_bytes_(budget_bytes) {}
+                             uint64_t budget_bytes, bool evictable)
+    : store_(std::move(store)),
+      budget_bytes_(budget_bytes),
+      evictable_(evictable) {}
 
 uint64_t SubShardCache::bytes_cached() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -188,9 +190,91 @@ uint64_t SubShardCache::bytes_loaded_from_disk() const {
   return bytes_loaded_;
 }
 
+SubShardCache::Counters SubShardCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+bool SubShardCache::Contains(uint32_t i, uint32_t j, bool transpose) const {
+  const uint64_t p = store_->num_intervals();
+  const uint64_t key = ((transpose ? p : 0) + i) * p + j;
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.find(key) != cache_.end();
+}
+
+void SubShardCache::Pin::Release() {
+  if (cache_ != nullptr) {
+    cache_->Unpin(key_);
+    cache_ = nullptr;
+  }
+}
+
+void SubShardCache::Unpin(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  // A pinned entry cannot be evicted and Clear skips pinned entries, so
+  // the entry is present for as long as any pin on it lives.
+  if (it != cache_.end() && it->second.pins > 0) --it->second.pins;
+}
+
+bool SubShardCache::MakeRoomLocked(uint64_t bytes) {
+  if (bytes_cached_ + bytes <= budget_bytes_) return true;
+  if (!evictable_) return false;
+  while (bytes_cached_ + bytes > budget_bytes_) {
+    auto victim = cache_.end();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (it->second.pins > 0) continue;
+      if (victim == cache_.end() ||
+          it->second.lru_tick < victim->second.lru_tick) {
+        victim = it;
+      }
+    }
+    if (victim == cache_.end()) return false;  // everything left is pinned
+    const uint64_t victim_bytes = victim->second.subshard->MemoryBytes();
+    bytes_cached_ -= victim_bytes;
+    counters_.evicted_bytes += victim_bytes;
+    ++counters_.evictions;
+    cache_.erase(victim);
+  }
+  return true;
+}
+
+bool SubShardCache::InsertAndMaybePinLocked(
+    uint64_t key, const std::shared_ptr<const SubShard>& ss, bool pin) {
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    const uint64_t bytes = ss->MemoryBytes();
+    if (!MakeRoomLocked(bytes)) return false;
+    it = cache_.emplace(key, Entry{ss, 0, 0}).first;
+    bytes_cached_ += bytes;
+    counters_.inserted_bytes += bytes;
+  }
+  it->second.lru_tick = ++lru_clock_;
+  if (pin) ++it->second.pins;
+  return true;
+}
+
 Result<std::shared_ptr<const SubShard>> SubShardCache::Get(uint32_t i,
                                                            uint32_t j,
                                                            bool transpose) {
+  return GetImpl(i, j, transpose, /*pin=*/false, nullptr);
+}
+
+Result<SubShardCache::Pin> SubShardCache::GetPinned(uint32_t i, uint32_t j,
+                                                    bool transpose) {
+  Pin pin;
+  auto ss = GetImpl(i, j, transpose, /*pin=*/true, &pin);
+  if (!ss.ok()) return ss.status();
+  if (!pin.pinned()) {
+    // The load could not be (or stay) cached: hand the data back as a
+    // transient copy with no eviction pin attached.
+    return Pin(nullptr, 0, std::move(*ss));
+  }
+  return pin;
+}
+
+Result<std::shared_ptr<const SubShard>> SubShardCache::GetImpl(
+    uint32_t i, uint32_t j, bool transpose, bool pin, Pin* out_pin) {
   const uint64_t p = store_->num_intervals();
   const uint64_t key = ((transpose ? p : 0) + i) * p + j;
   std::shared_ptr<InFlight> flight;
@@ -198,7 +282,16 @@ Result<std::shared_ptr<const SubShard>> SubShardCache::Get(uint32_t i,
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      ++counters_.hits;
+      it->second.lru_tick = ++lru_clock_;
+      if (pin) {
+        ++it->second.pins;
+        *out_pin = Pin(this, key, it->second.subshard);
+      }
+      return it->second.subshard;
+    }
+    ++counters_.misses;
     auto [fit, inserted] = inflight_.try_emplace(key);
     if (inserted) {
       fit->second = std::make_shared<InFlight>();
@@ -210,10 +303,26 @@ Result<std::shared_ptr<const SubShard>> SubShardCache::Get(uint32_t i,
   if (!leader) {
     // Another thread is already reading this blob; share its load instead
     // of issuing a duplicate read and discarding one copy.
-    std::unique_lock<std::mutex> lock(flight->mu);
-    flight->cv.wait(lock, [&] { return flight->done; });
-    if (!flight->status.ok()) return flight->status;
-    return flight->subshard;
+    std::shared_ptr<const SubShard> ss;
+    {
+      std::unique_lock<std::mutex> lock(flight->mu);
+      flight->cv.wait(lock, [&] { return flight->done; });
+      if (!flight->status.ok()) return flight->status;
+      ss = flight->subshard;
+    }
+    if (pin) {
+      // Re-pin against whatever the leader left in the map. The entry may
+      // already be gone (evicted, or never inserted) — then the shared
+      // load is handed over as a transient copy.
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        it->second.lru_tick = ++lru_clock_;
+        ++it->second.pins;
+        *out_pin = Pin(this, key, it->second.subshard);
+      }
+    }
+    return ss;
   }
 
   // Leader path: disk I/O and decode run without holding mu_.
@@ -229,13 +338,12 @@ Result<std::shared_ptr<const SubShard>> SubShardCache::Get(uint32_t i,
     std::lock_guard<std::mutex> lock(mu_);
     inflight_.erase(key);
     if (ss != nullptr) {
-      const uint64_t bytes = ss->MemoryBytes();
-      bytes_loaded_ += bytes;
+      bytes_loaded_ += ss->MemoryBytes();
       // A warm-up Put may have landed this key while the load was in
-      // flight; only account bytes for an insert that actually happened.
-      if (bytes_cached_ + bytes <= budget_bytes_ &&
-          cache_.emplace(key, ss).second) {
-        bytes_cached_ += bytes;
+      // flight; InsertAndMaybePinLocked only accounts an insert that
+      // actually happened (and pins the resident entry either way).
+      if (InsertAndMaybePinLocked(key, ss, pin) && pin) {
+        *out_pin = Pin(this, key, ss);
       }
     }
   }
@@ -254,18 +362,21 @@ void SubShardCache::Put(uint32_t i, uint32_t j, bool transpose,
                         std::shared_ptr<const SubShard> subshard) {
   const uint64_t p = store_->num_intervals();
   const uint64_t key = ((transpose ? p : 0) + i) * p + j;
-  const uint64_t bytes = subshard->MemoryBytes();
   std::lock_guard<std::mutex> lock(mu_);
-  if (bytes_cached_ + bytes <= budget_bytes_ &&
-      cache_.emplace(key, std::move(subshard)).second) {
-    bytes_cached_ += bytes;
-  }
+  if (cache_.find(key) != cache_.end()) return;
+  InsertAndMaybePinLocked(key, subshard, /*pin=*/false);
 }
 
 void SubShardCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  cache_.clear();
-  bytes_cached_ = 0;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->second.pins > 0) {
+      ++it;
+      continue;
+    }
+    bytes_cached_ -= it->second.subshard->MemoryBytes();
+    it = cache_.erase(it);
+  }
 }
 
 }  // namespace nxgraph

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/io/env.h"
@@ -104,21 +105,105 @@ class GraphStore {
 
 /// \brief Byte-budgeted cache of decoded sub-shards ("if there are still
 /// memory budget left, sub-shards will also be actively loaded from disk to
-/// memory", §III-B1). Fill-once: entries are pinned until Clear().
+/// memory", §III-B1).
+///
+/// Two residency policies share this implementation:
+///
+///   fill-once (default, the engine's policy) — entries stay until Clear();
+///   an over-budget load is returned as a transient copy and never
+///   displaces a cached entry. ChooseStrategy sizes the budget so eviction
+///   would never fire anyway.
+///
+///   evictable (the serving policy) — when an insert does not fit, the
+///   least-recently-used UNPINNED entries are evicted to make room. Entries
+///   a concurrent query holds a Pin on are never evicted, so one
+///   scan-heavy query cannot displace the rows another query is actively
+///   reading. If pins leave no room, the load degrades to a transient copy
+///   exactly like the fill-once path.
 ///
 /// Thread-safe. Concurrent misses on the same key share a single disk load
 /// (per-key in-flight tracking), and no lock is held during disk I/O.
+/// Returned shared_ptrs (and Pins) keep the decoded data alive regardless
+/// of later eviction — eviction only affects cache accounting, never
+/// lifetime.
 class SubShardCache {
  public:
+  /// Monotonic hit/miss/byte counters (relaxed snapshots; exposed as
+  /// server-level stats). hits + misses equals the total number of Get /
+  /// GetPinned calls: a call served from the map is a hit, everything else
+  /// — leader load or waiting on another caller's in-flight load — is a
+  /// miss. bytes_cached == inserted_bytes - evicted_bytes at all times
+  /// (Clear resets bytes_cached and is not counted as eviction).
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserted_bytes = 0;
+    uint64_t evicted_bytes = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// \brief RAII shared read pin: while alive, the pinned entry cannot be
+  /// evicted. Movable, not copyable; destruction (or Release) unpins. A
+  /// Pin over a load that could not be cached (over budget, everything
+  /// else pinned) still carries the sub-shard as a transient copy —
+  /// callers never need to distinguish. Pins must not outlive the cache.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& o) noexcept { *this = std::move(o); }
+    Pin& operator=(Pin&& o) noexcept {
+      if (this != &o) {
+        Release();
+        cache_ = o.cache_;
+        key_ = o.key_;
+        subshard_ = std::move(o.subshard_);
+        o.cache_ = nullptr;
+        o.subshard_.reset();
+      }
+      return *this;
+    }
+    ~Pin() { Release(); }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
+    const SubShard& operator*() const { return *subshard_; }
+    const SubShard* operator->() const { return subshard_.get(); }
+    const std::shared_ptr<const SubShard>& subshard() const {
+      return subshard_;
+    }
+    /// True when this handle actually holds an eviction pin (as opposed to
+    /// a transient, uncached copy).
+    bool pinned() const { return cache_ != nullptr; }
+    /// Drops the pin (idempotent); the sub-shard data stays alive through
+    /// the shared_ptr until the handle itself dies.
+    void Release();
+
+   private:
+    friend class SubShardCache;
+    Pin(SubShardCache* cache, uint64_t key,
+        std::shared_ptr<const SubShard> subshard)
+        : cache_(cache), key_(key), subshard_(std::move(subshard)) {}
+
+    SubShardCache* cache_ = nullptr;
+    uint64_t key_ = 0;
+    std::shared_ptr<const SubShard> subshard_;
+  };
+
   /// `budget_bytes` bounds the sum of decoded sub-shard footprints.
+  /// `evictable` selects the serving policy described above.
   explicit SubShardCache(std::shared_ptr<const GraphStore> store,
-                         uint64_t budget_bytes);
+                         uint64_t budget_bytes, bool evictable = false);
 
   /// Returns the cached sub-shard, loading (and caching if budget allows)
   /// on miss. Never fails into the cache: over-budget loads are returned
   /// as transient copies.
   Result<std::shared_ptr<const SubShard>> Get(uint32_t i, uint32_t j,
                                               bool transpose = false);
+
+  /// Get plus a shared read pin on the entry (see Pin). Concurrent pins on
+  /// one entry stack; the entry stays evictable again once every pin is
+  /// released.
+  Result<Pin> GetPinned(uint32_t i, uint32_t j, bool transpose = false);
 
   /// Inserts a sub-shard decoded externally (the engine's first-iteration
   /// warm-up loads whole rows through the prefetch pipeline and deposits
@@ -133,6 +218,14 @@ class SubShardCache {
   /// shared by concurrent callers counts once).
   uint64_t bytes_loaded_from_disk() const;
 
+  /// Snapshot of the hit/miss/insert/evict counters.
+  Counters counters() const;
+
+  /// Whether the key is currently resident (test/diagnostic hook).
+  bool Contains(uint32_t i, uint32_t j, bool transpose = false) const;
+
+  /// Drops every UNPINNED entry (for the engine, which never pins, this is
+  /// a full reset). Not counted as eviction.
   void Clear();
 
  private:
@@ -146,13 +239,41 @@ class SubShardCache {
     std::shared_ptr<const SubShard> subshard;
   };
 
+  struct Entry {
+    std::shared_ptr<const SubShard> subshard;
+    uint32_t pins = 0;
+    uint64_t lru_tick = 0;
+  };
+
+  /// Shared implementation of Get / GetPinned. When `pin` is set and the
+  /// entry is (still) resident after the load, `*out_pin` receives the
+  /// pinned handle; otherwise the caller wraps the bare shared_ptr.
+  Result<std::shared_ptr<const SubShard>> GetImpl(uint32_t i, uint32_t j,
+                                                  bool transpose, bool pin,
+                                                  Pin* out_pin);
+
+  /// mu_ held. True when `bytes` fit within the budget, evicting
+  /// least-recently-used unpinned entries first if the policy allows.
+  bool MakeRoomLocked(uint64_t bytes);
+
+  /// mu_ held. Inserts (if room) and optionally pins; returns whether the
+  /// key is resident afterwards.
+  bool InsertAndMaybePinLocked(uint64_t key,
+                               const std::shared_ptr<const SubShard>& ss,
+                               bool pin);
+
+  void Unpin(uint64_t key);
+
   std::shared_ptr<const GraphStore> store_;
   uint64_t budget_bytes_;
+  const bool evictable_;
   uint64_t bytes_cached_ = 0;
   uint64_t bytes_loaded_ = 0;
+  uint64_t lru_clock_ = 0;
+  Counters counters_;
   mutable std::mutex mu_;
   // Key: ((transpose * P) + i) * P + j.
-  std::unordered_map<uint64_t, std::shared_ptr<const SubShard>> cache_;
+  std::unordered_map<uint64_t, Entry> cache_;
   std::unordered_map<uint64_t, std::shared_ptr<InFlight>> inflight_;
 };
 

@@ -24,6 +24,10 @@ const char* CodeName(Status::Code code) {
       return "Aborted";
     case Status::Code::kOutOfMemory:
       return "OutOfMemory";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

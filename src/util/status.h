@@ -32,6 +32,8 @@ class Status {
     kNotSupported = 5,
     kAborted = 6,
     kOutOfMemory = 7,
+    kResourceExhausted = 8,
+    kDeadlineExceeded = 9,
   };
 
   /// Creates an OK (success) status.
@@ -58,6 +60,16 @@ class Status {
   }
   static Status OutOfMemory(std::string msg) {
     return Status(Code::kOutOfMemory, std::move(msg));
+  }
+  /// A bounded resource (admission queue slot, per-query I/O byte budget)
+  /// ran out. Not retryable by definition: the caller must shed load or
+  /// raise the budget, re-issuing the identical operation cannot help.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  /// The operation's deadline passed before it could run to completion.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   /// I/O error already known to be transient (retry may succeed).
@@ -94,6 +106,12 @@ class Status {
   bool IsNotSupported() const { return code() == Code::kNotSupported; }
   bool IsAborted() const { return code() == Code::kAborted; }
   bool IsOutOfMemory() const { return code() == Code::kOutOfMemory; }
+  bool IsResourceExhausted() const {
+    return code() == Code::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == Code::kDeadlineExceeded;
+  }
 
   Code code() const { return rep_ ? rep_->code : Code::kOk; }
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -177,6 +178,131 @@ TEST(SubShardCacheTest, PutRespectsBudget) {
   cache.Put(0, 0, false,
             std::make_shared<const SubShard>(std::move(loaded).value()));
   EXPECT_EQ(cache.bytes_cached(), 0u);  // over budget: dropped
+}
+
+// Decoded footprint of one sub-shard, for sizing eviction tests exactly.
+uint64_t SubShardBytes(const testing::MemStore& ms, uint32_t i, uint32_t j) {
+  auto ss = ms.store->LoadSubShard(i, j);
+  NX_CHECK(ss.ok());
+  return ss->MemoryBytes();
+}
+
+TEST(SubShardCacheTest, EvictableCacheEvictsLeastRecentlyUsed) {
+  EdgeList edges = testing::RandomGraph(100, 2000, 14);
+  auto ms = testing::BuildMemStore(edges, 2);
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < 2; ++i)
+    for (uint32_t j = 0; j < 2; ++j) total += SubShardBytes(ms, i, j);
+  // One byte short of everything: caching the fourth sub-shard must evict
+  // exactly the least-recently-used one.
+  SubShardCache cache(ms.store, total - 1, /*evictable=*/true);
+  ASSERT_TRUE(cache.Get(0, 0).ok());
+  ASSERT_TRUE(cache.Get(0, 1).ok());
+  ASSERT_TRUE(cache.Get(1, 0).ok());
+  ASSERT_TRUE(cache.Get(1, 1).ok());
+  EXPECT_FALSE(cache.Contains(0, 0));  // LRU victim
+  EXPECT_TRUE(cache.Contains(0, 1));
+  EXPECT_TRUE(cache.Contains(1, 0));
+  EXPECT_TRUE(cache.Contains(1, 1));
+  const SubShardCache::Counters c = cache.counters();
+  EXPECT_EQ(c.evictions, 1u);
+  EXPECT_EQ(c.evicted_bytes, SubShardBytes(ms, 0, 0));
+  EXPECT_EQ(cache.bytes_cached(), c.inserted_bytes - c.evicted_bytes);
+
+  // A hit refreshes recency: touch (0, 1), then force another eviction —
+  // the victim must now be (1, 0), not the freshly-touched entry.
+  ASSERT_TRUE(cache.Get(0, 1).ok());
+  ASSERT_TRUE(cache.Get(0, 0).ok());
+  EXPECT_TRUE(cache.Contains(0, 1));
+  EXPECT_FALSE(cache.Contains(1, 0));
+}
+
+TEST(SubShardCacheTest, PinnedEntriesCannotBeEvicted) {
+  EdgeList edges = testing::RandomGraph(100, 2000, 15);
+  auto ms = testing::BuildMemStore(edges, 2);
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < 2; ++i)
+    for (uint32_t j = 0; j < 2; ++j) total += SubShardBytes(ms, i, j);
+  SubShardCache cache(ms.store, total - 1, /*evictable=*/true);
+  auto pin = cache.GetPinned(0, 0);
+  ASSERT_TRUE(pin.ok());
+  ASSERT_TRUE(pin->pinned());
+  ASSERT_TRUE(cache.Get(0, 1).ok());
+  ASSERT_TRUE(cache.Get(1, 0).ok());
+  // (0, 0) is the LRU entry but holds a pin: eviction must pass over it
+  // and take (0, 1) instead.
+  ASSERT_TRUE(cache.Get(1, 1).ok());
+  EXPECT_TRUE(cache.Contains(0, 0));
+  EXPECT_FALSE(cache.Contains(0, 1));
+  // Clear also skips pinned entries...
+  cache.Clear();
+  EXPECT_TRUE(cache.Contains(0, 0));
+  EXPECT_EQ(cache.bytes_cached(), SubShardBytes(ms, 0, 0));
+  // ...until the pin is released.
+  pin.value().Release();
+  cache.Clear();
+  EXPECT_FALSE(cache.Contains(0, 0));
+  EXPECT_EQ(cache.bytes_cached(), 0u);
+}
+
+TEST(SubShardCacheTest, CountersTrackHitsMissesAndBytes) {
+  EdgeList edges = testing::RandomGraph(100, 2000, 16);
+  auto ms = testing::BuildMemStore(edges, 2);
+  SubShardCache cache(ms.store, UINT64_MAX, /*evictable=*/true);
+  ASSERT_TRUE(cache.Get(0, 0).ok());        // miss
+  ASSERT_TRUE(cache.Get(0, 0).ok());        // hit
+  ASSERT_TRUE(cache.GetPinned(0, 1).ok());  // miss
+  ASSERT_TRUE(cache.GetPinned(0, 1).ok());  // hit
+  const SubShardCache::Counters c = cache.counters();
+  EXPECT_EQ(c.hits, 2u);
+  EXPECT_EQ(c.misses, 2u);
+  EXPECT_EQ(c.evictions, 0u);
+  EXPECT_EQ(c.inserted_bytes, cache.bytes_cached());
+  EXPECT_EQ(cache.bytes_cached(),
+            SubShardBytes(ms, 0, 0) + SubShardBytes(ms, 0, 1));
+}
+
+// The serving regime: many threads pulling pinned sub-shards through one
+// under-budgeted evictable cache. Every returned pin must carry valid data
+// regardless of concurrent eviction, and the counters must balance. Run
+// under TSan in CI's serving job.
+TEST(SubShardCacheTest, ConcurrentPinnedAccessUnderEviction) {
+  EdgeList edges = testing::RandomGraph(200, 4000, 17);
+  auto ms = testing::BuildMemStore(edges, 4);
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < 4; ++i)
+    for (uint32_t j = 0; j < 4; ++j) total += SubShardBytes(ms, i, j);
+  // Roughly a quarter of the working set fits: constant eviction pressure.
+  SubShardCache cache(ms.store, total / 4, /*evictable=*/true);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 60;
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &failures, t] {
+      uint32_t state = 0x9e3779b9u * static_cast<uint32_t>(t + 1);
+      for (int n = 0; n < kIters; ++n) {
+        state = state * 1664525u + 1013904223u;
+        const uint32_t i = (state >> 8) % 4;
+        const uint32_t j = (state >> 16) % 4;
+        auto pin = cache.GetPinned(i, j);
+        if (!pin.ok() || pin->subshard() == nullptr) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // Touch the pinned data; eviction must never invalidate it.
+        const SubShard& ss = **pin;
+        if (ss.offsets.size() != ss.dsts.size() + 1) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0u);
+  const SubShardCache::Counters c = cache.counters();
+  EXPECT_EQ(c.hits + c.misses,
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(cache.bytes_cached(), c.inserted_bytes - c.evicted_bytes);
+  EXPECT_LE(cache.bytes_cached(), total / 4);
 }
 
 TEST(GraphStoreTest, PerBlobVerifyMaskControlsChecksums) {

@@ -1,0 +1,310 @@
+#include "src/server/graph_server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/algos/programs.h"
+#include "src/algos/reference.h"
+#include "src/server/query.h"
+#include "tests/test_util.h"
+
+namespace nxgraph {
+namespace {
+
+GraphServer::Options ServerOpts(int workers, uint64_t cache_budget) {
+  GraphServer::Options o;
+  o.cache_budget_bytes = cache_budget;
+  o.num_workers = workers;
+  o.io_threads = 2;
+  o.prefetch_depth = 2;
+  return o;
+}
+
+// The full mixed workload of one serving session: point BFS/SSSP/k-hop
+// from several roots plus PageRank and WCC batch jobs.
+struct MixedOutcomes {
+  std::vector<Outcome<PointResult>> points;
+  Outcome<BatchResult<double>> pagerank;
+  Outcome<BatchResult<uint32_t>> wcc;
+};
+
+MixedOutcomes RunMixedWorkload(GraphServer& server) {
+  const std::vector<VertexId> roots = {0, 42, 99, 150, 199};
+  std::vector<QueryFuture<PointResult>> point_futures;
+  for (VertexId root : roots) {
+    PointQuery bfs;
+    bfs.kind = QueryKind::kBfs;
+    bfs.root = root;
+    point_futures.push_back(server.Submit(bfs));
+    PointQuery sssp;
+    sssp.kind = QueryKind::kSssp;
+    sssp.root = root;
+    point_futures.push_back(server.Submit(sssp));
+    PointQuery khop;
+    khop.kind = QueryKind::kKHop;
+    khop.root = root;
+    khop.limits.max_hops = 2;
+    point_futures.push_back(server.Submit(khop));
+  }
+  PageRankProgram pr;
+  pr.num_vertices = server.store().num_vertices();
+  BatchQuery pr_spec;
+  pr_spec.max_iterations = 20;
+  auto pr_future = server.SubmitBatch(pr, pr_spec);
+  BatchQuery wcc_spec;
+  wcc_spec.direction = EdgeDirection::kBoth;
+  auto wcc_future = server.SubmitBatch(WccProgram{}, wcc_spec);
+
+  MixedOutcomes out;
+  for (auto& f : point_futures) out.points.push_back(f.Wait());
+  out.pagerank = pr_future.Wait();
+  out.wcc = wcc_future.Wait();
+  return out;
+}
+
+// The tentpole guarantee: N concurrent mixed queries against one shared
+// cache produce results BIT-IDENTICAL to the same queries run strictly
+// serially — across cache-budget regimes mirroring SPU (everything
+// resident), MPU (partial residency, eviction pressure), and DPU (nothing
+// resident, pure streaming).
+TEST(ServerTest, MixedWorkloadSerialVsConcurrentBitIdentical) {
+  EdgeList edges = testing::RandomGraph(200, 3000, 71, /*weighted=*/true);
+  auto ms = testing::BuildMemStore(edges, 4);
+  const auto& m = ms.store->manifest();
+  const uint64_t total_decoded =
+      m.TotalDecodedSubShardBytes(false) + m.TotalDecodedSubShardBytes(true);
+  const uint64_t budgets[] = {UINT64_MAX, total_decoded / 4, 0};
+
+  for (const uint64_t budget : budgets) {
+    SCOPED_TRACE("cache budget " + std::to_string(budget));
+    MixedOutcomes concurrent, serial;
+    {
+      auto server = GraphServer::Open(ms.env.get(), "g", ServerOpts(6, budget));
+      ASSERT_TRUE(server.ok()) << server.status().ToString();
+      concurrent = RunMixedWorkload(**server);
+    }
+    {
+      auto server = GraphServer::Open(ms.env.get(), "g", ServerOpts(1, budget));
+      ASSERT_TRUE(server.ok()) << server.status().ToString();
+      serial = RunMixedWorkload(**server);
+    }
+
+    ASSERT_EQ(concurrent.points.size(), serial.points.size());
+    for (size_t q = 0; q < concurrent.points.size(); ++q) {
+      SCOPED_TRACE("point query " + std::to_string(q));
+      const auto& c = concurrent.points[q];
+      const auto& s = serial.points[q];
+      ASSERT_TRUE(c.status.ok()) << c.status.ToString();
+      ASSERT_TRUE(s.status.ok()) << s.status.ToString();
+      EXPECT_EQ(c.result.vertices, s.result.vertices);
+      EXPECT_EQ(c.result.hops, s.result.hops);
+      EXPECT_EQ(c.result.costs, s.result.costs);
+    }
+    ASSERT_TRUE(concurrent.pagerank.status.ok());
+    ASSERT_TRUE(serial.pagerank.status.ok());
+    EXPECT_EQ(concurrent.pagerank.result.values, serial.pagerank.result.values);
+    ASSERT_TRUE(concurrent.wcc.status.ok());
+    ASSERT_TRUE(serial.wcc.status.ok());
+    EXPECT_EQ(concurrent.wcc.result.values, serial.wcc.result.values);
+  }
+}
+
+// Concurrent results are not just self-consistent but correct: validate
+// the whole mix against the single-threaded reference algorithms.
+TEST(ServerTest, ConcurrentResultsMatchReferences) {
+  EdgeList edges = testing::RandomGraph(200, 3000, 72, /*weighted=*/true);
+  auto ms = testing::BuildMemStore(edges, 4);
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  const auto& m = ms.store->manifest();
+  const uint64_t budget = (m.TotalDecodedSubShardBytes(false) +
+                           m.TotalDecodedSubShardBytes(true)) /
+                          4;
+  auto server = GraphServer::Open(ms.env.get(), "g", ServerOpts(6, budget));
+  ASSERT_TRUE(server.ok());
+  MixedOutcomes out = RunMixedWorkload(**server);
+
+  const std::vector<VertexId> roots = {0, 42, 99, 150, 199};
+  for (size_t r = 0; r < roots.size(); ++r) {
+    const auto bfs_ref = ReferenceBfs(*ref_graph, roots[r]);
+    const auto sssp_ref = ReferenceSssp(*ref_graph, roots[r]);
+    const auto& bfs = out.points[3 * r].result;
+    const auto& sssp = out.points[3 * r + 1].result;
+    const auto& khop = out.points[3 * r + 2].result;
+
+    size_t reachable = 0;
+    for (uint32_t d : bfs_ref) reachable += d != UINT32_MAX;
+    ASSERT_EQ(bfs.vertices.size(), reachable);
+    for (size_t k = 0; k < bfs.vertices.size(); ++k) {
+      EXPECT_EQ(bfs.hops[k], bfs_ref[bfs.vertices[k]]);
+    }
+    ASSERT_EQ(sssp.vertices.size(), sssp.costs.size());
+    for (size_t k = 0; k < sssp.vertices.size(); ++k) {
+      EXPECT_NEAR(sssp.costs[k], sssp_ref[sssp.vertices[k]], 1e-4);
+    }
+    // The k-hop neighborhood is exactly the vertices within 2 hops.
+    size_t within = 0;
+    for (uint32_t d : bfs_ref) within += d != UINT32_MAX && d <= 2;
+    ASSERT_EQ(khop.vertices.size(), within);
+    for (size_t k = 0; k < khop.vertices.size(); ++k) {
+      EXPECT_LE(khop.hops[k], 2u);
+      EXPECT_EQ(khop.hops[k], bfs_ref[khop.vertices[k]]);
+    }
+  }
+
+  const auto pr_ref = ReferencePageRank(*ref_graph, 0.85, 20);
+  ASSERT_EQ(out.pagerank.result.values.size(), pr_ref.size());
+  for (size_t v = 0; v < pr_ref.size(); ++v) {
+    EXPECT_NEAR(out.pagerank.result.values[v], pr_ref[v], 1e-9);
+  }
+  const auto wcc_ref = ReferenceWcc(*ref_graph);
+  EXPECT_EQ(out.wcc.result.values, wcc_ref);
+}
+
+TEST(ServerTest, AdmissionRejectsWhenQueueFull) {
+  EdgeList edges = testing::RandomGraph(100, 1000, 73);
+  auto ms = testing::BuildMemStore(edges, 2);
+  GraphServer::Options opts = ServerOpts(1, UINT64_MAX);
+  opts.max_queue = 2;
+  opts.start_paused = true;  // nothing dequeues until we say so
+  auto server = GraphServer::Open(ms.env.get(), "g", opts);
+  ASSERT_TRUE(server.ok());
+
+  PointQuery q;
+  q.kind = QueryKind::kBfs;
+  q.root = 0;
+  auto f1 = (*server)->Submit(q);
+  auto f2 = (*server)->Submit(q);
+  auto f3 = (*server)->Submit(q);  // queue holds 2: rejected immediately
+  ASSERT_TRUE(f3.Done());
+  EXPECT_TRUE(f3.Wait().status.IsResourceExhausted());
+
+  (*server)->SetPaused(false);
+  EXPECT_TRUE(f1.Wait().status.ok());
+  EXPECT_TRUE(f2.Wait().status.ok());
+  const auto stats = (*server)->stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(ServerTest, QueueDeadlineShedsStaleQueries) {
+  EdgeList edges = testing::RandomGraph(100, 1000, 74);
+  auto ms = testing::BuildMemStore(edges, 2);
+  GraphServer::Options opts = ServerOpts(1, UINT64_MAX);
+  opts.start_paused = true;
+  auto server = GraphServer::Open(ms.env.get(), "g", opts);
+  ASSERT_TRUE(server.ok());
+
+  PointQuery q;
+  q.kind = QueryKind::kBfs;
+  q.root = 0;
+  q.limits.queue_deadline = std::chrono::milliseconds(5);
+  auto f = (*server)->Submit(q);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  (*server)->SetPaused(false);
+  EXPECT_TRUE(f.Wait().status.IsDeadlineExceeded());
+  EXPECT_EQ((*server)->stats().shed, 1u);
+}
+
+TEST(ServerTest, BudgetCappedQueryReturnsPartialResult) {
+  EdgeList edges = testing::RandomGraph(200, 3000, 75);
+  auto ms = testing::BuildMemStore(edges, 4);
+  auto ref_graph = LoadReferenceGraph(*ms.store);
+  ASSERT_TRUE(ref_graph.ok());
+  auto server = GraphServer::Open(ms.env.get(), "g", ServerOpts(2, UINT64_MAX));
+  ASSERT_TRUE(server.ok());
+
+  // A budget that cannot fund a single sub-shard still terminates cleanly:
+  // the root (hop 0) is the whole partial result.
+  PointQuery starved;
+  starved.kind = QueryKind::kBfs;
+  starved.root = 0;
+  starved.limits.io_byte_budget = 1;
+  const auto& starved_out = (*server)->Submit(starved).Wait();
+  EXPECT_TRUE(starved_out.status.IsResourceExhausted())
+      << starved_out.status.ToString();
+  EXPECT_TRUE(starved_out.result.stats.truncated);
+  ASSERT_EQ(starved_out.result.vertices, std::vector<VertexId>{0});
+  EXPECT_EQ(starved_out.result.hops, std::vector<uint32_t>{0});
+
+  // A budget funding only part of the scan yields a truncated prefix whose
+  // hop values are still genuine path lengths (>= the true distance).
+  const auto& m = ms.store->manifest();
+  PointQuery partial;
+  partial.kind = QueryKind::kBfs;
+  partial.root = 0;
+  partial.limits.io_byte_budget =
+      m.subshard(0, 0).size + m.subshard(0, 1).size;
+  const auto& partial_out = (*server)->Submit(partial).Wait();
+  EXPECT_TRUE(partial_out.status.IsResourceExhausted());
+  EXPECT_TRUE(partial_out.result.stats.truncated);
+  ASSERT_FALSE(partial_out.result.vertices.empty());
+  const auto bfs_ref = ReferenceBfs(*ref_graph, 0);
+  for (size_t k = 0; k < partial_out.result.vertices.size(); ++k) {
+    EXPECT_GE(partial_out.result.hops[k],
+              bfs_ref[partial_out.result.vertices[k]]);
+  }
+  EXPECT_EQ((*server)->stats().truncated, 2u);
+}
+
+TEST(ServerTest, ShutdownAbortsQueuedQueries) {
+  EdgeList edges = testing::RandomGraph(100, 1000, 76);
+  auto ms = testing::BuildMemStore(edges, 2);
+  GraphServer::Options opts = ServerOpts(1, UINT64_MAX);
+  opts.start_paused = true;
+  auto server = GraphServer::Open(ms.env.get(), "g", opts);
+  ASSERT_TRUE(server.ok());
+  PointQuery q;
+  q.kind = QueryKind::kBfs;
+  q.root = 0;
+  auto f = (*server)->Submit(q);
+  server->reset();  // destroy with the query still queued
+  EXPECT_TRUE(f.Wait().status.IsAborted());
+}
+
+TEST(ServerTest, InvalidRootFailsCleanly) {
+  EdgeList edges = testing::RandomGraph(50, 400, 77);
+  auto ms = testing::BuildMemStore(edges, 2);
+  auto server = GraphServer::Open(ms.env.get(), "g", ServerOpts(2, UINT64_MAX));
+  ASSERT_TRUE(server.ok());
+  PointQuery q;
+  q.kind = QueryKind::kBfs;
+  q.root = 1000;  // out of range
+  EXPECT_TRUE((*server)->Submit(q).Wait().status.IsInvalidArgument());
+  EXPECT_EQ((*server)->stats().failed, 1u);
+}
+
+TEST(ServerTest, StatsTrackServingBehavior) {
+  EdgeList edges = testing::RandomGraph(150, 2000, 78);
+  auto ms = testing::BuildMemStore(edges, 2);
+  auto server = GraphServer::Open(ms.env.get(), "g", ServerOpts(4, UINT64_MAX));
+  ASSERT_TRUE(server.ok());
+  std::vector<QueryFuture<PointResult>> futures;
+  for (int n = 0; n < 12; ++n) {
+    PointQuery q;
+    q.kind = QueryKind::kBfs;
+    q.root = static_cast<VertexId>(n * 7 % 150);
+    futures.push_back((*server)->Submit(q));
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.Wait().status.ok());
+  const auto stats = (*server)->stats();
+  EXPECT_EQ(stats.submitted, 12u);
+  EXPECT_EQ(stats.completed, 12u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GT(stats.qps, 0.0);
+  EXPECT_GT(stats.cache.hits + stats.cache.misses, 0u);
+  EXPECT_GT(stats.cache_hit_rate, 0.0);  // 12 similar queries must share
+  EXPECT_LE(stats.p50_ms, stats.p95_ms);
+  EXPECT_LE(stats.p95_ms, stats.p99_ms);
+  // hits + misses covers every cache lookup the queries made.
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses,
+            stats.cache.hits + stats.cache.misses);
+}
+
+}  // namespace
+}  // namespace nxgraph
