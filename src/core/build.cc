@@ -14,6 +14,7 @@ Result<std::shared_ptr<GraphStore>> BuildGraphStore(
   sharder_options.build_transpose = options.build_transpose;
   sharder_options.dedup = options.dedup;
   sharder_options.format = options.subshard_format;
+  sharder_options.summary = options.summary;
   NX_ASSIGN_OR_RETURN(Manifest manifest,
                       RunSharder(env, dir, degrees, sharder_options));
   (void)manifest;

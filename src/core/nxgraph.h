@@ -47,6 +47,11 @@ struct BuildOptions {
   /// delta-varint by default (NXGRAPH_SUBSHARD_FORMAT overrides), NXS1 for
   /// the raw fixed-width layout. Stores of either format open identically.
   SubShardFormat subshard_format = DefaultSubShardFormat();
+  /// Per-blob source-summary sizing for selective scheduling (manifest v3,
+  /// see docs/storage-format.md). Defaults follow NXGRAPH_SELECTIVE;
+  /// {0, 0} writes a summary-free store (still manifest v3).
+  SummaryParams summary =
+      DefaultSelectiveScheduling() ? SummaryParams{} : SummaryParams{0, 0};
   /// Filesystem to build into; nullptr == Env::Default().
   Env* env = nullptr;
 };

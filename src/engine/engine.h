@@ -127,6 +127,67 @@ class Engine {
   bool RowShouldProcess(uint32_t i) const {
     return !Program::kMonotoneSkippable || active_[i] != 0;
   }
+
+  // ---- selective scheduling (frontier x per-blob source summary) ----------
+  // Planning-time predicate for one blob: true when the blob must be
+  // scheduled this iteration. Empty blobs are never scheduled; with
+  // selective scheduling on, a nonempty blob is dropped when its source
+  // summary intersects no vertex that changed last iteration (the frontier
+  // filter is conservative, so a dropped blob provably contributes only
+  // identity — bit-identical results for monotone-skippable programs).
+  // Stable within an iteration, so push and consume loops agree.
+  bool BlobNeeded(uint32_t i, uint32_t j, bool transpose) const {
+    const SubShardMeta& meta = store_->manifest().subshard(i, j, transpose);
+    if (meta.num_edges == 0) return false;
+    if (!selective_) return true;
+    return frontier_[i].MayIntersect(meta.summary);
+  }
+
+  // Counting wrapper for the planning loops: same verdict as BlobNeeded,
+  // and (when selective scheduling is on) lands every nonempty blob in
+  // exactly one of the processed/skipped counters — call once per blob per
+  // phase.
+  bool PlanBlob(uint32_t i, uint32_t j, bool transpose) {
+    const SubShardMeta& meta = store_->manifest().subshard(i, j, transpose);
+    if (meta.num_edges == 0) return false;
+    if (!selective_) return true;
+    const bool needed = frontier_[i].MayIntersect(meta.summary);
+    (needed ? subshards_processed_ : subshards_skipped_)
+        .fetch_add(1, std::memory_order_relaxed);
+    return needed;
+  }
+
+  // Maximal contiguous column ranges of row i worth one sequential read
+  // each, within columns [0, j_limit): runs cover every needed blob, bridge
+  // empty blobs (they cost almost no bytes), and break at summary-skipped
+  // nonempty blobs so their bytes are never read. With selective scheduling
+  // off this is the single whole-range read the phases always issued.
+  // Counts skipped/processed via PlanBlob — call once per (row, direction)
+  // per phase.
+  std::vector<std::pair<uint32_t, uint32_t>> PlanRowRuns(uint32_t i,
+                                                         bool transpose,
+                                                         uint32_t j_limit) {
+    if (!selective_) return {{0, j_limit}};
+    std::vector<std::pair<uint32_t, uint32_t>> runs;
+    bool open = false;
+    uint32_t begin = 0, end = 0;
+    for (uint32_t j = 0; j < j_limit; ++j) {
+      const SubShardMeta& meta = store_->manifest().subshard(i, j, transpose);
+      if (meta.num_edges == 0) continue;
+      if (PlanBlob(i, j, transpose)) {
+        if (!open) {
+          begin = j;
+          open = true;
+        }
+        end = j + 1;
+      } else if (open) {
+        runs.emplace_back(begin, end);
+        open = false;
+      }
+    }
+    if (open) runs.emplace_back(begin, end);
+    return runs;
+  }
   void RecordError(const Status& s);
   bool HasError();
   uint32_t grain_edges() const {
@@ -382,9 +443,21 @@ class Engine {
   bool stream_mode_ = false;  // cache cannot hold the graph: stream rows
   bool cache_warmed_ = false;  // Phase A first-touch warm-up done
 
+  // Selective scheduling: on when the options ask for it, the program is
+  // monotone-skippable, AND the store's manifest carries summaries.
+  // frontier_[i] holds the interval-i vertices that changed LAST iteration
+  // (all-pass before iteration 0 and after a resume); next_frontier_
+  // collects this iteration's changes in the apply loops and the two swap
+  // at the iteration boundary, alongside active_.
+  bool selective_ = false;
+  std::vector<FrontierFilter> frontier_;
+  std::vector<FrontierFilter> next_frontier_;
+
   std::atomic<uint64_t> edges_traversed_{0};
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> subshards_processed_{0};
+  std::atomic<uint64_t> subshards_skipped_{0};
 
   // Shared tally of retry/degradation activity across every pipeline
   // (prefetch streams, write-behind queue, the engine's own retried ops).
@@ -592,6 +665,23 @@ Status Engine<Program>::Prepare() {
   if (use_forward) decoded_bytes += m.TotalDecodedSubShardBytes(false);
   if (use_transpose) decoded_bytes += m.TotalDecodedSubShardBytes(true);
   stream_mode_ = decision_.subshard_cache_budget < decoded_bytes;
+
+  selective_ = options_.selective_scheduling && Program::kMonotoneSkippable &&
+               m.has_summaries();
+  if (selective_) {
+    frontier_.resize(p_);
+    next_frontier_.resize(p_);
+    for (uint32_t i = 0; i < p_; ++i) {
+      frontier_[i].layout = m.summary_layout(i);
+      next_frontier_[i].layout = frontier_[i].layout;
+      // Conservative until the first apply has run (or forever on resume:
+      // the checkpoint records per-interval activity, not per-vertex
+      // changes — the first resumed iteration falls back to row-level
+      // skipping and the frontier sharpens from the next one).
+      frontier_[i].ResetToAll();
+      next_frontier_[i].ResetToEmpty();
+    }
+  }
   return Status::OK();
 }
 
@@ -872,6 +962,19 @@ Status Engine<Program>::InitValues() {
       value_parity_[i] = 0;
     }
   }
+  // Seeded programs (BFS/SSSP point traversals) start with an EXACT
+  // frontier — only the seeds differ from the default value — so iteration
+  // 0 already skips every blob the seeds cannot reach, instead of paying
+  // one all-pass sweep of the seeds' rows. Dense-init programs keep the
+  // conservative all-pass filter until the first apply has run.
+  if (selective_) {
+    if constexpr (SeededProgram<Program>) {
+      for (uint32_t i = 0; i < p_; ++i) frontier_[i].ResetToEmpty();
+      for (VertexId v : program_.SeedVertices()) {
+        frontier_[m.IntervalOf(v)].Add(v);
+      }
+    }
+  }
   // Ordering barrier: the first iteration's Phase B reads these segments.
   if (writeback_ != nullptr) {
     NX_RETURN_NOT_OK(writeback_->Drain(/*sync=*/false));
@@ -939,33 +1042,49 @@ Status Engine<Program>::PhaseResidentRows() {
     // the barrier is needed; the disk sees pure forward scans. The whole
     // schedule is pushed up front so the prefetcher keeps iteration i+1's
     // row reads in flight while row i's chunks are still computing.
-    const std::vector<ResidentRow> schedule = ResidentRowSchedule();
-    RowStream rows = MakeStream<std::vector<SubShard>>();
-    for (const ResidentRow& r : schedule) {
-      PushRow(rows, r.i, 0, q_, r.dir->transpose);
+    // Each row reads as one sequential run per contiguous range of
+    // frontier-passing blobs (the whole [0, q_) range when selective
+    // scheduling is off — the original single-read-per-row schedule).
+    struct StreamRow {
+      const DirectionPlan* dir;
+      uint32_t i;
+      std::vector<std::pair<uint32_t, uint32_t>> runs;
+    };
+    std::vector<StreamRow> schedule;
+    for (const ResidentRow& r : ResidentRowSchedule()) {
+      StreamRow sr{r.dir, r.i, PlanRowRuns(r.i, r.dir->transpose, q_)};
+      if (!sr.runs.empty()) schedule.push_back(std::move(sr));
     }
-    for (const ResidentRow& r : schedule) {
-      NX_ASSIGN_OR_RETURN(std::vector<SubShard> row, NextRow(rows));
+    RowStream rows = MakeStream<std::vector<SubShard>>();
+    for (const StreamRow& r : schedule) {
+      for (auto [jb, je] : r.runs) {
+        PushRow(rows, r.i, jb, je, r.dir->transpose);
+      }
+    }
+    for (const StreamRow& r : schedule) {
       const VertexId src_base = m.interval_begin(r.i);
       const Value* src_vals = old_values_[r.i].data();
-      WaitGroup wg;
-      for (uint32_t j = 0; j < q_; ++j) {
-        const SubShard& ss = row[j];
-        if (ss.empty()) continue;
-        Value* acc = acc_values_[j].data();
-        const VertexId dst_base = m.interval_begin(j);
-        const std::vector<uint32_t>* degrees = r.dir->degrees;
-        for (auto [gb, ge] : ComputeChunks(ss)) {
-          wg.Add(1);
-          pool_->Submit([this, &ss, src_vals, src_base, acc, dst_base,
-                         degrees, gb, ge, &wg] {
-            ProcessGroups(ss, src_vals, src_base, acc, dst_base, *degrees,
-                          gb, ge);
-            wg.Done();
-          });
+      for (auto [jb, je] : r.runs) {
+        NX_ASSIGN_OR_RETURN(std::vector<SubShard> row, NextRow(rows));
+        WaitGroup wg;
+        for (uint32_t j = jb; j < je; ++j) {
+          const SubShard& ss = row[j - jb];
+          if (ss.empty()) continue;
+          Value* acc = acc_values_[j].data();
+          const VertexId dst_base = m.interval_begin(j);
+          const std::vector<uint32_t>* degrees = r.dir->degrees;
+          for (auto [gb, ge] : ComputeChunks(ss)) {
+            wg.Add(1);
+            pool_->Submit([this, &ss, src_vals, src_base, acc, dst_base,
+                           degrees, gb, ge, &wg] {
+              ProcessGroups(ss, src_vals, src_base, acc, dst_base, *degrees,
+                            gb, ge);
+              wg.Done();
+            });
+          }
         }
+        wg.Wait();
       }
-      wg.Wait();
     }
     io_wait_seconds_ += rows.io_wait_seconds();
     return Status::OK();
@@ -1078,8 +1197,7 @@ Status Engine<Program>::PhaseResidentRows() {
       chain->wg = &wg;
       for (const DirectionPlan& dir : directions_) {
         for (uint32_t i = 0; i < q_; ++i) {
-          if (RowShouldProcess(i) &&
-              m.subshard(i, j, dir.transpose).num_edges > 0) {
+          if (RowShouldProcess(i) && BlobNeeded(i, j, dir.transpose)) {
             chain->rows.push_back({&dir, i});
           }
         }
@@ -1104,7 +1222,7 @@ Status Engine<Program>::PhaseResidentRows() {
       for (uint32_t i = 0; i < q_; ++i) {
         if (!RowShouldProcess(i)) continue;
         for (uint32_t j = 0; j < q_; ++j) {
-          if (m.subshard(i, j, dir.transpose).num_edges == 0) continue;
+          if (!BlobNeeded(i, j, dir.transpose)) continue;
           auto ss_or = GetSubShard(i, j, dir.transpose);
           if (!ss_or.ok()) {
             RecordError(ss_or.status());
@@ -1150,32 +1268,53 @@ Status Engine<Program>::PhaseDiskRows() {
 
   // Push the whole phase schedule — row i's interval values plus its
   // per-direction sub-shard rows — so reads for row i+1 (and beyond, up to
-  // the window depth) are in flight while row i is computing.
-  std::vector<uint32_t> schedule;
+  // the window depth) are in flight while row i is computing. With
+  // selective scheduling each direction's row shrinks to the contiguous
+  // runs of blobs whose source summary intersects the frontier; a row
+  // where every direction planned empty is dropped entirely (its source
+  // values are not even fetched).
+  struct DiskRow {
+    uint32_t i;
+    // runs[d] = contiguous [begin, end) column ranges for directions_[d].
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> runs;
+  };
+  std::vector<DiskRow> schedule;
   for (uint32_t i = q_; i < p_; ++i) {
-    if (RowShouldProcess(i)) schedule.push_back(i);
+    if (!RowShouldProcess(i)) continue;
+    DiskRow dr{i, {}};
+    bool any = false;
+    for (const DirectionPlan& dir : directions_) {
+      dr.runs.push_back(PlanRowRuns(i, dir.transpose, p_));
+      any = any || !dr.runs.back().empty();
+    }
+    if (any) schedule.push_back(std::move(dr));
   }
   if (schedule.empty()) return Status::OK();
   ValueStream values = MakeStream<std::vector<Value>>();
   RowStream rows = MakeStream<std::vector<SubShard>>();
-  for (uint32_t i : schedule) {
-    PushIntervalValues(values, i);
-    for (const DirectionPlan& dir : directions_) {
-      PushRow(rows, i, 0, p_, dir.transpose);
+  for (const DiskRow& dr : schedule) {
+    PushIntervalValues(values, dr.i);
+    for (size_t d = 0; d < directions_.size(); ++d) {
+      for (auto [jb, je] : dr.runs[d]) {
+        PushRow(rows, dr.i, jb, je, directions_[d].transpose);
+      }
     }
   }
 
-  for (uint32_t i : schedule) {
+  for (const DiskRow& dr : schedule) {
+    const uint32_t i = dr.i;
     const VertexId src_base = m.interval_begin(i);
     NX_ASSIGN_OR_RETURN(std::vector<Value> src_buf, values.Next());
 
-    for (const DirectionPlan& dir : directions_) {
+    for (size_t d = 0; d < directions_.size(); ++d) {
+      const DirectionPlan& dir = directions_[d];
+      for (auto [run_begin, run_end] : dr.runs[d]) {
       NX_ASSIGN_OR_RETURN(std::vector<SubShard> row, NextRow(rows));
       WaitGroup wg;
       // SPU-like updates into resident destination columns. Within one row
       // all columns are distinct, so chunks across columns run in parallel.
-      for (uint32_t j = 0; j < q_; ++j) {
-        const SubShard& ss = row[j];
+      for (uint32_t j = run_begin; j < std::min(run_end, q_); ++j) {
+        const SubShard& ss = row[j - run_begin];
         if (ss.empty()) continue;
         const VertexId dst_base = m.interval_begin(j);
         Value* acc = acc_values_[j].data();
@@ -1195,8 +1334,8 @@ Status Engine<Program>::PhaseDiskRows() {
       // and write the (dst, partial) entries to the sub-shard's hub. Hub
       // segments are disjoint and WriteHub is a positional (pwrite-style)
       // write, so concurrent tasks need no serialization.
-      for (uint32_t j = q_; j < p_; ++j) {
-        const SubShard& ss = row[j];
+      for (uint32_t j = std::max(run_begin, q_); j < run_end; ++j) {
+        const SubShard& ss = row[j - run_begin];
         if (ss.empty()) continue;
         const std::vector<uint32_t>* degrees = dir.degrees;
         const bool transpose = dir.transpose;
@@ -1237,6 +1376,7 @@ Status Engine<Program>::PhaseDiskRows() {
         });
       }
       wg.Wait();
+      }  // runs
     }
     if (HasError()) break;
   }
@@ -1273,7 +1413,30 @@ Status Engine<Program>::PhaseDiskColumns() {
     any_source = true;
   }
   if (any_source) {
-    for (uint32_t j = q_; j < p_; ++j) columns.push_back(j);
+    for (uint32_t j = q_; j < p_; ++j) {
+      // With selective scheduling a column with no summary-passing
+      // resident-row blob and no hub written by Phase B has nothing to
+      // fold: its apply is the identity (Apply(v, Identity, old) == old
+      // for monotone programs — the same reasoning as the any_source
+      // skip above), so the column's values are neither read nor
+      // rewritten. PlanBlob counts each nonempty blob's verdict exactly
+      // once, here; the push/consume loops below re-test with the pure
+      // BlobNeeded so they stay in lockstep without double counting.
+      bool any_work = !selective_;
+      for (const DirectionPlan& dir : directions_) {
+        for (uint32_t i = 0; i < q_; ++i) {
+          if (!RowShouldProcess(i)) continue;
+          if (PlanBlob(i, j, dir.transpose)) any_work = true;
+        }
+        for (uint32_t i = q_; i < p_; ++i) {
+          const size_t hub_idx =
+              (dir.transpose ? static_cast<size_t>(p_) * p_ : 0) +
+              static_cast<size_t>(i) * p_ + j;
+          if (hub_written_[hub_idx]) any_work = true;
+        }
+      }
+      if (any_work) columns.push_back(j);
+    }
   }
   if (columns.empty()) return Status::OK();
 
@@ -1284,7 +1447,7 @@ Status Engine<Program>::PhaseDiskColumns() {
     for (const DirectionPlan& dir : directions_) {
       for (uint32_t i = 0; i < q_; ++i) {
         if (!RowShouldProcess(i)) continue;
-        if (m.subshard(i, j, dir.transpose).num_edges == 0) continue;
+        if (!BlobNeeded(i, j, dir.transpose)) continue;
         PushOne(shards, i, j, dir.transpose);
       }
       for (uint32_t i = q_; i < p_; ++i) {
@@ -1310,7 +1473,7 @@ Status Engine<Program>::PhaseDiskColumns() {
       // rows of the same column write overlapping destinations.
       for (uint32_t i = 0; i < q_; ++i) {
         if (!RowShouldProcess(i)) continue;
-        if (m.subshard(i, j, dir.transpose).num_edges == 0) continue;
+        if (!BlobNeeded(i, j, dir.transpose)) continue;
         NX_ASSIGN_OR_RETURN(std::shared_ptr<const SubShard> ss,
                             NextOne(shards));
         const VertexId src_base = m.interval_begin(i);
@@ -1367,7 +1530,10 @@ Status Engine<Program>::PhaseDiskColumns() {
       for (size_t k = kb; k < ke; ++k) {
         const VertexId v = dst_base + static_cast<VertexId>(k);
         const Value next = program_.Apply(v, acc_buf[k], old_buf[k]);
-        local_changed = local_changed || program_.Changed(old_buf[k], next);
+        if (program_.Changed(old_buf[k], next)) {
+          local_changed = true;
+          if (selective_) next_frontier_[j].AddAtomic(v);
+        }
         acc_buf[k] = next;
       }
       if (local_changed) changed.store(1, std::memory_order_relaxed);
@@ -1409,7 +1575,10 @@ Status Engine<Program>::PhaseApplyResident() {
       for (size_t k = kb; k < ke; ++k) {
         const VertexId v = base + static_cast<VertexId>(k);
         const Value next = program_.Apply(v, acc[k], old_vals[k]);
-        local_changed = local_changed || program_.Changed(old_vals[k], next);
+        if (program_.Changed(old_vals[k], next)) {
+          local_changed = true;
+          if (selective_) next_frontier_[j].AddAtomic(v);
+        }
         acc[k] = next;
       }
       if (local_changed) changed.store(1, std::memory_order_relaxed);
@@ -1430,6 +1599,12 @@ Status Engine<Program>::RunIteration(int iter) {
   for (uint32_t i = 0; i < p_; ++i) {
     next_active_[i].store(0, std::memory_order_relaxed);
   }
+  // The frontier consumed this iteration (frontier_) is read-only until the
+  // end-of-iteration swap below, so a downgrade re-run of the iteration
+  // replans against the same filters; only next_frontier_ is rebuilt.
+  if (selective_) {
+    for (uint32_t i = 0; i < p_; ++i) next_frontier_[i].ResetToEmpty();
+  }
   // Reset resident accumulators (InitializeIteration).
   for (uint32_t j = 0; j < q_; ++j) {
     std::fill(acc_values_[j].begin(), acc_values_[j].end(),
@@ -1449,6 +1624,14 @@ Status Engine<Program>::RunIteration(int iter) {
   phase_seconds_[3] += phase_timer.ElapsedSeconds();
   for (uint32_t i = 0; i < p_; ++i) {
     active_[i] = next_active_[i].load(std::memory_order_relaxed);
+  }
+  // The vertices that changed this iteration become the next iteration's
+  // frontier — the per-blob source summaries are intersected against these
+  // filters when the next round is planned.
+  if (selective_) {
+    for (uint32_t i = 0; i < p_; ++i) {
+      std::swap(frontier_[i], next_frontier_[i]);
+    }
   }
   // The checkpoint due at this iteration boundary is committed by the run
   // loop, NOT here: a checkpoint failure after Phase D's in-memory swap
@@ -1504,6 +1687,8 @@ Result<RunStats> Engine<Program>::Run() {
 
   Timer loop;
   int iter = resume_iter_;
+  uint64_t last_subshards_processed = 0;
+  uint64_t last_subshards_skipped = 0;
   for (;;) {
     if (options_.max_iterations > 0 && iter >= options_.max_iterations) break;
     bool any_active = false;
@@ -1535,6 +1720,16 @@ Result<RunStats> Engine<Program>::Run() {
                          ckpt_snapshot_parity_ = snap_parity_snapshot;
                        }));
     stats.iteration_seconds.push_back(iter_timer.ElapsedSeconds());
+    // Per-iteration selective-scheduling deltas: on a downgrade re-run the
+    // iteration's planning verdicts are counted twice, matching how
+    // bytes_read_ already accounts re-run traffic.
+    const uint64_t proc = subshards_processed_.load(std::memory_order_relaxed);
+    const uint64_t skip = subshards_skipped_.load(std::memory_order_relaxed);
+    stats.iteration_subshards_processed.push_back(proc -
+                                                  last_subshards_processed);
+    stats.iteration_subshards_skipped.push_back(skip - last_subshards_skipped);
+    last_subshards_processed = proc;
+    last_subshards_skipped = skip;
     ++iter;
   }
   stats.iterations = iter;
@@ -1561,6 +1756,11 @@ Result<RunStats> Engine<Program>::Run() {
   stats.resumed_from_iteration = resume_iter_;
   stats.checkpoints_written = checkpoints_written_;
   stats.checkpoint_seconds = checkpoint_seconds_;
+  stats.subshards_processed =
+      subshards_processed_.load(std::memory_order_relaxed);
+  stats.subshards_skipped = subshards_skipped_.load(std::memory_order_relaxed);
+  stats.summary_bytes = store_->manifest().TotalSummaryBytes();
+  stats.model_bytes_per_iteration = decision_.model_bytes_per_iteration;
 
   NX_RETURN_NOT_OK(with_downgrade([&] { return CollectFinalValues(); }, [] {}));
 

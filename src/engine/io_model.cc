@@ -33,7 +33,10 @@ IoModelParams MakeIoModelParams(const Manifest& manifest, uint32_t value_bytes,
 
 IoCost SpuIoCost(const IoModelParams& p) {
   IoCost c;
-  c.read_bytes = std::max(0.0, p.m * p.Be + 2 * p.n * p.Ba - p.BM);
+  // me: edges an iteration actually streams (active_fraction == 1
+  // reproduces Table II exactly).
+  const double me = p.m * p.active_fraction;
+  c.read_bytes = std::max(0.0, me * p.Be + 2 * p.n * p.Ba - p.BM);
   // After the initial load, SPU never writes vertex state to disk.
   c.write_bytes = 0;
   return c;
@@ -41,8 +44,9 @@ IoCost SpuIoCost(const IoModelParams& p) {
 
 IoCost DpuIoCost(const IoModelParams& p) {
   IoCost c;
-  const double hub_bytes = p.m * (p.Ba + p.Bv) / p.d;
-  c.read_bytes = p.m * p.Be + hub_bytes + p.n * p.Ba;
+  const double me = p.m * p.active_fraction;
+  const double hub_bytes = me * (p.Ba + p.Bv) / p.d;
+  c.read_bytes = me * p.Be + hub_bytes + p.n * p.Ba;
   c.write_bytes = hub_bytes + p.n * p.Ba;
   return c;
 }
@@ -59,9 +63,10 @@ IoCost MpuIoCost(const IoModelParams& p) {
   const double frac = std::min(1.0, p.BM / (2.0 * p.n * p.Ba));
   const double disk_frac = 1.0 - frac;  // (P - Q) / P
   IoCost c;
+  const double me = p.m * p.active_fraction;
   const double hub_bytes =
-      p.m * disk_frac * disk_frac * (p.Ba + p.Bv) / p.d;
-  c.read_bytes = p.m * p.Be + hub_bytes + disk_frac * p.n * p.Ba;
+      me * disk_frac * disk_frac * (p.Ba + p.Bv) / p.d;
+  c.read_bytes = me * p.Be + hub_bytes + disk_frac * p.n * p.Ba;
   c.write_bytes = hub_bytes + disk_frac * p.n * p.Ba;
   return c;
 }

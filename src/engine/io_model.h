@@ -19,6 +19,16 @@ struct IoModelParams {
   double BM = 0;   ///< memory budget in bytes
   double d = 15;   ///< average in-degree of sub-shard destinations
   double P = 16;   ///< number of intervals
+
+  /// Fraction of edge traffic an iteration actually touches. 1.0 models a
+  /// fully-active iteration (the paper's Table II); selective scheduling
+  /// (per-blob source summaries) makes tail iterations of frontier
+  /// algorithms read only the blobs whose sources intersect the frontier,
+  /// so sweeping this towards 0 models the late-iteration regime. Scales
+  /// the m*Be edge terms and the hub terms — value-segment terms (n*Ba)
+  /// stay, since interval reads/writes are skipped per column, not per
+  /// edge. The TurboGraph-like baseline ignores it (no selective path).
+  double active_fraction = 1.0;
 };
 
 /// Model parameters measured from a real prepared store instead of

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/io/io_backend.h"
+#include "src/prep/source_summary.h"
 #include "src/util/retry.h"
 
 namespace nxgraph {
@@ -153,6 +154,17 @@ struct RunOptions {
   /// before they surface (docs/io-stack.md "Error handling, retries, and
   /// degradation"). Set `retry.max_attempts = 1` to disable retries.
   RetryPolicy retry;
+
+  /// Selective scheduling (docs/storage-format.md "Source summaries"):
+  /// consult frontier x per-blob source summary before enqueueing any
+  /// out-of-core read, skipping sub-shards that cannot contribute this
+  /// iteration. Only takes effect for monotone-skippable programs
+  /// (Program::kMonotoneSkippable — BFS/SSSP/WCC) on stores whose manifest
+  /// carries summaries (v3); results are bit-identical on or off, only
+  /// bytes moved change. Defaults on, overridable via NXGRAPH_SELECTIVE=0
+  /// so the whole test/bench suite can be swept without code changes (CI's
+  /// selective job).
+  bool selective_scheduling = DefaultSelectiveScheduling();
 };
 
 /// \brief Statistics from one engine run.
@@ -230,6 +242,27 @@ struct RunStats {
   /// Write/flush errors suppressed by first-error-wins reporting at
   /// write-behind Drain barriers (each was also logged).
   uint64_t dropped_write_errors = 0;
+
+  // -- selective scheduling -----------------------------------------------
+  /// Out-of-core sub-shard reads the run actually enqueued vs dropped at
+  /// planning time because the blob's source summary intersected no active
+  /// vertex (Phase B rows and Phase C resident blobs; empty blobs count for
+  /// neither). Both stay 0 when selective scheduling is off, the program is
+  /// not monotone-skippable, or the store has no summaries.
+  uint64_t subshards_processed = 0;
+  uint64_t subshards_skipped = 0;
+  /// Summary filter bytes the manifest carries for this store (both
+  /// directions) — the metadata cost that bought the skips.
+  uint64_t summary_bytes = 0;
+  /// Per-iteration skip trajectory (parallel to iteration_seconds): tail
+  /// iterations of frontier algorithms should show processed collapsing
+  /// towards the frontier size while skipped absorbs the rest.
+  std::vector<uint64_t> iteration_subshards_processed;
+  std::vector<uint64_t> iteration_subshards_skipped;
+  /// io_model prediction for a full-activity iteration's read bytes under
+  /// the chosen strategy (0 when the model was not consulted) — compare
+  /// with env_bytes_read / iterations to see the activity-awareness gap.
+  uint64_t model_bytes_per_iteration = 0;
 
   /// Millions of traversed edges per second (the paper's Fig. 11 metric).
   double Mteps() const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/engine/io_model.h"
 #include "src/io/env.h"
 
 namespace nxgraph {
@@ -253,6 +254,28 @@ StrategyDecision ChooseStrategy(const Manifest& manifest, uint32_t value_bytes,
     }
     d.writeback_buffer_bytes = funded;
     d.subshard_cache_budget -= funded;
+  }
+
+  // Model prediction for a fully-active iteration's reads under the chosen
+  // strategy (measured Be/d from this manifest), reported so runs can
+  // compare it against measured bytes — selective scheduling shows up as
+  // tail iterations undercutting this number.
+  {
+    IoModelParams mp =
+        MakeIoModelParams(manifest, value_bytes, options.memory_budget_bytes);
+    IoCost cost;
+    switch (d.strategy) {
+      case UpdateStrategy::kSinglePhase:
+        cost = SpuIoCost(mp);
+        break;
+      case UpdateStrategy::kDoublePhase:
+        cost = DpuIoCost(mp);
+        break;
+      default:
+        cost = MpuIoCost(mp);
+        break;
+    }
+    d.model_bytes_per_iteration = static_cast<uint64_t>(cost.read_bytes);
   }
 
   // Resolve the I/O backend: uring needs kernel + build support (cached

@@ -46,6 +46,12 @@ struct StrategyDecision {
   /// setup when the store's Env is not the real filesystem; see
   /// RunOptions::io_backend.
   IoBackend io_backend = IoBackend::kBuffered;
+  /// io_model prediction of a FULLY-ACTIVE iteration's read bytes under the
+  /// chosen strategy (IoModelParams::active_fraction == 1) — surfaced in
+  /// RunStats so measured per-iteration bytes can be compared against the
+  /// model; with selective scheduling the measured tail iterations should
+  /// undercut this by roughly the frontier's activity fraction.
+  uint64_t model_bytes_per_iteration = 0;
   /// Human-readable name ("SPU", "DPU", "MPU(Q=3/16)").
   std::string name;
 };

@@ -9,6 +9,7 @@
 
 #include "src/graph/types.h"
 #include "src/io/env.h"
+#include "src/prep/source_summary.h"
 #include "src/storage/subshard_format.h"
 #include "src/util/result.h"
 
@@ -22,14 +23,14 @@ inline constexpr char kSubShardsFileName[] = "subshards.nxs";
 inline constexpr char kSubShardsTransposeFileName[] = "subshards_t.nxs";
 
 inline constexpr uint32_t kManifestMagic = 0x314D584Eu;  // "NXM1"
-/// Version 2 added a per-blob format byte to the sub-shard tables (NXS2);
-/// version-1 manifests still decode, with every blob implied NXS1. Note
-/// that Fingerprint() hashes the CURRENT encoding, so a v1 store's
-/// fingerprint changes across this upgrade — checkpoint records written by
-/// a pre-v2 binary mismatch and fall back to a fresh iteration-0 start
-/// (the designed safe behavior for any identity change), they are never
-/// misapplied.
-inline constexpr uint32_t kManifestVersion = 2;
+/// Version 2 added a per-blob format byte to the sub-shard tables (NXS2).
+/// Version 3 added per-blob source-vertex summaries (source_summary.h):
+/// two sizing params in the header plus a kind byte and filter words per
+/// table entry. Older manifests still decode — v1 implies NXS1 blobs, v1/v2
+/// imply no summaries — and Fingerprint() hashes topology-stable fields
+/// only, so a store re-encoded at a newer manifest version keeps its
+/// identity and existing checkpoints stay resumable.
+inline constexpr uint32_t kManifestVersion = 3;
 
 /// \brief Location and shape of one sub-shard blob inside a shard file.
 struct SubShardMeta {
@@ -42,6 +43,13 @@ struct SubShardMeta {
   /// blob is self-describing via its magic — but recorded so tooling and
   /// benches can report a store's format without reading shard bytes.
   SubShardFormat format = SubShardFormat::kNxs1;
+
+  /// Source-vertex summary (v3): a filter over this blob's source vertices
+  /// in the layout Manifest::summary_layout derives for the blob's source
+  /// interval. kNone / empty on v1/v2 manifests and empty blobs — absent
+  /// summaries always schedule conservatively ("may contribute").
+  SummaryKind summary_kind = SummaryKind::kNone;
+  std::vector<uint64_t> summary;
 
   /// Exact in-memory footprint of the decoded SubShard (dsts + offsets +
   /// srcs + optional weights, 4 bytes each; offsets always holds
@@ -63,6 +71,12 @@ struct Manifest {
   bool weighted = false;
   bool has_transpose = false;
 
+  /// Summary sizing the sharder used (v3); both 0 when the store carries no
+  /// summaries (v1/v2 manifests, or summaries disabled at build time).
+  /// Persisted so every reader derives exactly the layout that was written.
+  uint32_t summary_bitmap_max_bits = 0;
+  uint32_t summary_bloom_bits = 0;
+
   /// Interval boundaries: interval i covers ids
   /// [interval_offsets[i], interval_offsets[i+1]). Size P+1.
   std::vector<VertexId> interval_offsets;
@@ -80,11 +94,15 @@ struct Manifest {
   /// Parses and validates a manifest blob.
   static Result<Manifest> Decode(const std::string& data);
 
-  /// Stable identity of the prepared graph: a hash over the full encoded
-  /// manifest (interval boundaries and every sub-shard segment included),
-  /// salted with the vertex/edge counts. Two stores with the same
-  /// fingerprint are layout-identical, which is what the checkpoint
-  /// subsystem validates before resuming a run against a store.
+  /// Stable identity of the prepared graph: a hash over the TOPOLOGY only —
+  /// counts, interval boundaries, weightedness, and each sub-shard's
+  /// edge/destination counts. Byte-layout details (blob offsets, encoded
+  /// sizes, per-blob format, summaries, manifest version) are deliberately
+  /// excluded, so re-encoding a store — NXS1 -> NXS2, v2 -> v3, summaries
+  /// on/off — keeps its fingerprint and existing checkpoints stay
+  /// resumable. Two stores with the same fingerprint propagate values
+  /// identically, which is what the checkpoint subsystem validates before
+  /// resuming a run against a store.
   uint64_t Fingerprint() const;
 
   const SubShardMeta& subshard(uint32_t i, uint32_t j,
@@ -108,6 +126,41 @@ struct Manifest {
 
   /// Interval containing vertex `v`.
   uint32_t IntervalOf(VertexId v) const;
+
+  SummaryParams summary_params() const {
+    return SummaryParams{summary_bitmap_max_bits, summary_bloom_bits};
+  }
+  bool has_summaries() const {
+    return summary_bitmap_max_bits != 0 || summary_bloom_bits != 0;
+  }
+
+  /// Filter layout shared by every blob whose SOURCE interval is `i` and by
+  /// interval i's frontier filter. kNone when the store has no summaries.
+  SummaryLayout summary_layout(uint32_t i) const {
+    return MakeSummaryLayout(summary_params(), interval_begin(i),
+                             interval_size(i));
+  }
+
+  /// Bytes of summary filter words across both tables — the metadata cost
+  /// of selective scheduling, surfaced in RunStats/QueryStats.
+  uint64_t TotalSummaryBytes() const;
+
+  /// Ascending destination intervals j with subshard(i, j).num_edges > 0,
+  /// so planners iterate work that exists instead of rescanning all P^2
+  /// slots. Built by BuildColumnIndex() — Decode() runs it automatically;
+  /// hand-assembled manifests call it after filling the tables. Returns
+  /// nullptr when the index is absent (callers fall back to a full scan).
+  const std::vector<uint32_t>* NonEmptyColumns(uint32_t i,
+                                               bool transpose = false) const {
+    const auto& rows = transpose ? nonempty_cols_transpose_ : nonempty_cols_;
+    if (i >= rows.size()) return nullptr;
+    return &rows[i];
+  }
+  void BuildColumnIndex();
+
+ private:
+  std::vector<std::vector<uint32_t>> nonempty_cols_;
+  std::vector<std::vector<uint32_t>> nonempty_cols_transpose_;
 };
 
 /// Writes the manifest atomically into `dir`.

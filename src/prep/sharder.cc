@@ -147,6 +147,11 @@ Status ShardOneDirection(Env* env, const std::string& dir,
     reader.reset();
     NX_RETURN_NOT_OK(env->RemoveFile(row_paths[i]));
 
+    // All blobs of row i share interval i's summary layout: their sources
+    // all fall in [interval_offsets[i], interval_offsets[i+1]).
+    const SummaryLayout row_layout = MakeSummaryLayout(
+        options.summary, interval_offsets[i],
+        interval_offsets[i + 1] - interval_offsets[i]);
     for (uint32_t j = 0; j < p; ++j) {
       SubShard ss =
           BuildSubShard(i, j, &buckets[j], weighted, options.dedup);
@@ -160,6 +165,13 @@ Status ShardOneDirection(Env* env, const std::string& dir,
       meta.num_edges = ss.num_edges();
       meta.num_dsts = ss.num_dsts();
       meta.format = options.format;
+      if (row_layout.kind != SummaryKind::kNone && !ss.srcs.empty()) {
+        meta.summary_kind = row_layout.kind;
+        meta.summary.assign(row_layout.words(), 0);
+        for (VertexId src : ss.srcs) {
+          SummaryAddVertex(row_layout, src, meta.summary.data());
+        }
+      }
       offset += blob.size();
     }
   }
@@ -196,6 +208,8 @@ Result<Manifest> RunSharder(Env* env, const std::string& dir,
   m.num_intervals = p;
   m.weighted = degrees.weighted;
   m.has_transpose = options.build_transpose;
+  m.summary_bitmap_max_bits = options.summary.bitmap_max_bits;
+  m.summary_bloom_bits = options.summary.bloom_bits;
   m.interval_offsets = MakeEqualIntervals(degrees.num_vertices, p);
 
   NX_RETURN_NOT_OK(ShardOneDirection(env, dir, m.interval_offsets,
@@ -206,6 +220,7 @@ Result<Manifest> RunSharder(Env* env, const std::string& dir,
                                        m.weighted, /*transpose=*/true,
                                        options, &m.subshards_transpose));
   }
+  m.BuildColumnIndex();
   NX_RETURN_NOT_OK(WriteManifest(env, dir, m));
   return m;
 }

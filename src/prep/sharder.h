@@ -41,6 +41,15 @@ struct SharderOptions {
   /// write the raw fixed-width format. Readers dispatch on each blob's
   /// magic, so stores of either (or mixed) format load identically.
   SubShardFormat format = DefaultSubShardFormat();
+
+  /// Per-blob source-vertex summary sizing (manifest v3). Defaults to
+  /// summaries ON (bitmap up to 4096-vertex intervals, 512-bit bloom
+  /// above) unless NXGRAPH_SELECTIVE=0 disables selective scheduling
+  /// process-wide, in which case the written manifest carries no summaries.
+  /// Set both fields to 0 to force a summary-free store explicitly.
+  SummaryParams summary = DefaultSelectiveScheduling()
+                              ? SummaryParams{}
+                              : SummaryParams{0, 0};
 };
 
 /// \brief Runs sharding over the pre-shard produced by RunDegreer in `dir`,

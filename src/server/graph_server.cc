@@ -105,6 +105,7 @@ QueryContext GraphServer::MakeContext() const {
   ctx.retry = options_.retry;
   ctx.out_degrees = &out_degrees_;
   ctx.in_degrees = &in_degrees_;
+  ctx.selective = options_.selective;
   return ctx;
 }
 

@@ -59,6 +59,10 @@ class GraphServer {
     int prefetch_depth = 2;
     /// Transient-fault retry policy for query I/O (see RunOptions::retry).
     RetryPolicy retry;
+    /// Consult per-blob source summaries when planning query rounds (see
+    /// QueryContext::selective). Defaults to the NXGRAPH_SELECTIVE
+    /// override; inert on stores without summaries.
+    bool selective = DefaultSelectiveScheduling();
     /// Start with dispatch paused (test hook): submissions queue (and shed
     /// and reject) normally but no worker picks anything up until
     /// SetPaused(false).

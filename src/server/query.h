@@ -71,7 +71,15 @@ struct BatchQuery {
 /// RunStats).
 struct QueryStats {
   uint64_t subshards_visited = 0;  ///< sub-shards pulled through the cache
+  /// Non-empty sub-shards dropped because their source summary did not
+  /// intersect the query's frontier (selective scheduling; 0 when the
+  /// store has no summaries or the program is not monotone-skippable).
+  /// Skipped sub-shards are neither visited nor charged to the budget.
+  uint64_t subshards_skipped = 0;
   uint64_t bytes_charged = 0;      ///< encoded bytes charged to the budget
+  /// Total bytes of the manifest's per-blob source summaries the planner
+  /// consulted (0 when selective scheduling was off for this query).
+  uint64_t summary_bytes = 0;
   int iterations = 0;              ///< propagation rounds executed
   bool truncated = false;          ///< stopped early on io_byte_budget
   double queue_seconds = 0;        ///< submission -> start of execution

@@ -38,6 +38,12 @@ struct QueryContext {
   const std::vector<uint32_t>* out_degrees = nullptr;
   /// In-degrees; empty unless the store has a transpose.
   const std::vector<uint32_t>* in_degrees = nullptr;
+  /// Consult per-blob source summaries (manifest v3) when planning rounds:
+  /// sub-shards whose summary cannot intersect the query's frontier are
+  /// skipped — not visited, not charged. Only effective for
+  /// monotone-skippable programs on stores carrying summaries; results are
+  /// bit-identical either way. Defaults to the NXGRAPH_SELECTIVE override.
+  bool selective = DefaultSelectiveScheduling();
 };
 
 /// \brief Sparse traversal output: reached vertices (ascending id) and
@@ -96,10 +102,20 @@ struct Visit {
 /// encoded size against the byte budget. Charging is independent of cache
 /// residency, so the plan — including the truncation point — depends only
 /// on the query. Returns false (and stops planning) once the budget cannot
-/// fund the next sub-shard.
+/// fund the next sub-shard; in particular a first sub-shard larger than
+/// the whole budget deterministically yields an empty plan (a point query
+/// then returns its root-only partial result).
+///
+/// Rows iterate the manifest's per-row nonempty-column index instead of
+/// rescanning all P² slots. When `frontier` is non-null (selective
+/// scheduling), a blob whose source summary cannot intersect the frontier
+/// is dropped BEFORE the budget check — skipped blobs are neither charged
+/// nor visited, and an unreachable oversized blob cannot truncate the
+/// query. Each skip increments *skipped.
 inline bool PlanRound(const Manifest& m, const std::vector<uint8_t>& active,
                       bool skip_inactive, bool use_forward, bool use_transpose,
-                      uint64_t budget, uint64_t* charged,
+                      const std::vector<FrontierFilter>* frontier,
+                      uint64_t budget, uint64_t* charged, uint64_t* skipped,
                       std::vector<Visit>* visits) {
   visits->clear();
   for (int dir = 0; dir < 2; ++dir) {
@@ -107,16 +123,45 @@ inline bool PlanRound(const Manifest& m, const std::vector<uint8_t>& active,
     if (transpose ? !use_transpose : !use_forward) continue;
     for (uint32_t i = 0; i < m.num_intervals; ++i) {
       if (skip_inactive && !active[i]) continue;
-      for (uint32_t j = 0; j < m.num_intervals; ++j) {
+      // Plans the blob at (i, j); returns false when the budget ran out.
+      auto plan_one = [&](uint32_t j) {
         const SubShardMeta& meta = m.subshard(i, j, transpose);
-        if (meta.num_edges == 0) continue;
+        if (meta.num_edges == 0) return true;
+        if (frontier != nullptr &&
+            !(*frontier)[i].MayIntersect(meta.summary)) {
+          ++*skipped;
+          return true;
+        }
         if (budget > 0 && *charged + meta.size > budget) return false;
         *charged += meta.size;
         visits->push_back({transpose, i, j});
+        return true;
+      };
+      const std::vector<uint32_t>* cols = m.NonEmptyColumns(i, transpose);
+      if (cols != nullptr) {
+        for (uint32_t j : *cols) {
+          if (!plan_one(j)) return false;
+        }
+      } else {
+        for (uint32_t j = 0; j < m.num_intervals; ++j) {
+          if (!plan_one(j)) return false;
+        }
       }
     }
   }
   return true;
+}
+
+/// Per-interval frontier filters for one query, sized to the manifest's
+/// summary layouts. Inert (MayIntersect always true) when the store has no
+/// summaries.
+inline std::vector<FrontierFilter> MakeQueryFrontier(const Manifest& m) {
+  std::vector<FrontierFilter> frontier(m.num_intervals);
+  for (uint32_t i = 0; i < m.num_intervals; ++i) {
+    frontier[i].layout = m.summary_layout(i);
+    frontier[i].ResetToAll();
+  }
+  return frontier;
 }
 
 /// Accumulates one sub-shard's contributions. `ensure_acc(j)` materializes
@@ -186,13 +231,31 @@ Outcome<SparseTraversalResult<typename Program::Value>> RunPointTraversal(
   // all (a zero-budget BFS still reports its root at hop 0).
   for (VertexId v : program.SeedVertices()) ensure_values(m.IntervalOf(v));
 
+  // Selective scheduling: seeded traversals start from an EXACT frontier
+  // (only the seeds differ from the default value), so round 1 already
+  // skips every blob the seeds cannot contribute to.
+  const bool selective =
+      ctx.selective && Program::kMonotoneSkippable && m.has_summaries();
+  std::vector<FrontierFilter> frontier;
+  std::vector<FrontierFilter> next_frontier;
+  if (selective) {
+    frontier = server_internal::MakeQueryFrontier(m);
+    next_frontier = server_internal::MakeQueryFrontier(m);
+    for (uint32_t i = 0; i < p; ++i) frontier[i].ResetToEmpty();
+    for (VertexId v : program.SeedVertices()) {
+      frontier[m.IntervalOf(v)].Add(v);
+    }
+    stats.summary_bytes = m.TotalSummaryBytes();
+  }
+
   bool truncated = false;
   std::vector<server_internal::Visit> visits;
   for (int round = 1; max_rounds <= 0 || round <= max_rounds; ++round) {
     truncated = !server_internal::PlanRound(
         m, active, /*skip_inactive=*/Program::kMonotoneSkippable,
-        /*use_forward=*/true, /*use_transpose=*/false, io_byte_budget,
-        &stats.bytes_charged, &visits);
+        /*use_forward=*/true, /*use_transpose=*/false,
+        selective ? &frontier : nullptr, io_byte_budget,
+        &stats.bytes_charged, &stats.subshards_skipped, &visits);
     if (visits.empty()) break;  // converged, or nothing left the budget funds
     stats.iterations = round;
 
@@ -220,6 +283,9 @@ Outcome<SparseTraversalResult<typename Program::Value>> RunPointTraversal(
 
     bool any_next = false;
     std::vector<uint8_t> next_active(p, 0);
+    if (selective) {
+      for (uint32_t i = 0; i < p; ++i) next_frontier[i].ResetToEmpty();
+    }
     for (uint32_t j = 0; j < p; ++j) {
       if (acc[j].empty()) continue;
       ensure_values(j);
@@ -228,13 +294,17 @@ Outcome<SparseTraversalResult<typename Program::Value>> RunPointTraversal(
       for (uint32_t k = 0; k < values[j].size(); ++k) {
         const Value old = values[j][k];
         const Value next = program.Apply(begin + k, acc[j][k], old);
-        if (program.Changed(old, next)) changed = true;
+        if (program.Changed(old, next)) {
+          changed = true;
+          if (selective) next_frontier[j].Add(begin + static_cast<VertexId>(k));
+        }
         values[j][k] = next;
       }
       next_active[j] = changed ? 1 : 0;
       any_next = any_next || changed;
     }
     active.swap(next_active);
+    if (selective) frontier.swap(next_frontier);
     if (truncated || !any_next) break;
   }
 
@@ -287,6 +357,19 @@ Outcome<BatchResult<typename Program::Value>> RunBatchQuery(
         InitIntervalValues(program, m, i, fwd_degrees, &values[i]) ? 1 : 0;
   }
 
+  // Dense-init programs start all-pass (every vertex may differ from the
+  // default); the frontier tightens to the changed set after iteration 1 —
+  // WCC on a mostly-converged graph skips the quiet blobs from then on.
+  const bool selective =
+      ctx.selective && Program::kMonotoneSkippable && m.has_summaries();
+  std::vector<FrontierFilter> frontier;
+  std::vector<FrontierFilter> next_frontier;
+  if (selective) {
+    frontier = server_internal::MakeQueryFrontier(m);
+    next_frontier = server_internal::MakeQueryFrontier(m);
+    stats.summary_bytes = m.TotalSummaryBytes();
+  }
+
   bool truncated = false;
   std::vector<server_internal::Visit> visits;
   for (int iter = 1; max_iterations <= 0 || iter <= max_iterations; ++iter) {
@@ -296,7 +379,8 @@ Outcome<BatchResult<typename Program::Value>> RunBatchQuery(
 
     truncated = !server_internal::PlanRound(
         m, active, /*skip_inactive=*/Program::kMonotoneSkippable, use_forward,
-        use_transpose, io_byte_budget, &stats.bytes_charged, &visits);
+        use_transpose, selective ? &frontier : nullptr, io_byte_budget,
+        &stats.bytes_charged, &stats.subshards_skipped, &visits);
     if (visits.empty()) break;
     stats.iterations = iter;
 
@@ -327,18 +411,25 @@ Outcome<BatchResult<typename Program::Value>> RunBatchQuery(
     }
 
     bool any_next = false;
+    if (selective) {
+      for (uint32_t i = 0; i < p; ++i) next_frontier[i].ResetToEmpty();
+    }
     for (uint32_t j = 0; j < p; ++j) {
       const VertexId begin = m.interval_begin(j);
       bool changed = false;
       for (uint32_t k = 0; k < values[j].size(); ++k) {
         const Value old = values[j][k];
         const Value next = program.Apply(begin + k, acc[j][k], old);
-        if (program.Changed(old, next)) changed = true;
+        if (program.Changed(old, next)) {
+          changed = true;
+          if (selective) next_frontier[j].Add(begin + static_cast<VertexId>(k));
+        }
         values[j][k] = next;
       }
       active[j] = changed ? 1 : 0;
       any_next = any_next || changed;
     }
+    if (selective) frontier.swap(next_frontier);
     if (truncated || !any_next) break;
   }
 
