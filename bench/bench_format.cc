@@ -11,6 +11,7 @@
 
 #include "bench/bench_common.h"
 #include "src/util/byte_size.h"
+#include "src/util/varint.h"
 #include "src/util/timer.h"
 
 namespace nxgraph {
@@ -49,6 +50,112 @@ double MeasureDecodeSeconds(const GraphStore& store, int reps) {
     }
   }
   return timer.ElapsedSeconds() / reps;
+}
+
+// The exact varint bytes BulkGetVarint32 sees while decoding the store —
+// every blob's dst-delta, count, and src-delta streams concatenated — and
+// the value count, for measuring the bulk kernel without the surrounding
+// reconstruction/validation work.
+struct BulkStreams {
+  std::string bytes;
+  size_t values = 0;
+};
+
+BulkStreams ExtractBulkStreams(const GraphStore& store) {
+  BulkStreams bs;
+  const uint32_t p = store.num_intervals();
+  for (uint32_t i = 0; i < p; ++i) {
+    auto raw = store.ReadSubShardRowBytes(i, 0, p, false);
+    NX_CHECK(raw.ok());
+    auto row = store.DecodeSubShardRow(i, 0, p, false, {}, *raw);
+    NX_CHECK(row.ok());
+    for (const SubShard& ss : *row) {
+      for (uint32_t g = 0; g < ss.num_dsts(); ++g) {
+        PutVarint32(&bs.bytes, g == 0 ? ss.dsts[0]
+                                      : ss.dsts[g] - ss.dsts[g - 1] - 1);
+      }
+      for (uint32_t g = 0; g < ss.num_dsts(); ++g) {
+        PutVarint32(&bs.bytes, ss.offsets[g + 1] - ss.offsets[g]);
+      }
+      for (uint32_t g = 0; g < ss.num_dsts(); ++g) {
+        for (uint32_t k = ss.offsets[g]; k < ss.offsets[g + 1]; ++k) {
+          PutVarint32(&bs.bytes, k == ss.offsets[g]
+                                     ? ss.srcs[k]
+                                     : ss.srcs[k] - ss.srcs[k - 1]);
+        }
+      }
+      bs.values += 2 * ss.num_dsts() + ss.num_edges();
+    }
+  }
+  return bs;
+}
+
+double MeasureBulkKernelSeconds(const BulkStreams& bs, int reps,
+                                DecodePath path) {
+  std::vector<uint32_t> out(bs.values);
+  Timer timer;
+  for (int r = 0; r < reps; ++r) {
+    const char* end =
+        BulkGetVarint32(bs.bytes.data(), bs.bytes.data() + bs.bytes.size(),
+                        out.data(), bs.values, path);
+    NX_CHECK(end == bs.bytes.data() + bs.bytes.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  return timer.ElapsedSeconds() / reps;
+}
+
+// MeasureDecodeSeconds under an explicit decode path (scalar reference vs
+// the best SIMD path); restores the store's auto path afterwards.
+double MeasureDecodeSecondsPath(const GraphStore& store, int reps,
+                                SimdDecode mode) {
+  store.SetSimdDecode(mode);
+  const double seconds = MeasureDecodeSeconds(store, reps);
+  store.SetSimdDecode(SimdDecode::kAuto);
+  return seconds;
+}
+
+// Scalar-vs-SIMD decode throughput over the NXS2 store (encoded MB/s and
+// edge rate). Printed in smoke mode too: the CI log shows the decode-path
+// speedup on whatever hardware ran the job.
+void PrintDecodePathTable(const GraphStore& s2, uint64_t shard_bytes,
+                          double edges, int reps) {
+  const double scalar_s =
+      MeasureDecodeSecondsPath(s2, reps, SimdDecode::kForceScalar);
+  const double simd_s =
+      MeasureDecodeSecondsPath(s2, reps, SimdDecode::kForceSimd);
+  const double mb = static_cast<double>(shard_bytes) / (1024.0 * 1024.0);
+  std::printf("\n--- NXS2 decode path: scalar vs %s (whole store) ---\n",
+              DecodePathName(ResolveDecodePath(SimdDecode::kForceSimd)));
+  bench::Table t({"Path", "Decode (s)", "MB/s", "Edges/s (M)", "Speedup"});
+  t.AddRow({"scalar", bench::Fmt(scalar_s, 3), bench::Fmt(mb / scalar_s, 1),
+            bench::Fmt(edges / scalar_s / 1e6, 1), "1.00x"});
+  t.AddRow({DecodePathName(ResolveDecodePath(SimdDecode::kForceSimd)),
+            bench::Fmt(simd_s, 3), bench::Fmt(mb / simd_s, 1),
+            bench::Fmt(edges / simd_s / 1e6, 1),
+            bench::Fmt(scalar_s / simd_s) + "x"});
+  t.Print();
+
+  // The bulk kernel alone (BulkGetVarint32 over the store's concatenated
+  // varint streams) — the whole-store rows above additionally carry the
+  // path-independent reconstruction, CRC, and allocation work.
+  const BulkStreams bs = ExtractBulkStreams(s2);
+  const int kreps = 10 * reps;
+  const double kscalar =
+      MeasureBulkKernelSeconds(bs, kreps, DecodePath::kScalar);
+  const double ksimd = MeasureBulkKernelSeconds(
+      bs, kreps, ResolveDecodePath(SimdDecode::kForceSimd));
+  const double smb = static_cast<double>(bs.bytes.size()) / (1024.0 * 1024.0);
+  std::printf("\n--- NXS2 bulk varint kernel (%zu values, %.1f MiB) ---\n",
+              bs.values, smb);
+  bench::Table k({"Path", "Decode (s)", "MB/s", "Mvals/s", "Speedup"});
+  k.AddRow({"scalar", bench::Fmt(kscalar, 3), bench::Fmt(smb / kscalar, 1),
+            bench::Fmt(static_cast<double>(bs.values) / kscalar / 1e6, 1),
+            "1.00x"});
+  k.AddRow({DecodePathName(ResolveDecodePath(SimdDecode::kForceSimd)),
+            bench::Fmt(ksimd, 3), bench::Fmt(smb / ksimd, 1),
+            bench::Fmt(static_cast<double>(bs.values) / ksimd / 1e6, 1),
+            bench::Fmt(kscalar / ksimd) + "x"});
+  k.Print();
 }
 
 // Stream-mode budget mirroring bench_prefetch: state + degrees + a sliver,
@@ -121,6 +228,7 @@ int main(int argc, char** argv) {
     // CI gate: the compression claim must hold on the bench graph.
     NX_CHECK(ratio >= 1.8) << "NXS2 store only " << ratio
                            << "x smaller than NXS1 (need >= 1.8x)";
+    PrintDecodePathTable(*s2.store, s2.shard_bytes, m, 3);
     std::printf("\nsmoke OK: NXS2 store %.2fx smaller than NXS1\n", ratio);
     return 0;
   }
@@ -134,6 +242,7 @@ int main(int argc, char** argv) {
   decode.AddRow({"NXS1", bench::Fmt(dec1, 3), bench::Fmt(m / dec1 / 1e6, 1)});
   decode.AddRow({"NXS2", bench::Fmt(dec2, 3), bench::Fmt(m / dec2 / 1e6, 1)});
   decode.Print();
+  PrintDecodePathTable(*s2.store, s2.shard_bytes, m, reps);
 
   // ---- throttled-SSD stream PageRank (device model) ----------------------
   const int iterations = full ? 10 : 5;

@@ -465,6 +465,15 @@ class Engine {
   // downgrade; the live store's count is added at reporting time.
   RetryCounters counters_;
 
+  // Decode accounting: Run reports folded_* + (live store − base). The
+  // base subtracts decodes a shared store served before this run; a
+  // downgrade folds the dying store's delta before the reopen starts the
+  // replacement store back at zero (same lifecycle as checksum_rereads).
+  uint64_t decode_calls_base_ = 0;
+  uint64_t decode_nanos_base_ = 0;
+  uint64_t folded_decode_calls_ = 0;
+  uint64_t folded_decode_nanos_ = 0;
+
   // Accumulated by the (single-threaded) phase drivers.
   double phase_seconds_[4] = {0, 0, 0, 0};  // A, B, C, D
   double io_wait_seconds_ = 0;
@@ -577,6 +586,13 @@ Status Engine<Program>::Prepare() {
   }
   cache_ = std::make_unique<SubShardCache>(store_,
                                            decision_.subshard_cache_budget);
+
+  // The decode-path knob applies to whichever store the backend selection
+  // settled on; the bases make RunStats report this run's decode work even
+  // on a shared store that decoded for earlier runs.
+  store_->SetSimdDecode(options_.simd_decode);
+  decode_calls_base_ = store_->bulk_decode_calls();
+  decode_nanos_base_ = store_->decode_nanos();
 
   active_.assign(p_, 0);
   next_active_ = std::make_unique<std::atomic<uint8_t>[]>(p_);
@@ -868,9 +884,14 @@ Status Engine<Program>::DowngradeToBuffered(const Status& cause) {
   cache_.reset();
   counters_.checksum_rereads.fetch_add(store_->checksum_rereads(),
                                        std::memory_order_relaxed);
+  folded_decode_calls_ += store_->bulk_decode_calls() - decode_calls_base_;
+  folded_decode_nanos_ += store_->decode_nanos() - decode_nanos_base_;
 
   Env* env = Env::Default();
   NX_ASSIGN_OR_RETURN(store_, GraphStore::Open(env, store_->dir()));
+  store_->SetSimdDecode(options_.simd_decode);
+  decode_calls_base_ = 0;
+  decode_nanos_base_ = 0;
   cache_ = std::make_unique<SubShardCache>(store_,
                                            decision_.subshard_cache_budget);
   const std::string scratch = options_.scratch_dir.empty()
@@ -1778,6 +1799,13 @@ Result<RunStats> Engine<Program>::Run() {
   stats.dropped_write_errors =
       counters_.dropped_write_errors.load(std::memory_order_relaxed);
   stats.io_backend = IoBackendName(effective_backend_);
+  stats.decode_path = DecodePathName(store_->decode_path());
+  stats.bulk_decode_calls =
+      folded_decode_calls_ + store_->bulk_decode_calls() - decode_calls_base_;
+  stats.decode_seconds =
+      static_cast<double>(folded_decode_nanos_ + store_->decode_nanos() -
+                          decode_nanos_base_) /
+      1e9;
   return stats;
 }
 

@@ -9,6 +9,7 @@
 #include "src/io/io_backend.h"
 #include "src/prep/source_summary.h"
 #include "src/util/retry.h"
+#include "src/util/simd_varint.h"
 
 namespace nxgraph {
 
@@ -165,6 +166,17 @@ struct RunOptions {
   /// so the whole test/bench suite can be swept without code changes (CI's
   /// selective job).
   bool selective_scheduling = DefaultSelectiveScheduling();
+
+  /// Which varint decode implementation serves this run's NXS2 blobs
+  /// (src/util/simd_varint.h). kAuto resolves to the best path the CPU
+  /// supports, capped by the NXGRAPH_SIMD=off|sse|avx2 environment
+  /// variable (the CI decode-matrix sweep); kForceScalar pins the scalar
+  /// reference codec (the debugging escape hatch); kForceSimd takes the
+  /// best hardware path even inside an NXGRAPH_SIMD=off sweep (parity
+  /// tests), degrading to scalar only when the CPU lacks SSSE3. Every path
+  /// yields bit-identical results and identical Corruption rejection;
+  /// RunStats::decode_path reports what actually ran.
+  SimdDecode simd_decode = SimdDecode::kAuto;
 };
 
 /// \brief Statistics from one engine run.
@@ -242,6 +254,18 @@ struct RunStats {
   /// Write/flush errors suppressed by first-error-wins reporting at
   /// write-behind Drain barriers (each was also logged).
   uint64_t dropped_write_errors = 0;
+
+  // -- decode path --------------------------------------------------------
+  /// Varint decode implementation that served the run ("scalar" / "ssse3" /
+  /// "avx2") — RunOptions::simd_decode after CPUID + NXGRAPH_SIMD
+  /// resolution. Results are bit-identical across paths.
+  std::string decode_path;
+  /// NXS2 bulk varint stream scans executed (three per NXS2 blob decode;
+  /// 0 on an all-NXS1 store).
+  uint64_t bulk_decode_calls = 0;
+  /// Wall-clock spent inside SubShard::Decode (checksum + parse), summed
+  /// across decoding threads — the CPU tax the SIMD path exists to shrink.
+  double decode_seconds = 0;
 
   // -- selective scheduling -----------------------------------------------
   /// Out-of-core sub-shard reads the run actually enqueued vs dropped at

@@ -61,6 +61,7 @@ Result<std::unique_ptr<GraphServer>> GraphServer::Open(Env* env,
 
   std::unique_ptr<GraphServer> server(new GraphServer(env, opts));
   NX_ASSIGN_OR_RETURN(server->store_, GraphStore::Open(env, dir));
+  server->store_->SetSimdDecode(opts.simd_decode);
   server->cache_ = std::make_unique<SubShardCache>(
       server->store_, opts.cache_budget_bytes, /*evictable=*/true);
   server->io_pool_ = std::make_unique<ThreadPool>(opts.io_threads);
@@ -242,6 +243,9 @@ GraphServer::Stats GraphServer::stats() const {
   s.cache_bytes_cached = cache_->bytes_cached();
   const double lookups = static_cast<double>(s.cache.hits + s.cache.misses);
   s.cache_hit_rate = lookups > 0 ? static_cast<double>(s.cache.hits) / lookups : 0;
+  s.decode_path = DecodePathName(store_->decode_path());
+  s.bulk_decode_calls = store_->bulk_decode_calls();
+  s.decode_seconds = static_cast<double>(store_->decode_nanos()) / 1e9;
   return s;
 }
 

@@ -63,6 +63,11 @@ class GraphServer {
     /// QueryContext::selective). Defaults to the NXGRAPH_SELECTIVE
     /// override; inert on stores without summaries.
     bool selective = DefaultSelectiveScheduling();
+    /// Varint decode implementation for every blob decode this server's
+    /// store performs (RunOptions::simd_decode semantics: kAuto resolves
+    /// CPUID capped by NXGRAPH_SIMD; results are bit-identical across
+    /// paths). Stats::decode_path reports the resolution.
+    SimdDecode simd_decode = SimdDecode::kAuto;
     /// Start with dispatch paused (test hook): submissions queue (and shed
     /// and reject) normally but no worker picks anything up until
     /// SetPaused(false).
@@ -90,6 +95,12 @@ class GraphServer {
     SubShardCache::Counters cache;
     uint64_t cache_bytes_cached = 0;
     double cache_hit_rate = 0;  ///< hits / (hits + misses)
+    /// Decode path serving the shared store ("scalar"/"ssse3"/"avx2") and
+    /// its lifetime decode totals across all queries (see QueryStats for
+    /// the per-query attribution).
+    std::string decode_path;
+    uint64_t bulk_decode_calls = 0;
+    double decode_seconds = 0;
   };
 
   /// Opens the store and starts the worker/I/O pools. The Env must outlive

@@ -84,6 +84,20 @@ struct QueryStats {
   bool truncated = false;          ///< stopped early on io_byte_budget
   double queue_seconds = 0;        ///< submission -> start of execution
   double run_seconds = 0;          ///< execution wall-clock
+
+  // -- decode path --------------------------------------------------------
+  /// Varint decode implementation in effect for this query's blob decodes
+  /// ("scalar" / "ssse3" / "avx2") — GraphServer::Options::simd_decode
+  /// after CPUID + NXGRAPH_SIMD resolution. Bit-identical results across
+  /// paths.
+  std::string decode_path;
+  /// NXS2 bulk varint scans THIS query's cache misses performed (tallied
+  /// inside the load, wherever it ran — worker thread or shared I/O pool).
+  /// A fully cache-hit query reports 0; waiting on another query's
+  /// in-flight load attributes the work to that query.
+  uint64_t bulk_decode_calls = 0;
+  /// Wall-clock inside SubShard::Decode for those loads.
+  double decode_seconds = 0;
 };
 
 /// \brief Result of a point query: the reached vertices (ascending id) and

@@ -10,8 +10,10 @@
 #ifndef NXGRAPH_SERVER_QUERY_RUNNER_H_
 #define NXGRAPH_SERVER_QUERY_RUNNER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -199,6 +201,45 @@ inline Status TruncatedStatus(uint64_t budget) {
       " bytes); partial result returned");
 }
 
+/// Per-query decode accounting, shared with the load closures. Loads may
+/// execute on the shared I/O pool rather than the query's worker thread,
+/// so each closure folds its own thread's DecodeTallies delta in here —
+/// the query is charged exactly the decodes its loads performed, wherever
+/// they ran. Cache hits and waits on another query's in-flight load fold
+/// zero.
+struct QueryDecodeTally {
+  std::atomic<uint64_t> calls{0};
+  std::atomic<uint64_t> nanos{0};
+};
+
+/// Wraps one sub-shard load for PrefetchStream, folding the executing
+/// thread's decode-tally delta into `tally`.
+inline auto TalliedLoad(SubShardCache* cache, Visit v,
+                        std::shared_ptr<QueryDecodeTally> tally) {
+  return [cache, v, tally = std::move(tally)]() -> Result<SubShardCache::Pin> {
+    const DecodeTallies before = ThreadDecodeTallies();
+    Result<SubShardCache::Pin> r = cache->GetPinned(v.i, v.j, v.transpose);
+    const DecodeTallies& after = ThreadDecodeTallies();
+    tally->calls.fetch_add(after.bulk_decode_calls - before.bulk_decode_calls,
+                           std::memory_order_relaxed);
+    tally->nanos.fetch_add(after.decode_nanos - before.decode_nanos,
+                           std::memory_order_relaxed);
+    return r;
+  };
+}
+
+/// Copies the accumulated decode tally into the query's stats (called on
+/// every exit path, including load failures, so partial stats still report
+/// the decode work done so far).
+inline void SettleDecodeStats(const QueryContext& ctx,
+                              const QueryDecodeTally& tally,
+                              QueryStats* stats) {
+  stats->decode_path = DecodePathName(ctx.store->decode_path());
+  stats->bulk_decode_calls = tally.calls.load(std::memory_order_relaxed);
+  stats->decode_seconds =
+      static_cast<double>(tally.nanos.load(std::memory_order_relaxed)) / 1e9;
+}
+
 }  // namespace server_internal
 
 /// \brief Runs a root-seeded point traversal (BFS / SSSP / k-hop) to
@@ -221,6 +262,8 @@ Outcome<SparseTraversalResult<typename Program::Value>> RunPointTraversal(
   const uint32_t p = m.num_intervals;
   const std::vector<uint32_t>& degrees = *ctx.out_degrees;
   QueryStats& stats = out.result.stats;
+  const auto decode_tally =
+      std::make_shared<server_internal::QueryDecodeTally>();
 
   std::vector<uint8_t> active = InitialActivity(program, m);
   std::vector<std::vector<Value>> values(p);
@@ -262,15 +305,14 @@ Outcome<SparseTraversalResult<typename Program::Value>> RunPointTraversal(
     PrefetchStream<SubShardCache::Pin> pins(ctx.io_pool, nullptr,
                                             ctx.prefetch_depth, ctx.retry);
     for (const auto& v : visits) {
-      pins.Push([cache = ctx.cache, v]() -> Result<SubShardCache::Pin> {
-        return cache->GetPinned(v.i, v.j, v.transpose);
-      });
+      pins.Push(server_internal::TalliedLoad(ctx.cache, v, decode_tally));
     }
     std::vector<std::vector<Value>> acc(p);
     for (const auto& v : visits) {
       Result<SubShardCache::Pin> pin = pins.Next();
       if (!pin.ok()) {
         out.status = pin.status();
+        server_internal::SettleDecodeStats(ctx, *decode_tally, &stats);
         return out;
       }
       ++stats.subshards_visited;
@@ -321,6 +363,7 @@ Outcome<SparseTraversalResult<typename Program::Value>> RunPointTraversal(
   }
   out.status = truncated ? server_internal::TruncatedStatus(io_byte_budget)
                          : Status::OK();
+  server_internal::SettleDecodeStats(ctx, *decode_tally, &stats);
   return out;
 }
 
@@ -340,6 +383,8 @@ Outcome<BatchResult<typename Program::Value>> RunBatchQuery(
   const bool use_forward = direction != EdgeDirection::kTranspose;
   const bool use_transpose = direction != EdgeDirection::kForward;
   QueryStats& stats = out.result.stats;
+  const auto decode_tally =
+      std::make_shared<server_internal::QueryDecodeTally>();
 
   if (use_transpose && !ctx.store->has_transpose()) {
     out.status = Status::InvalidArgument(
@@ -387,9 +432,7 @@ Outcome<BatchResult<typename Program::Value>> RunBatchQuery(
     PrefetchStream<SubShardCache::Pin> pins(ctx.io_pool, nullptr,
                                             ctx.prefetch_depth, ctx.retry);
     for (const auto& v : visits) {
-      pins.Push([cache = ctx.cache, v]() -> Result<SubShardCache::Pin> {
-        return cache->GetPinned(v.i, v.j, v.transpose);
-      });
+      pins.Push(server_internal::TalliedLoad(ctx.cache, v, decode_tally));
     }
     // Dense accumulators: non-monotone programs (PageRank) need Apply on
     // every vertex each iteration, contributions or not.
@@ -401,6 +444,7 @@ Outcome<BatchResult<typename Program::Value>> RunBatchQuery(
       Result<SubShardCache::Pin> pin = pins.Next();
       if (!pin.ok()) {
         out.status = pin.status();
+        server_internal::SettleDecodeStats(ctx, *decode_tally, &stats);
         return out;
       }
       ++stats.subshards_visited;
@@ -441,6 +485,7 @@ Outcome<BatchResult<typename Program::Value>> RunBatchQuery(
   }
   out.status = truncated ? server_internal::TruncatedStatus(io_byte_budget)
                          : Status::OK();
+  server_internal::SettleDecodeStats(ctx, *decode_tally, &stats);
   return out;
 }
 

@@ -7,6 +7,32 @@
 
 namespace nxgraph {
 
+namespace {
+
+// Folds the calling thread's decode-tally delta over a scope into the
+// store's process-wide counters, whatever exit path the scope takes.
+class DecodeTallyFold {
+ public:
+  DecodeTallyFold(std::atomic<uint64_t>* calls, std::atomic<uint64_t>* nanos)
+      : calls_(calls), nanos_(nanos), before_(ThreadDecodeTallies()) {}
+  ~DecodeTallyFold() {
+    const DecodeTallies& after = ThreadDecodeTallies();
+    calls_->fetch_add(after.bulk_decode_calls - before_.bulk_decode_calls,
+                      std::memory_order_relaxed);
+    nanos_->fetch_add(after.decode_nanos - before_.decode_nanos,
+                      std::memory_order_relaxed);
+  }
+  DecodeTallyFold(const DecodeTallyFold&) = delete;
+  DecodeTallyFold& operator=(const DecodeTallyFold&) = delete;
+
+ private:
+  std::atomic<uint64_t>* calls_;
+  std::atomic<uint64_t>* nanos_;
+  DecodeTallies before_;
+};
+
+}  // namespace
+
 Result<std::shared_ptr<GraphStore>> GraphStore::Open(Env* env,
                                                      const std::string& dir) {
   std::shared_ptr<GraphStore> store(new GraphStore(env, dir));
@@ -49,8 +75,9 @@ Result<SubShard> GraphStore::LoadSubShard(uint32_t i, uint32_t j,
     return Status::OK();
   };
   NX_RETURN_NOT_OK(read());
+  DecodeTallyFold fold(&bulk_decode_calls_, &decode_nanos_);
   auto decoded = SubShard::Decode(buf.data(), buf.size(), i, j,
-                                  verify_checksum, &scratch);
+                                  verify_checksum, &scratch, decode_path());
   if (decoded.ok() || !decoded.status().IsCorruption()) return decoded;
   // One fresh read before declaring the blob corrupt: an in-flight bit
   // flip (bus/DMA/firmware) corrupts the buffer, not the medium, and
@@ -58,7 +85,7 @@ Result<SubShard> GraphStore::LoadSubShard(uint32_t i, uint32_t j,
   checksum_rereads_.fetch_add(1, std::memory_order_relaxed);
   NX_RETURN_NOT_OK(read());
   return SubShard::Decode(buf.data(), buf.size(), i, j, verify_checksum,
-                          &scratch);
+                          &scratch, decode_path());
 }
 
 Result<std::string> GraphStore::ReadSubShardRowBytes(uint32_t i,
@@ -106,6 +133,8 @@ Result<std::vector<SubShard>> GraphStore::DecodeSubShardRow(
   static thread_local SubShardDecodeScratch scratch;
   const SubShardMeta& first = manifest_.subshard(i, j_begin, transpose);
   row.reserve(j_end - j_begin);
+  DecodeTallyFold fold(&bulk_decode_calls_, &decode_nanos_);
+  const DecodePath path = decode_path();
   for (uint32_t j = j_begin; j < j_end; ++j) {
     const SubShardMeta& meta = manifest_.subshard(i, j, transpose);
     const bool verify =
@@ -116,7 +145,7 @@ Result<std::vector<SubShard>> GraphStore::DecodeSubShardRow(
     NX_ASSIGN_OR_RETURN(
         SubShard ss,
         SubShard::Decode(raw.data() + (meta.offset - first.offset), meta.size,
-                         i, j, verify, &scratch));
+                         i, j, verify, &scratch, path));
     row.push_back(std::move(ss));
   }
   return row;

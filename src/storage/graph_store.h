@@ -92,6 +92,29 @@ class GraphStore {
     return checksum_rereads_.load(std::memory_order_relaxed);
   }
 
+  /// Selects the varint decode implementation for every subsequent decode
+  /// through this store (RunOptions::simd_decode). Purely a performance
+  /// knob — every path produces bit-identical sub-shards and the identical
+  /// accept/reject set — which is why it is settable through the const
+  /// handles the engine and cache hold, like the counter atomics below.
+  void SetSimdDecode(SimdDecode mode) const {
+    decode_path_.store(ResolveDecodePath(mode), std::memory_order_relaxed);
+  }
+  DecodePath decode_path() const {
+    return decode_path_.load(std::memory_order_relaxed);
+  }
+
+  /// NXS2 bulk varint stream scans executed so far (three per NXS2 blob;
+  /// NXS1 blobs decode without bulk scans).
+  uint64_t bulk_decode_calls() const {
+    return bulk_decode_calls_.load(std::memory_order_relaxed);
+  }
+  /// Wall nanoseconds spent inside SubShard::Decode for this store's blobs
+  /// (checksum verification included), summed across threads.
+  uint64_t decode_nanos() const {
+    return decode_nanos_.load(std::memory_order_relaxed);
+  }
+
  private:
   GraphStore(Env* env, std::string dir) : env_(env), dir_(std::move(dir)) {}
 
@@ -101,6 +124,10 @@ class GraphStore {
   std::unique_ptr<RandomAccessFile> shards_;
   std::unique_ptr<RandomAccessFile> shards_transpose_;
   mutable std::atomic<uint64_t> checksum_rereads_{0};
+  mutable std::atomic<DecodePath> decode_path_{
+      ResolveDecodePath(SimdDecode::kAuto)};
+  mutable std::atomic<uint64_t> bulk_decode_calls_{0};
+  mutable std::atomic<uint64_t> decode_nanos_{0};
 };
 
 /// \brief Byte-budgeted cache of decoded sub-shards ("if there are still

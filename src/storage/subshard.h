@@ -9,6 +9,7 @@
 #include "src/graph/types.h"
 #include "src/storage/subshard_format.h"
 #include "src/util/result.h"
+#include "src/util/simd_varint.h"
 
 namespace nxgraph {
 
@@ -20,6 +21,20 @@ namespace nxgraph {
 struct SubShardDecodeScratch {
   std::vector<uint32_t> u32;
 };
+
+/// \brief Per-thread decode accounting, accumulated by SubShard::Decode.
+/// Queries run single-threaded on a worker (and a cache-miss leader decodes
+/// on its own thread), so snapshotting these around a section attributes
+/// decode work to exactly that section; GraphStore folds thread deltas into
+/// process-wide atomics for RunStats / server stats.
+struct DecodeTallies {
+  uint64_t blob_decodes = 0;      ///< SubShard::Decode calls (any format)
+  uint64_t bulk_decode_calls = 0; ///< BulkGetVarint32 stream scans (NXS2)
+  uint64_t decode_nanos = 0;      ///< wall time inside SubShard::Decode
+};
+
+/// The calling thread's decode tallies (monotone; never reset).
+DecodeTallies& ThreadDecodeTallies();
 
 /// \brief One decoded sub-shard SS_{i.j}: all edges with source in interval
 /// I_i and destination in interval I_j, in compressed sparse (CSR-like) form
@@ -62,11 +77,16 @@ struct SubShard {
   /// magic dispatches). `verify_checksum` may be false when the same blob
   /// was already verified this session (repeat streaming reloads);
   /// structural validation still runs. `scratch`, when non-null, provides
-  /// reusable staging memory for the NXS2 varint decoder.
-  static Result<SubShard> Decode(const char* data, size_t size,
-                                 uint32_t src_interval, uint32_t dst_interval,
-                                 bool verify_checksum = true,
-                                 SubShardDecodeScratch* scratch = nullptr);
+  /// reusable staging memory for the NXS2 varint decoder. `path` selects
+  /// the varint decode implementation; every path produces bit-identical
+  /// SubShards and the identical accept/reject set (corrupt blobs are
+  /// Status::Corruption on all of them), so it is purely a performance
+  /// knob (RunOptions::simd_decode).
+  static Result<SubShard> Decode(
+      const char* data, size_t size, uint32_t src_interval,
+      uint32_t dst_interval, bool verify_checksum = true,
+      SubShardDecodeScratch* scratch = nullptr,
+      DecodePath path = ResolveDecodePath(SimdDecode::kAuto));
 
   /// Index of the first entry in `dsts` with id >= `v` (for destination-
   /// chunked scheduling).

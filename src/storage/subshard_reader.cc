@@ -2,12 +2,15 @@
 // delta-varint NXS2 format. Byte layouts are specified in
 // docs/storage-format.md; both decode to the exact same in-memory SubShard.
 #include <algorithm>
+#include <cassert>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
 #include "src/storage/subshard.h"
 #include "src/util/crc32c.h"
 #include "src/util/serialize.h"
+#include "src/util/simd_varint.h"
 #include "src/util/varint.h"
 
 namespace nxgraph {
@@ -102,8 +105,24 @@ Result<SubShard> DecodeNxs1(const char* data, size_t size) {
 std::string EncodeNxs2(const SubShard& ss) {
   std::string out;
   const uint32_t num_dsts = static_cast<uint32_t>(ss.dsts.size());
-  out.reserve(16 + 2 * num_dsts + 2 * ss.srcs.size() +
-              4 * ss.weights.size());
+  // Exact sizing pass: Varint32Size/Varint64Size are a few cycles per value
+  // and encode runs at build time, so one extra scan buys a single
+  // allocation instead of a worst-case-guess reserve that either wastes
+  // memory or reallocates mid-append.
+  size_t need = 8 + Varint32Size(num_dsts) + Varint64Size(ss.srcs.size());
+  for (uint32_t k = 0; k < num_dsts; ++k) {
+    need += Varint32Size(k == 0 ? ss.dsts[0]
+                                : ss.dsts[k] - ss.dsts[k - 1] - 1);
+    need += Varint32Size(ss.offsets[k + 1] - ss.offsets[k]);
+  }
+  for (uint32_t g = 0; g < num_dsts; ++g) {
+    for (uint32_t k = ss.offsets[g]; k < ss.offsets[g + 1]; ++k) {
+      need += Varint32Size(k == ss.offsets[g] ? ss.srcs[k]
+                                              : ss.srcs[k] - ss.srcs[k - 1]);
+    }
+  }
+  need += ss.weights.size() * sizeof(float);
+  out.reserve(need);
   EncodeFixed<uint32_t>(&out, kSubShardMagicV2);
   EncodeFixed<uint32_t>(&out, ss.weights.empty() ? 0 : kFlagWeighted);
   PutVarint32(&out, num_dsts);
@@ -124,11 +143,12 @@ std::string EncodeNxs2(const SubShard& ss) {
     out.append(reinterpret_cast<const char*>(ss.weights.data()),
                ss.weights.size() * sizeof(float));
   }
+  assert(out.size() == need);  // the sizing pass is exact: no reallocation
   return out;
 }
 
 Result<SubShard> DecodeNxs2(const char* data, size_t size,
-                            SubShardDecodeScratch* scratch) {
+                            SubShardDecodeScratch* scratch, DecodePath path) {
   const char* p = data + 8;  // past magic + flags
   const char* limit = data + size;
   const uint32_t flags = DecodeFixed<uint32_t>(data + 4);
@@ -149,8 +169,12 @@ Result<SubShard> DecodeNxs2(const char* data, size_t size,
 
   SubShardDecodeScratch local;
   if (scratch == nullptr) scratch = &local;
+  // One resize sized from the header's value counts covers all three
+  // stream scans; nothing below may grow the staging buffer.
   scratch->u32.resize(std::max<size_t>(num_dsts, num_edges));
   uint32_t* stage = scratch->u32.data();
+
+  DecodeTallies& tallies = ThreadDecodeTallies();
 
   SubShard ss;
   ss.dsts.resize(num_dsts);
@@ -160,52 +184,62 @@ Result<SubShard> DecodeNxs2(const char* data, size_t size,
   // dsts: leading absolute value, then (delta - 1) per entry — strict
   // ascent is guaranteed by construction, so reconstruction needs no
   // per-element comparison; only the final accumulator can overflow 32
-  // bits, and monotonicity makes the single end check sufficient.
-  if ((p = GetVarint32Array(p, limit, num_dsts, stage)) == nullptr) {
+  // bits, and monotonicity makes the single end check on the exact 64-bit
+  // sum returned by DeltaPrefixSumU32 sufficient.
+  if ((p = BulkGetVarint32(p, limit, stage, num_dsts, path)) == nullptr) {
     return Status::Corruption("sub-shard dsts truncated");
   }
-  uint64_t acc = 0;
-  for (uint32_t k = 0; k < num_dsts; ++k) {
-    acc = k == 0 ? stage[0] : acc + stage[k] + 1;
-    ss.dsts[k] = static_cast<VertexId>(acc);
-  }
-  if (acc > UINT32_MAX) {
+  ++tallies.bulk_decode_calls;
+  if (DeltaPrefixSumU32(stage, num_dsts, 1, ss.dsts.data(), path) >
+      UINT32_MAX) {
     return Status::Corruption("sub-shard dsts overflow");
   }
 
   // Per-destination counts -> offsets prefix sums.
-  if ((p = GetVarint32Array(p, limit, num_dsts, stage)) == nullptr) {
+  if ((p = BulkGetVarint32(p, limit, stage, num_dsts, path)) == nullptr) {
     return Status::Corruption("sub-shard counts truncated");
   }
-  uint64_t sum = 0;
+  ++tallies.bulk_decode_calls;
   ss.offsets[0] = 0;
-  for (uint32_t k = 0; k < num_dsts; ++k) {
-    sum += stage[k];
-    ss.offsets[k + 1] = static_cast<uint32_t>(sum);
-  }
-  if (sum != num_edges) {
+  if (DeltaPrefixSumU32(stage, num_dsts, 0, ss.offsets.data() + 1, path) !=
+      num_edges) {
     return Status::Corruption("sub-shard count/edge mismatch");
   }
 
   // srcs: per group, a leading absolute value followed by deltas (ascending
   // within the group, so deltas are >= 0 and per-group monotone).
-  if ((p = GetVarint32Array(p, limit, num_edges, stage)) == nullptr) {
+  if ((p = BulkGetVarint32(p, limit, stage, num_edges, path)) == nullptr) {
     return Status::Corruption("sub-shard srcs truncated");
   }
+  ++tallies.bulk_decode_calls;
+  // Destination groups average only a handful of edges, so per-group kernel
+  // dispatch would dominate: small groups run a fused inline loop instead,
+  // with exactly the arithmetic DeltaPrefixSumU32 specifies (u32 wraparound
+  // outputs, exact u64 group total) — outputs and corruption outcomes stay
+  // bit-identical across decode paths by construction.
   for (uint32_t g = 0; g < num_dsts; ++g) {
     const uint32_t kb = ss.offsets[g];
     const uint32_t ke = ss.offsets[g + 1];
     if (kb == ke) continue;
-    uint64_t s = stage[kb];
-    ss.srcs[kb] = static_cast<VertexId>(s);
-    for (uint32_t k = kb + 1; k < ke; ++k) {
-      s += stage[k];
-      ss.srcs[k] = static_cast<VertexId>(s);
+    uint64_t group_total;
+    if (ke - kb >= 16) {
+      group_total = DeltaPrefixSumU32(stage + kb, ke - kb, 0,
+                                      ss.srcs.data() + kb, path);
+    } else {
+      uint32_t acc = stage[kb];
+      group_total = acc;
+      ss.srcs[kb] = acc;
+      for (uint32_t k = kb + 1; k < ke; ++k) {
+        acc += stage[k];
+        group_total += stage[k];
+        ss.srcs[k] = acc;
+      }
     }
-    if (s > UINT32_MAX) {
+    if (group_total > UINT32_MAX) {
       return Status::Corruption("sub-shard srcs overflow");
     }
   }
+  assert(scratch->u32.data() == stage);  // header-sized; never reallocated
 
   if (flags & kFlagWeighted) {
     ss.weights.resize(num_edges);
@@ -224,6 +258,11 @@ Result<SubShard> DecodeNxs2(const char* data, size_t size,
 
 }  // namespace
 
+DecodeTallies& ThreadDecodeTallies() {
+  thread_local DecodeTallies tallies;
+  return tallies;
+}
+
 std::string SubShard::Encode(SubShardFormat format) const {
   std::string out = format == SubShardFormat::kNxs2 ? EncodeNxs2(*this)
                                                     : EncodeNxs1(*this);
@@ -235,7 +274,9 @@ Result<SubShard> SubShard::Decode(const char* data, size_t size,
                                   uint32_t src_interval,
                                   uint32_t dst_interval,
                                   bool verify_checksum,
-                                  SubShardDecodeScratch* scratch) {
+                                  SubShardDecodeScratch* scratch,
+                                  DecodePath path) {
+  const auto start = std::chrono::steady_clock::now();
   // Smallest valid blob: NXS2 magic + flags + two single-byte varints +
   // CRC. The magic is only trusted after the size (and optionally the
   // checksum) admit the blob.
@@ -248,9 +289,16 @@ Result<SubShard> SubShard::Decode(const char* data, size_t size,
   }
   const uint32_t magic = DecodeFixed<uint32_t>(data);
   Result<SubShard> decoded =
-      magic == kSubShardMagicV1   ? DecodeNxs1(data, size - 4)
-      : magic == kSubShardMagicV2 ? DecodeNxs2(data, size - 4, scratch)
-                                  : Status::Corruption("bad sub-shard magic");
+      magic == kSubShardMagicV1 ? DecodeNxs1(data, size - 4)
+      : magic == kSubShardMagicV2
+          ? DecodeNxs2(data, size - 4, scratch, path)
+          : Status::Corruption("bad sub-shard magic");
+  DecodeTallies& tallies = ThreadDecodeTallies();
+  ++tallies.blob_decodes;
+  tallies.decode_nanos += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
   if (!decoded.ok()) return decoded;
   decoded->src_interval = src_interval;
   decoded->dst_interval = dst_interval;

@@ -53,6 +53,16 @@ inline size_t Varint32Size(uint32_t v) {
   return n;
 }
 
+/// Encoded size of `v` (1..10 bytes), for exact reserve() calls.
+inline size_t Varint64Size(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 /// Decodes one varint32 from [p, limit). Returns the position past the
 /// value, or nullptr on truncation, overflow, or an overlong encoding.
 inline const char* GetVarint32(const char* p, const char* limit,

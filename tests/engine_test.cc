@@ -596,5 +596,103 @@ TEST(EngineTest, ResultsIdenticalAcrossThreadCounts) {
   }
 }
 
+// The SIMD decode path is a pure accelerator: force-scalar and force-simd
+// runs are bit-identical on both on-disk formats, and RunStats reports
+// which path ran plus the bulk-decode counters.
+TEST(EngineDecodeTest, ResultsBitIdenticalAcrossDecodePaths) {
+  EdgeList plain = testing::RandomGraph(300, 3000, 41);
+  EdgeList weighted = testing::RandomGraph(300, 3000, 42, /*weighted=*/true);
+  for (SubShardFormat f : {SubShardFormat::kNxs1, SubShardFormat::kNxs2}) {
+    SCOPED_TRACE(SubShardFormatName(f));
+    auto ms = testing::BuildMemStore(plain, 4, true, f);
+    auto msw = testing::BuildMemStore(weighted, 4, true, f);
+
+    RunOptions scalar;
+    scalar.num_threads = 2;
+    scalar.simd_decode = SimdDecode::kForceScalar;
+    // Stream mode for half the programs so the decode path runs every
+    // iteration, not just at first touch.
+    RunOptions simd = scalar;
+    simd.simd_decode = SimdDecode::kForceSimd;
+
+    {
+      PageRankProgram program;
+      program.num_vertices = ms.store->num_vertices();
+      RunOptions a = scalar, b = simd;
+      a.max_iterations = b.max_iterations = 4;
+      Engine<PageRankProgram> e1(ms.store, program, a);
+      auto s1 = e1.Run();
+      ASSERT_TRUE(s1.ok());
+      Engine<PageRankProgram> e2(ms.store, program, b);
+      auto s2 = e2.Run();
+      ASSERT_TRUE(s2.ok());
+      EXPECT_EQ(e1.values(), e2.values()) << "PageRank";
+      EXPECT_EQ(s1->decode_path, "scalar");
+      EXPECT_EQ(s2->decode_path,
+                DecodePathName(ResolveDecodePath(SimdDecode::kForceSimd)));
+      if (f == SubShardFormat::kNxs2) {
+        // NXS2 decoding goes through the bulk API on every path; NXS1 is a
+        // raw memcpy format and never does.
+        EXPECT_GT(s1->bulk_decode_calls, 0u);
+        EXPECT_GT(s2->bulk_decode_calls, 0u);
+        EXPECT_EQ(s1->bulk_decode_calls, s2->bulk_decode_calls);
+      } else {
+        EXPECT_EQ(s1->bulk_decode_calls, 0u);
+      }
+    }
+    {
+      SsspProgram program;
+      program.root = 0;
+      Engine<SsspProgram> e1(msw.store, program, scalar);
+      Engine<SsspProgram> e2(msw.store, program, simd);
+      ASSERT_TRUE(e1.Run().ok());
+      ASSERT_TRUE(e2.Run().ok());
+      EXPECT_EQ(e1.values(), e2.values()) << "SSSP";
+    }
+    {
+      // Streaming: a tight budget forces re-reads (and re-decodes) every
+      // iteration through the prefetch pipeline.
+      WccProgram program;
+      RunOptions a = scalar, b = simd;
+      a.direction = b.direction = EdgeDirection::kBoth;
+      a.memory_budget_bytes = b.memory_budget_bytes =
+          2 * ms.store->num_vertices() * sizeof(uint32_t) +
+          ms.store->num_vertices() * 4 + 4096;
+      a.prefetch_depth = b.prefetch_depth = 2;
+      a.io_threads = b.io_threads = 1;
+      Engine<WccProgram> e1(ms.store, program, a);
+      auto s1 = e1.Run();
+      ASSERT_TRUE(s1.ok()) << s1.status().ToString();
+      Engine<WccProgram> e2(ms.store, program, b);
+      auto s2 = e2.Run();
+      ASSERT_TRUE(s2.ok()) << s2.status().ToString();
+      EXPECT_EQ(e1.values(), e2.values()) << "WCC streamed";
+      if (f == SubShardFormat::kNxs2) {
+        EXPECT_EQ(s1->bulk_decode_calls, s2->bulk_decode_calls);
+        EXPECT_GT(s2->bulk_decode_calls, 0u);
+        EXPECT_GT(s2->decode_seconds, 0.0);
+      }
+    }
+  }
+}
+
+// NXGRAPH_SIMD caps the auto path but never affects forced modes.
+TEST(EngineDecodeTest, RunStatsReportResolvedDecodePath) {
+  EdgeList edges = testing::RandomGraph(100, 800, 43);
+  auto ms = testing::BuildMemStore(edges, 2, false, SubShardFormat::kNxs2);
+  BfsProgram program;
+  program.root = 0;
+  for (SimdDecode mode : {SimdDecode::kAuto, SimdDecode::kForceScalar,
+                          SimdDecode::kForceSimd}) {
+    RunOptions opt;
+    opt.simd_decode = mode;
+    Engine<BfsProgram> engine(ms.store, program, opt);
+    auto stats = engine.Run();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->decode_path, DecodePathName(ResolveDecodePath(mode)));
+    EXPECT_GT(stats->bulk_decode_calls, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace nxgraph

@@ -306,5 +306,63 @@ TEST(ServerTest, StatsTrackServingBehavior) {
             stats.cache.hits + stats.cache.misses);
 }
 
+// Force-scalar and force-simd servers produce bit-identical results for the
+// whole mixed workload, and both server- and query-level stats report the
+// decode path and its counters.
+TEST(ServerTest, DecodePathsBitIdenticalAndCountersReported) {
+  EdgeList edges = testing::RandomGraph(200, 3000, 81, /*weighted=*/true);
+  auto ms = testing::BuildMemStore(edges, 4);
+
+  auto run_with = [&](SimdDecode mode) {
+    GraphServer::Options o = ServerOpts(4, UINT64_MAX);
+    o.simd_decode = mode;
+    auto server = GraphServer::Open(ms.env.get(), "g", o);
+    NX_CHECK(server.ok()) << server.status().ToString();
+    MixedOutcomes out = RunMixedWorkload(**server);
+    return std::make_pair(std::move(out), (*server)->stats());
+  };
+  auto [scalar, scalar_stats] = run_with(SimdDecode::kForceScalar);
+  auto [simd, simd_stats] = run_with(SimdDecode::kForceSimd);
+
+  ASSERT_EQ(scalar.points.size(), simd.points.size());
+  for (size_t q = 0; q < scalar.points.size(); ++q) {
+    SCOPED_TRACE("point query " + std::to_string(q));
+    ASSERT_TRUE(scalar.points[q].status.ok());
+    ASSERT_TRUE(simd.points[q].status.ok());
+    EXPECT_EQ(scalar.points[q].result.vertices, simd.points[q].result.vertices);
+    EXPECT_EQ(scalar.points[q].result.hops, simd.points[q].result.hops);
+    EXPECT_EQ(scalar.points[q].result.costs, simd.points[q].result.costs);
+  }
+  ASSERT_TRUE(scalar.pagerank.status.ok());
+  ASSERT_TRUE(simd.pagerank.status.ok());
+  EXPECT_EQ(scalar.pagerank.result.values, simd.pagerank.result.values);
+  ASSERT_TRUE(scalar.wcc.status.ok());
+  ASSERT_TRUE(simd.wcc.status.ok());
+  EXPECT_EQ(scalar.wcc.result.values, simd.wcc.result.values);
+
+  EXPECT_EQ(scalar_stats.decode_path, "scalar");
+  EXPECT_EQ(simd_stats.decode_path,
+            DecodePathName(ResolveDecodePath(SimdDecode::kForceSimd)));
+  // The default store format is NXS2 (possibly overridden by the CI format
+  // matrix): bulk decodes only happen on NXS2 stores.
+  if (DefaultSubShardFormat() == SubShardFormat::kNxs2) {
+    EXPECT_GT(scalar_stats.bulk_decode_calls, 0u);
+    EXPECT_GT(simd_stats.bulk_decode_calls, 0u);
+    EXPECT_GT(simd_stats.decode_seconds, 0.0);
+  }
+
+  // Per-query attribution: every query reports its decode path; the sum of
+  // per-query bulk decodes equals the server total (each cache-miss decode
+  // is charged to exactly one query).
+  uint64_t per_query_total = 0;
+  for (const auto& p : scalar.points) {
+    EXPECT_EQ(p.result.stats.decode_path, "scalar");
+    per_query_total += p.result.stats.bulk_decode_calls;
+  }
+  per_query_total += scalar.pagerank.result.stats.bulk_decode_calls;
+  per_query_total += scalar.wcc.result.stats.bulk_decode_calls;
+  EXPECT_EQ(per_query_total, scalar_stats.bulk_decode_calls);
+}
+
 }  // namespace
 }  // namespace nxgraph

@@ -50,6 +50,35 @@ void ExpectEqual(const SubShard& a, const SubShard& b) {
   EXPECT_EQ(a.weights, b.weights);
 }
 
+// Decodes under the scalar path AND every SIMD path this CPU supports,
+// asserting identical outcomes: same success/failure, same status code and
+// message on rejection (a corrupt blob must surface as the same Corruption
+// no matter which path decoded it), equal sub-shards on success. Returns
+// the scalar outcome for the caller's own assertions.
+Result<SubShard> DecodeAllPaths(const char* data, size_t size,
+                                uint32_t src_interval, uint32_t dst_interval,
+                                bool verify_checksum = true) {
+  SubShardDecodeScratch scratch;
+  auto scalar = SubShard::Decode(data, size, src_interval, dst_interval,
+                                 verify_checksum, &scratch,
+                                 DecodePath::kScalar);
+  for (DecodePath path : {DecodePath::kSsse3, DecodePath::kAvx2}) {
+    if (!DecodePathSupported(path)) continue;
+    auto simd = SubShard::Decode(data, size, src_interval, dst_interval,
+                                 verify_checksum, &scratch, path);
+    EXPECT_EQ(simd.ok(), scalar.ok()) << DecodePathName(path);
+    if (!scalar.ok() && !simd.ok()) {
+      EXPECT_EQ(simd.status().code(), scalar.status().code())
+          << DecodePathName(path);
+      EXPECT_EQ(simd.status().message(), scalar.status().message())
+          << DecodePathName(path);
+    } else if (scalar.ok() && simd.ok()) {
+      ExpectEqual(*scalar, *simd);
+    }
+  }
+  return scalar;
+}
+
 // (seed, format) sweep: every roundtrip property must hold for both
 // on-disk encodings.
 using SeedFormat = std::tuple<int, SubShardFormat>;
@@ -63,7 +92,7 @@ class SubShardRoundTripTest : public ::testing::TestWithParam<SeedFormat> {
 TEST_P(SubShardRoundTripTest, UnweightedRoundTrip) {
   SubShard ss = RandomSubShard(seed(), false);
   const std::string blob = ss.Encode(format());
-  auto decoded = SubShard::Decode(blob.data(), blob.size(), 1, 2);
+  auto decoded = DecodeAllPaths(blob.data(), blob.size(), 1, 2);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   ExpectEqual(ss, *decoded);
   EXPECT_EQ(decoded->src_interval, 1u);
@@ -73,7 +102,7 @@ TEST_P(SubShardRoundTripTest, UnweightedRoundTrip) {
 TEST_P(SubShardRoundTripTest, WeightedRoundTrip) {
   SubShard ss = RandomSubShard(seed() + 1000, true);
   const std::string blob = ss.Encode(format());
-  auto decoded = SubShard::Decode(blob.data(), blob.size(), 1, 2);
+  auto decoded = DecodeAllPaths(blob.data(), blob.size(), 1, 2);
   ASSERT_TRUE(decoded.ok());
   ExpectEqual(ss, *decoded);
 }
@@ -87,7 +116,7 @@ TEST_P(SubShardRoundTripTest, AnyBitFlipIsDetected) {
     const size_t byte = rng.NextBounded(blob.size());
     const char mask = static_cast<char>(1 << rng.NextBounded(8));
     blob[byte] ^= mask;
-    auto decoded = SubShard::Decode(blob.data(), blob.size(), 1, 2);
+    auto decoded = DecodeAllPaths(blob.data(), blob.size(), 1, 2);
     EXPECT_FALSE(decoded.ok()) << "flip at byte " << byte << " undetected";
     blob[byte] ^= mask;  // restore
   }
@@ -100,9 +129,9 @@ TEST_P(SubShardRoundTripTest, EveryTruncationIsRejected) {
   SubShard ss = RandomSubShard(seed() + 3000, seed() % 2 == 1, 12);
   const std::string blob = ss.Encode(format());
   for (size_t cut = 0; cut < blob.size(); ++cut) {
-    auto strict = SubShard::Decode(blob.data(), cut, 1, 2, true);
+    auto strict = DecodeAllPaths(blob.data(), cut, 1, 2, true);
     EXPECT_FALSE(strict.ok()) << "cut at " << cut;
-    auto lax = SubShard::Decode(blob.data(), cut, 1, 2, false);
+    auto lax = DecodeAllPaths(blob.data(), cut, 1, 2, false);
     EXPECT_FALSE(lax.ok()) << "cut at " << cut << " (no checksum)";
     if (cut >= 14) {
       EXPECT_TRUE(lax.status().IsCorruption()) << "cut at " << cut;
@@ -238,7 +267,7 @@ TEST(SubShardFormatTest, OverlongVarintRejectedAsCorruption) {
   tampered += '\x00';
   tampered += blob.substr(9);
   tampered = Recrc(tampered);
-  auto decoded = SubShard::Decode(tampered.data(), tampered.size(), 0, 0);
+  auto decoded = DecodeAllPaths(tampered.data(), tampered.size(), 0, 0);
   ASSERT_FALSE(decoded.ok());
   EXPECT_TRUE(decoded.status().IsCorruption());
 }
@@ -252,14 +281,14 @@ TEST(SubShardFormatTest, Nxs1HeaderCountsBeyondBlobRejected) {
   // num_edges is the u64 at body offset 12; make it absurd.
   const uint64_t absurd = 1ull << 40;
   std::memcpy(blob.data() + 12, &absurd, 8);
-  auto lax = SubShard::Decode(blob.data(), blob.size(), 0, 0, false);
+  auto lax = DecodeAllPaths(blob.data(), blob.size(), 0, 0, false);
   ASSERT_FALSE(lax.ok());
   EXPECT_TRUE(lax.status().IsCorruption());
   // And a corrupt num_dsts (u32 at body offset 8) likewise.
   blob = ss.Encode(SubShardFormat::kNxs1);
   const uint32_t absurd32 = 1u << 30;
   std::memcpy(blob.data() + 8, &absurd32, 4);
-  lax = SubShard::Decode(blob.data(), blob.size(), 0, 0, false);
+  lax = DecodeAllPaths(blob.data(), blob.size(), 0, 0, false);
   ASSERT_FALSE(lax.ok());
   EXPECT_TRUE(lax.status().IsCorruption());
 }
@@ -273,7 +302,7 @@ TEST(SubShardFormatTest, HeaderCountsBeyondBlobRejected) {
   PutVarint32(&blob, 1);                      // num_dsts
   PutVarint64(&blob, 1ull << 40);             // absurd num_edges
   EncodeFixed<uint32_t>(&blob, crc32c::Value(blob.data(), blob.size()));
-  auto decoded = SubShard::Decode(blob.data(), blob.size(), 0, 0);
+  auto decoded = DecodeAllPaths(blob.data(), blob.size(), 0, 0);
   ASSERT_FALSE(decoded.ok());
   EXPECT_TRUE(decoded.status().IsCorruption());
 }
@@ -288,7 +317,7 @@ TEST(SubShardFormatTest, CountEdgeMismatchRejected) {
   // the counts now sum to 2 while the header claims 1 edge.
   blob[11] = 2;
   blob = Recrc(blob);
-  auto decoded = SubShard::Decode(blob.data(), blob.size(), 0, 0);
+  auto decoded = DecodeAllPaths(blob.data(), blob.size(), 0, 0);
   ASSERT_FALSE(decoded.ok());
   EXPECT_TRUE(decoded.status().IsCorruption());
 }
@@ -305,7 +334,7 @@ TEST(SubShardFormatTest, DstOverflowRejected) {
   PutVarint32(&blob, 0);           // count[0]
   PutVarint32(&blob, 0);           // count[1]
   EncodeFixed<uint32_t>(&blob, crc32c::Value(blob.data(), blob.size()));
-  auto decoded = SubShard::Decode(blob.data(), blob.size(), 0, 0);
+  auto decoded = DecodeAllPaths(blob.data(), blob.size(), 0, 0);
   ASSERT_FALSE(decoded.ok());
   EXPECT_TRUE(decoded.status().IsCorruption());
 }
@@ -321,7 +350,7 @@ TEST(SubShardFormatTest, SrcOverflowRejected) {
   PutVarint32(&blob, UINT32_MAX);  // src[0]
   PutVarint32(&blob, 1);           // delta => wraps past UINT32_MAX
   EncodeFixed<uint32_t>(&blob, crc32c::Value(blob.data(), blob.size()));
-  auto decoded = SubShard::Decode(blob.data(), blob.size(), 0, 0);
+  auto decoded = DecodeAllPaths(blob.data(), blob.size(), 0, 0);
   ASSERT_FALSE(decoded.ok());
   EXPECT_TRUE(decoded.status().IsCorruption());
 }
@@ -331,7 +360,7 @@ TEST(SubShardFormatTest, UnknownMagicRejected) {
   std::string blob = ss.Encode(SubShardFormat::kNxs2);
   blob[3] = '3';  // "NXS3"
   blob = Recrc(blob);
-  auto decoded = SubShard::Decode(blob.data(), blob.size(), 1, 2);
+  auto decoded = DecodeAllPaths(blob.data(), blob.size(), 1, 2);
   ASSERT_FALSE(decoded.ok());
   EXPECT_TRUE(decoded.status().IsCorruption());
 }
@@ -344,13 +373,13 @@ TEST(SubShardTest, SkipChecksumStillValidatesStructure) {
     std::string blob = ss.Encode(f);
     // Corrupt the CRC only: verify=false must still decode.
     blob[blob.size() - 1] ^= 0xFF;
-    auto lax = SubShard::Decode(blob.data(), blob.size(), 1, 2, false);
+    auto lax = DecodeAllPaths(blob.data(), blob.size(), 1, 2, false);
     ASSERT_TRUE(lax.ok()) << SubShardFormatName(f);
-    auto strict = SubShard::Decode(blob.data(), blob.size(), 1, 2, true);
+    auto strict = DecodeAllPaths(blob.data(), blob.size(), 1, 2, true);
     EXPECT_FALSE(strict.ok()) << SubShardFormatName(f);
     // Truncation is caught even without checksum verification.
     auto truncated =
-        SubShard::Decode(blob.data(), blob.size() / 2, 1, 2, false);
+        DecodeAllPaths(blob.data(), blob.size() / 2, 1, 2, false);
     EXPECT_FALSE(truncated.ok()) << SubShardFormatName(f);
   }
 }
@@ -362,9 +391,9 @@ TEST(SubShardTest, TrailingGarbageDetected) {
     blob.insert(blob.size() - 4, "JUNK");
     // CRC mismatch catches it verified; the trailing-bytes check catches
     // it unverified.
-    EXPECT_FALSE(SubShard::Decode(blob.data(), blob.size(), 1, 2).ok());
+    EXPECT_FALSE(DecodeAllPaths(blob.data(), blob.size(), 1, 2).ok());
     blob = Recrc(blob);
-    auto decoded = SubShard::Decode(blob.data(), blob.size(), 1, 2);
+    auto decoded = DecodeAllPaths(blob.data(), blob.size(), 1, 2);
     EXPECT_FALSE(decoded.ok()) << SubShardFormatName(f);
   }
 }
