@@ -218,12 +218,15 @@ class Engine {
   Result<std::shared_ptr<const SubShard>> GetSubShard(uint32_t i, uint32_t j,
                                                       bool transpose) {
     std::shared_ptr<const SubShard> ss;
-    Status s = RunWithRetry(options_.retry, &counters_, [&] {
-      auto r = cache_->Get(i, j, transpose);
-      if (!r.ok()) return r.status();
-      ss = std::move(r).value();
-      return Status::OK();
-    });
+    Status s = RunWithRetry(
+        options_.retry, &counters_,
+        [&] {
+          auto r = cache_->Get(i, j, transpose, options_.cancel);
+          if (!r.ok()) return r.status();
+          ss = std::move(r).value();
+          return Status::OK();
+        },
+        options_.cancel);
     if (!s.ok()) return s;
     edges_traversed_.fetch_add(ss->num_edges(), std::memory_order_relaxed);
     return ss;
@@ -245,7 +248,7 @@ class Engine {
   template <typename T>
   PrefetchStream<T> MakeStream() {
     return PrefetchStream<T>(io_pool_.get(), pool_.get(), prefetch_depth_,
-                             options_.retry, &counters_);
+                             options_.retry, &counters_, options_.cancel);
   }
 
   // Queues one row-range read (single sequential I/O + off-thread decode).
@@ -1712,6 +1715,13 @@ Result<RunStats> Engine<Program>::Run() {
   uint64_t last_subshards_skipped = 0;
   for (;;) {
     if (options_.max_iterations > 0 && iter >= options_.max_iterations) break;
+    // Iteration boundary is the engine's cancellation checkpoint: the
+    // ping-pong state on disk is consistent here, so a cancelled run ends
+    // exactly as if max_iterations had been `iter` (and, with periodic
+    // checkpoints enabled, stays resumable from the last commit).
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      return options_.cancel->ToStatus();
+    }
     bool any_active = false;
     for (uint32_t i = 0; i < p_ && !any_active; ++i) {
       any_active = active_[i] != 0;

@@ -177,6 +177,15 @@ struct RunOptions {
   /// yields bit-identical results and identical Corruption rejection;
   /// RunStats::decode_path reports what actually ran.
   SimdDecode simd_decode = SimdDecode::kAuto;
+
+  /// Cooperative cancellation/deadline token (not owned, may be null; must
+  /// outlive the run). Observed at every iteration boundary in Run() — a
+  /// fired token ends the run with the token's status before the next
+  /// iteration starts — and threaded into the prefetch streams and retry
+  /// backoffs so a cancelled run stops issuing I/O promptly. Within an
+  /// iteration the phases complete normally; checkpoint/writeback state is
+  /// never left half-committed.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Statistics from one engine run.

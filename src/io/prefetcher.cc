@@ -6,12 +6,13 @@ namespace nxgraph {
 
 Prefetcher::Prefetcher(ThreadPool* io_pool, ThreadPool* compute_pool,
                        size_t depth, RetryPolicy retry,
-                       RetryCounters* counters)
+                       RetryCounters* counters, const CancelToken* cancel)
     : io_pool_(io_pool),
       compute_pool_(compute_pool),
       depth_(depth),
       retry_(retry),
-      counters_(counters) {}
+      counters_(counters),
+      cancel_(cancel) {}
 
 Prefetcher::~Prefetcher() {
   Cancel();
@@ -42,10 +43,16 @@ size_t Prefetcher::pending() const {
 void Prefetcher::Issue() {
   if (depth_ == 0) return;  // synchronous mode: Next() runs jobs inline
   for (;;) {
+    // Token check outside mu_: a lazy deadline expiry may run cancellation
+    // callbacks, which must never happen under this lock.
+    const bool token_cancelled = TokenCancelled();
     std::shared_ptr<Slot> slot;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (cancelled_ || queued_.empty() || inflight_.size() >= depth_) return;
+      if (cancelled_ || token_cancelled || queued_.empty() ||
+          inflight_.size() >= depth_) {
+        return;
+      }
       slot = queued_.front();
       queued_.pop_front();
       slot->state = State::kIssued;
@@ -63,10 +70,16 @@ void Prefetcher::RunIo(std::shared_ptr<Slot> slot) {
     std::lock_guard<std::mutex> lock(mu_);
     cancelled = cancelled_;
   }
-  Status s = cancelled
-                 ? Status::Aborted("prefetch cancelled")
-                 : RunWithRetry(retry_, counters_,
-                                [&] { return slot->job.io(); });
+  Status s;
+  if (cancelled) {
+    s = Status::Aborted("prefetch cancelled");
+  } else {
+    // RunWithRetry observes the token: cancelled before the first attempt
+    // or mid-backoff, the job surfaces the token's status instead of
+    // spending the query's corpse on I/O.
+    s = RunWithRetry(retry_, counters_, [&] { return slot->job.io(); },
+                     cancel_);
+  }
   if (s.ok() && slot->job.decode && !cancelled) {
     if (compute_pool_ != nullptr) {
       {
@@ -102,8 +115,8 @@ void Prefetcher::TaskDone() {
 }
 
 Status Prefetcher::RunInline(const std::shared_ptr<Slot>& slot) {
-  Status s =
-      RunWithRetry(retry_, counters_, [&] { return slot->job.io(); });
+  Status s = RunWithRetry(retry_, counters_, [&] { return slot->job.io(); },
+                          cancel_);
   if (s.ok() && slot->job.decode) s = slot->job.decode();
   return s;
 }
@@ -137,9 +150,10 @@ Status Prefetcher::Next() {
       if (queued_.empty()) {
         return Status::InvalidArgument("Prefetcher::Next past the last job");
       }
-      // Cancelled before the head was ever issued.
+      // Cancelled (explicitly or via token) before the head was issued.
       queued_.pop_front();
-      return Status::Aborted("prefetch cancelled");
+      return cancelled_ ? Status::Aborted("prefetch cancelled")
+                        : cancel_->ToStatus();
     }
     slot = inflight_.front();
     cv_.wait(lock, [&] { return slot->state == State::kDone; });

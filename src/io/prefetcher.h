@@ -63,8 +63,16 @@ class Prefetcher {
   /// read into owned buffers). Decode stages are never retried here;
   /// checksum re-reads are the store's job. `counters` (not owned, may be
   /// null) tallies the retries.
+  ///
+  /// `cancel` (not owned, may be null, must outlive the stream) makes the
+  /// window cooperative: once the token fires, no further reads are
+  /// issued, unissued jobs complete with the token's status, and retry
+  /// backoffs abort mid-sleep. In-flight reads still run to completion —
+  /// a read into an owned buffer is bounded — so the destructor's drain
+  /// barrier is never longer than one outstanding window.
   Prefetcher(ThreadPool* io_pool, ThreadPool* compute_pool, size_t depth,
-             RetryPolicy retry = {}, RetryCounters* counters = nullptr);
+             RetryPolicy retry = {}, RetryCounters* counters = nullptr,
+             const CancelToken* cancel = nullptr);
 
   /// Cancels queued jobs and blocks until in-flight stages finish.
   ~Prefetcher();
@@ -109,11 +117,17 @@ class Prefetcher {
   void TaskDone();
   Status RunInline(const std::shared_ptr<Slot>& slot);
 
+  /// True once the external token (if any) has fired. Lock-free.
+  bool TokenCancelled() const {
+    return cancel_ != nullptr && cancel_->cancelled();
+  }
+
   ThreadPool* io_pool_;
   ThreadPool* compute_pool_;
   const size_t depth_;
   const RetryPolicy retry_;
-  RetryCounters* counters_;  // not owned; may be null
+  RetryCounters* counters_;       // not owned; may be null
+  const CancelToken* cancel_;     // not owned; may be null
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -143,8 +157,9 @@ template <typename T>
 class PrefetchStream {
  public:
   PrefetchStream(ThreadPool* io_pool, ThreadPool* compute_pool, size_t depth,
-                 RetryPolicy retry = {}, RetryCounters* counters = nullptr)
-      : core_(io_pool, compute_pool, depth, retry, counters) {}
+                 RetryPolicy retry = {}, RetryCounters* counters = nullptr,
+                 const CancelToken* cancel = nullptr)
+      : core_(io_pool, compute_pool, depth, retry, counters, cancel) {}
 
   /// Single-stage job: the whole load (read + any decode) runs on the I/O
   /// pool. Use for raw reads with no decode work worth offloading.

@@ -4,12 +4,27 @@
 #include <cmath>
 
 #include "src/algos/programs.h"
+#include "src/util/logging.h"
 
 namespace nxgraph {
 
-namespace {
+const char* QueryPhaseName(QueryPhase phase) {
+  switch (phase) {
+    case QueryPhase::kQueued:
+      return "queued";
+    case QueryPhase::kPlan:
+      return "plan";
+    case QueryPhase::kLoad:
+      return "load";
+    case QueryPhase::kApply:
+      return "apply";
+    case QueryPhase::kCollect:
+      return "collect";
+  }
+  return "unknown";
+}
 
-constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+namespace {
 
 double SecondsSince(std::chrono::steady_clock::time_point t) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t)
@@ -74,6 +89,9 @@ Result<std::unique_ptr<GraphServer>> GraphServer::Open(Env* env,
   for (int w = 0; w < opts.num_workers; ++w) {
     server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
   }
+  if (opts.watchdog_interval_seconds > 0) {
+    server->watchdog_ = std::thread([s = server.get()] { s->WatchdogLoop(); });
+  }
   return server;
 }
 
@@ -86,18 +104,21 @@ GraphServer::~GraphServer() {
     stopping_ = true;
   }
   cv_.notify_all();
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
   for (std::thread& w : workers_) w.join();
   std::deque<Ticket> leftover;
   {
     std::lock_guard<std::mutex> lock(mu_);
     leftover.swap(queue_);
+    live_.clear();
   }
   for (Ticket& t : leftover) {
     t.abort(Status::Aborted("GraphServer shutting down"));
   }
 }
 
-QueryContext GraphServer::MakeContext() const {
+QueryContext GraphServer::MakeContext(LiveQuery* lq) const {
   QueryContext ctx;
   ctx.store = store_.get();
   ctx.cache = cache_.get();
@@ -107,16 +128,31 @@ QueryContext GraphServer::MakeContext() const {
   ctx.out_degrees = &out_degrees_;
   ctx.in_degrees = &in_degrees_;
   ctx.selective = options_.selective;
+  ctx.cancel = &lq->token;
+  ctx.progress = &lq->progress;
+  ctx.boundary_hook = options_.boundary_hook;
   return ctx;
 }
 
-void GraphServer::EnqueueTicket(std::chrono::milliseconds queue_deadline,
+std::shared_ptr<GraphServer::LiveQuery> GraphServer::NewLiveQuery(
+    std::chrono::milliseconds deadline) {
+  auto lq = std::make_shared<LiveQuery>();
+  lq->submitted = std::chrono::steady_clock::now();
+  lq->deadline = deadline;
+  lq->token = deadline.count() > 0 ? drain_token_.Child(lq->submitted + deadline)
+                                   : drain_token_.Child();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lq->id = next_query_id_++;
+  }
+  return lq;
+}
+
+void GraphServer::EnqueueTicket(std::shared_ptr<LiveQuery> lq,
                                 std::function<void(double)> run,
                                 std::function<void(Status)> abort) {
   Ticket ticket;
-  ticket.submitted = std::chrono::steady_clock::now();
-  ticket.deadline = queue_deadline.count() > 0 ? ticket.submitted + queue_deadline
-                                               : kNoDeadline;
+  ticket.lq = lq;
   ticket.run = std::move(run);
   ticket.abort = std::move(abort);
 
@@ -126,12 +162,15 @@ void GraphServer::EnqueueTicket(std::chrono::milliseconds queue_deadline,
     ++submitted_;
     if (stopping_) {
       reject = Status::Aborted("GraphServer shutting down");
+    } else if (draining_) {
+      reject = Status::Aborted("GraphServer draining; admission closed");
     } else if (queue_.size() >= static_cast<size_t>(options_.max_queue)) {
       ++rejected_;
       reject = Status::ResourceExhausted(
           "admission queue full (" + std::to_string(options_.max_queue) +
           " waiting queries)");
     } else {
+      live_.emplace(lq->id, lq);
       queue_.push_back(std::move(ticket));
     }
   }
@@ -151,32 +190,71 @@ void GraphServer::WorkerLoop() {
       if (stopping_) return;
       ticket = std::move(queue_.front());
       queue_.pop_front();
-      if (std::chrono::steady_clock::now() > ticket.deadline) {
-        ++shed_;
+      // A token that fired while the query was still QUEUED: classify by
+      // reason and complete without ever running. (cancelled() lazily
+      // fires the deadline, replacing the old wall-clock dequeue check.)
+      if (ticket.lq->token.cancelled()) {
+        Status s = ticket.lq->token.ToStatus();
+        switch (ticket.lq->token.reason()) {
+          case CancelReason::kDeadline:
+            ++shed_;
+            s = Status::DeadlineExceeded(
+                "deadline passed before a worker was free");
+            break;
+          case CancelReason::kClient:
+            ++cancelled_;
+            break;
+          case CancelReason::kShutdown:
+            ++drain_cancelled_;
+            break;
+          case CancelReason::kNone:
+            break;
+        }
+        live_.erase(ticket.lq->id);
+        const bool idle = queue_.empty() && running_ == 0;
         lock.unlock();
-        ticket.abort(Status::DeadlineExceeded(
-            "queue deadline passed before a worker was free"));
+        if (idle) drained_cv_.notify_all();
+        ticket.abort(std::move(s));
         continue;
       }
       ++running_;
+      ticket.lq->running = true;
     }
-    ticket.run(SecondsSince(ticket.submitted));
+    ticket.run(SecondsSince(ticket.lq->submitted));
+    bool idle;
     {
       std::lock_guard<std::mutex> lock(mu_);
       --running_;
+      idle = queue_.empty() && running_ == 0;
     }
+    if (idle) drained_cv_.notify_all();
   }
 }
 
-void GraphServer::FinishQuery(const Status& status, const QueryStats& stats) {
+void GraphServer::FinishQuery(const std::shared_ptr<LiveQuery>& lq,
+                              const Status& status, const QueryStats& stats) {
   std::lock_guard<std::mutex> lock(mu_);
   if (status.ok() || (status.IsResourceExhausted() && stats.truncated)) {
     ++completed_;
     if (stats.truncated) ++truncated_;
   } else {
-    ++failed_;
+    switch (stats.cancel_reason) {
+      case CancelReason::kClient:
+        ++cancelled_;
+        break;
+      case CancelReason::kDeadline:
+        ++deadline_cancelled_;
+        break;
+      case CancelReason::kShutdown:
+        ++drain_cancelled_;
+        break;
+      case CancelReason::kNone:
+        ++failed_;
+        break;
+    }
   }
   latencies_ms_.push_back((stats.queue_seconds + stats.run_seconds) * 1e3);
+  live_.erase(lq->id);
 }
 
 QueryFuture<PointResult> GraphServer::Submit(const PointQuery& query) {
@@ -194,18 +272,125 @@ QueryFuture<PointResult> GraphServer::Submit(const PointQuery& query) {
                      {}});
     return future;
   }
+  std::shared_ptr<LiveQuery> lq = NewLiveQuery(query.limits.deadline);
+  future.SetId(lq->id);
   EnqueueTicket(
-      query.limits.queue_deadline,
-      [this, query, future](double queue_seconds) {
+      lq,
+      [this, query, lq, future](double queue_seconds) {
         const auto start = std::chrono::steady_clock::now();
-        Outcome<PointResult> out = ExecutePoint(query, MakeContext());
+        Outcome<PointResult> out = ExecutePoint(query, MakeContext(lq.get()));
         out.result.stats.queue_seconds = queue_seconds;
         out.result.stats.run_seconds = SecondsSince(start);
-        FinishQuery(out.status, out.result.stats);
+        FinishQuery(lq, out.status, out.result.stats);
         future.Complete(std::move(out));
       },
       [future](Status s) { future.Complete({std::move(s), {}}); });
   return future;
+}
+
+bool GraphServer::Cancel(uint64_t query_id) {
+  std::shared_ptr<LiveQuery> lq;
+  std::function<void(Status)> abort;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = live_.find(query_id);
+    if (it == live_.end()) return false;
+    lq = it->second;
+    // If the query is still queued, pull its ticket out so a worker never
+    // sees it; classify the cancel right here.
+    for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
+      if (qit->lq->id == query_id) {
+        abort = std::move(qit->abort);
+        queue_.erase(qit);
+        ++cancelled_;
+        live_.erase(query_id);
+        break;
+      }
+    }
+  }
+  // Fire the token outside mu_: its callbacks (single-flight waiter wakeups)
+  // take unrelated locks and must not nest under the server lock.
+  lq->token.Cancel(CancelReason::kClient);
+  if (abort) {
+    abort(Status::Cancelled("cancelled by client"));
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      idle = queue_.empty() && running_ == 0;
+    }
+    if (idle) drained_cv_.notify_all();
+  }
+  return true;
+}
+
+Status GraphServer::Drain(std::chrono::milliseconds timeout) {
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    paused_ = false;  // a paused queue would never drain
+  }
+  cv_.notify_all();
+
+  const auto soft_deadline = start + timeout;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (drained_cv_.wait_until(lock, soft_deadline, [&] {
+          return queue_.empty() && running_ == 0;
+        })) {
+      return Status::OK();
+    }
+  }
+
+  // Grace period expired: cancel every straggler via the drain token and
+  // wait again. Running queries observe the token at their next sub-shard
+  // boundary, so this should resolve within roughly one sub-shard load; the
+  // hard cap below only trips if a query is truly wedged.
+  drain_token_.Cancel(CancelReason::kShutdown);
+  const auto hard_deadline =
+      std::chrono::steady_clock::now() + timeout + std::chrono::seconds(30);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (drained_cv_.wait_until(lock, hard_deadline, [&] {
+          return queue_.empty() && running_ == 0;
+        })) {
+      return Status::OK();
+    }
+  }
+  return Status::DeadlineExceeded(
+      "queries still running after drain cancellation");
+}
+
+void GraphServer::WatchdogLoop() {
+  const auto interval = std::chrono::duration<double>(
+      options_.watchdog_interval_seconds);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    watchdog_cv_.wait_for(lock, interval, [&] { return stopping_; });
+    if (stopping_) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [id, lq] : live_) {
+      if (!lq->running || lq->stall_flagged || lq->deadline.count() <= 0) {
+        continue;
+      }
+      const auto budget = std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(
+          lq->deadline * options_.stall_multiplier);
+      if (now - lq->submitted <= budget) continue;
+      lq->stall_flagged = true;
+      ++stalled_;
+      const auto phase =
+          static_cast<QueryPhase>(lq->progress.phase.load(std::memory_order_relaxed));
+      NX_LOG(Warn) << "stalled query " << id << ": running "
+                   << std::chrono::duration<double>(now - lq->submitted).count()
+                   << "s against a "
+                   << std::chrono::duration<double>(lq->deadline).count()
+                   << "s deadline; phase=" << QueryPhaseName(phase)
+                   << " round=" << lq->progress.round.load(std::memory_order_relaxed)
+                   << " blob=(" << lq->progress.i.load(std::memory_order_relaxed)
+                   << "," << lq->progress.j.load(std::memory_order_relaxed) << ")";
+    }
+  }
 }
 
 void GraphServer::SetPaused(bool paused) {
@@ -227,8 +412,25 @@ GraphServer::Stats GraphServer::stats() const {
     s.rejected = rejected_;
     s.shed = shed_;
     s.failed = failed_;
+    s.cancelled = cancelled_;
+    s.deadline_cancelled = deadline_cancelled_;
+    s.drain_cancelled = drain_cancelled_;
+    s.stalled = stalled_;
+    s.draining = draining_;
     s.queued = queue_.size();
     s.running = running_;
+    for (const auto& [id, lq] : live_) {
+      if (!lq->stall_flagged) continue;
+      StalledQuery sq;
+      sq.id = id;
+      sq.running_seconds = SecondsSince(lq->submitted);
+      sq.phase = static_cast<QueryPhase>(
+          lq->progress.phase.load(std::memory_order_relaxed));
+      sq.round = lq->progress.round.load(std::memory_order_relaxed);
+      sq.i = lq->progress.i.load(std::memory_order_relaxed);
+      sq.j = lq->progress.j.load(std::memory_order_relaxed);
+      s.stalled_queries.push_back(sq);
+    }
     sorted = latencies_ms_;
   }
   s.uptime_seconds = SecondsSince(started_);

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "src/server/query.h"
 #include "src/server/query_runner.h"
 #include "src/storage/graph_store.h"
+#include "src/util/cancel.h"
 #include "src/util/macros.h"
 #include "src/util/result.h"
 #include "src/util/retry.h"
@@ -40,9 +42,17 @@ namespace nxgraph {
 /// Admission control: at most `num_workers` queries execute at once;
 /// beyond that, up to `max_queue` wait in FIFO order. Submissions past the
 /// queue bound are rejected immediately with ResourceExhausted, and queued
-/// queries whose queue_deadline passes before a worker picks them up are
-/// shed with DeadlineExceeded — the future always completes, nothing
-/// hangs.
+/// queries whose deadline passes before a worker picks them up are shed
+/// with DeadlineExceeded — the future always completes, nothing hangs.
+///
+/// Lifecycle: every admitted query gets an id (stamped on its future) and
+/// a CancelToken that is a child of the server-wide drain token and
+/// carries the query's end-to-end deadline. Cancel(id) fires one token;
+/// Drain(timeout) closes admission and fans shutdown out to all of them;
+/// a deadline fires its own token lazily. Running queries observe their
+/// token cooperatively at sub-shard checkpoints (query_runner.h), return
+/// deterministic partial results, and release every cache pin on the way
+/// out. A stall watchdog flags queries that stop reaching checkpoints.
 class GraphServer {
  public:
   struct Options {
@@ -72,6 +82,32 @@ class GraphServer {
     /// and reject) normally but no worker picks anything up until
     /// SetPaused(false).
     bool start_paused = false;
+    /// Stall-watchdog scan period, seconds; <= 0 disables the watchdog
+    /// thread entirely.
+    double watchdog_interval_seconds = 0.05;
+    /// A RUNNING query older than stall_multiplier × its deadline is
+    /// flagged as stalled: logged once (with the phase and blob it is
+    /// stuck in, from QueryProgress) and surfaced in Stats. Flagging never
+    /// kills the query — the deadline cancellation already fired at
+    /// 1× deadline; a stall flag means the query is not reaching
+    /// checkpoints (wedged I/O, a blocked hook). Queries without a
+    /// deadline are never flagged.
+    double stall_multiplier = 4.0;
+    /// TEST HOOK: forwarded to every query's
+    /// QueryContext::boundary_hook — invoked at each cancellation
+    /// checkpoint. Empty in production.
+    std::function<void()> boundary_hook;
+  };
+
+  /// \brief A query the stall watchdog flagged: still running past
+  /// stall_multiplier × its deadline, last seen at this phase/blob.
+  struct StalledQuery {
+    uint64_t id = 0;
+    double running_seconds = 0;
+    QueryPhase phase = QueryPhase::kQueued;
+    uint32_t round = 0;
+    uint32_t i = 0;
+    uint32_t j = 0;
   };
 
   /// \brief Server-level statistics (the serving analogue of RunStats).
@@ -80,10 +116,24 @@ class GraphServer {
     uint64_t completed = 0;  ///< includes truncated
     uint64_t truncated = 0;  ///< completed with partial results (budget)
     uint64_t rejected = 0;   ///< admission-rejected (queue full)
-    uint64_t shed = 0;       ///< queue_deadline passed while queued
+    uint64_t shed = 0;       ///< deadline passed while still QUEUED
     uint64_t failed = 0;     ///< execution errors
+    /// Client Cancel() completions (status Cancelled, reason kClient) —
+    /// both mid-run and while still queued.
+    uint64_t cancelled = 0;
+    /// Deadline fired while the query was RUNNING: cancelled at its next
+    /// checkpoint with a partial result (status DeadlineExceeded, reason
+    /// kDeadline). Counted separately from `shed`, which never ran at all.
+    uint64_t deadline_cancelled = 0;
+    /// Queries cancelled by Drain()'s straggler sweep (reason kShutdown).
+    uint64_t drain_cancelled = 0;
+    /// Lifetime stall-watchdog flags (see Options::stall_multiplier).
+    uint64_t stalled = 0;
     uint64_t queued = 0;     ///< currently waiting
     uint64_t running = 0;    ///< currently executing
+    bool draining = false;   ///< Drain() has closed admission
+    /// Currently-running queries holding a stall flag, with where they are.
+    std::vector<StalledQuery> stalled_queries;
     double uptime_seconds = 0;
     double qps = 0;          ///< completed / uptime
     /// End-to-end latency (queue + run) percentiles over completed queries,
@@ -125,11 +175,13 @@ class GraphServer {
       const Program& program, const BatchQuery& spec) {
     using R = BatchResult<typename Program::Value>;
     QueryFuture<R> future;
+    std::shared_ptr<LiveQuery> lq = NewLiveQuery(spec.limits.deadline);
+    future.SetId(lq->id);
     EnqueueTicket(
-        spec.limits.queue_deadline,
-        [this, program, spec, future](double queue_seconds) {
+        lq,
+        [this, program, spec, lq, future](double queue_seconds) {
           const auto start = std::chrono::steady_clock::now();
-          Outcome<R> out = RunBatchQuery(program, MakeContext(),
+          Outcome<R> out = RunBatchQuery(program, MakeContext(lq.get()),
                                          spec.direction, spec.max_iterations,
                                          spec.limits.io_byte_budget);
           out.result.stats.queue_seconds = queue_seconds;
@@ -137,12 +189,33 @@ class GraphServer {
               std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             start)
                   .count();
-          FinishQuery(out.status, out.result.stats);
+          FinishQuery(lq, out.status, out.result.stats);
           future.Complete(std::move(out));
         },
         [future](Status s) { future.Complete({std::move(s), {}}); });
     return future;
   }
+
+  /// Requests cooperative cancellation of a live query by the id stamped
+  /// on its future. A queued query completes immediately with Cancelled;
+  /// a running one unwinds at its next checkpoint, returning Cancelled
+  /// with the deterministic partial result of its completed rounds.
+  /// Returns false when the id names no live query (already finished,
+  /// rejected, or unknown) — cancellation raced completion, and the
+  /// future holds the run's real outcome.
+  bool Cancel(uint64_t query_id);
+
+  /// Graceful shutdown of admission: immediately stops accepting new
+  /// queries (submissions complete with Aborted), lets queued + running
+  /// work finish for up to `timeout`, then fans CancelReason::kShutdown
+  /// out to every remaining query and waits for them to unwind. Returns
+  /// OK once the server is idle (whether or not stragglers had to be
+  /// cancelled — Stats::drain_cancelled says how many were), or
+  /// DeadlineExceeded if a wedged query failed to reach a cancellation
+  /// checkpoint within a generous hard cap. Idempotent; admission stays
+  /// closed afterwards. The destructor remains the non-graceful path
+  /// (aborts the queue, finishes only what is mid-run).
+  Status Drain(std::chrono::milliseconds timeout);
 
   /// Pauses / resumes dispatch (test hook; see Options::start_paused).
   void SetPaused(bool paused);
@@ -152,30 +225,51 @@ class GraphServer {
   SubShardCache* cache() { return cache_.get(); }
 
  private:
+  /// \brief Per-query lifecycle record, registered from admission until
+  /// FinishQuery (or queue-time abort). The token is a child of the
+  /// server-wide drain token, carrying the query's end-to-end deadline;
+  /// `progress` is written lock-free by the running query and read by the
+  /// stall watchdog. `running`/`stall_flagged` are guarded by mu_.
+  struct LiveQuery {
+    uint64_t id = 0;
+    CancelToken token;
+    QueryProgress progress;
+    std::chrono::steady_clock::time_point submitted;
+    std::chrono::milliseconds deadline{0};  // 0 = none
+    bool running = false;
+    bool stall_flagged = false;
+  };
+
   /// A queued query: `run(queue_seconds)` executes and completes the
   /// future; `abort(status)` completes it without running (rejection,
-  /// shedding, shutdown).
+  /// shedding, cancellation, shutdown).
   struct Ticket {
-    std::chrono::steady_clock::time_point submitted;
-    std::chrono::steady_clock::time_point deadline;  // ::max() = none
+    std::shared_ptr<LiveQuery> lq;
     std::function<void(double)> run;
     std::function<void(Status)> abort;
   };
 
   GraphServer(Env* env, Options options);
 
-  QueryContext MakeContext() const;
+  QueryContext MakeContext(LiveQuery* lq) const;
 
-  /// Admission control: queues the ticket, or calls `abort` inline with
-  /// ResourceExhausted (queue full) / Aborted (shutting down).
-  void EnqueueTicket(std::chrono::milliseconds queue_deadline,
+  /// Allocates an id and a drain-token child carrying the deadline.
+  std::shared_ptr<LiveQuery> NewLiveQuery(std::chrono::milliseconds deadline);
+
+  /// Admission control: queues the ticket and registers it live, or calls
+  /// `abort` inline with ResourceExhausted (queue full) / Aborted
+  /// (draining or shutting down) without registering.
+  void EnqueueTicket(std::shared_ptr<LiveQuery> lq,
                      std::function<void(double)> run,
                      std::function<void(Status)> abort);
 
-  /// Server-side completion accounting (latency sample + counters).
-  void FinishQuery(const Status& status, const QueryStats& stats);
+  /// Server-side completion accounting (latency sample + counters) and
+  /// live-registry removal.
+  void FinishQuery(const std::shared_ptr<LiveQuery>& lq, const Status& status,
+                   const QueryStats& stats);
 
   void WorkerLoop();
+  void WatchdogLoop();
 
   Env* env_;
   const Options options_;
@@ -186,11 +280,23 @@ class GraphServer {
   std::vector<uint32_t> in_degrees_;
   std::chrono::steady_clock::time_point started_;
 
+  /// Root of the cancellation tree: Drain() fires it with kShutdown and
+  /// every per-query token is its child. Never carries a deadline itself.
+  CancelToken drain_token_;
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  /// Signalled whenever the server may have gone idle (queue empty, no
+  /// runners) — Drain() blocks on it.
+  std::condition_variable drained_cv_;
+  std::condition_variable watchdog_cv_;
   std::deque<Ticket> queue_;
+  /// Queries between admission and completion, by id (queued + running).
+  std::unordered_map<uint64_t, std::shared_ptr<LiveQuery>> live_;
+  uint64_t next_query_id_ = 1;
   bool paused_ = false;
   bool stopping_ = false;
+  bool draining_ = false;
   uint64_t running_ = 0;
   uint64_t submitted_ = 0;
   uint64_t completed_ = 0;
@@ -198,8 +304,13 @@ class GraphServer {
   uint64_t rejected_ = 0;
   uint64_t shed_ = 0;
   uint64_t failed_ = 0;
+  uint64_t cancelled_ = 0;
+  uint64_t deadline_cancelled_ = 0;
+  uint64_t drain_cancelled_ = 0;
+  uint64_t stalled_ = 0;
   std::vector<double> latencies_ms_;
   std::vector<std::thread> workers_;
+  std::thread watchdog_;
 };
 
 }  // namespace nxgraph

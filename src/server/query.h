@@ -2,6 +2,7 @@
 #ifndef NXGRAPH_SERVER_QUERY_H_
 #define NXGRAPH_SERVER_QUERY_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -12,6 +13,7 @@
 
 #include "src/engine/options.h"
 #include "src/graph/types.h"
+#include "src/util/cancel.h"
 #include "src/util/status.h"
 
 namespace nxgraph {
@@ -41,10 +43,14 @@ struct QueryLimits {
   /// whatever partial result it reached. 0 = unlimited.
   uint64_t io_byte_budget = 0;
 
-  /// Admission deadline: if the query is still queued (not yet running)
-  /// this long after submission, it is shed with DeadlineExceeded instead
-  /// of occupying a worker. 0 = never shed.
-  std::chrono::milliseconds queue_deadline{0};
+  /// End-to-end deadline, measured from submission, covering queueing AND
+  /// execution. Still queued when it passes → shed with DeadlineExceeded
+  /// before ever occupying a worker (counted in Stats::shed). Already
+  /// running → cancelled cooperatively at the next sub-shard / iteration
+  /// boundary, returning DeadlineExceeded with the deterministic partial
+  /// result of the rounds that completed (counted in
+  /// Stats::deadline_cancelled). 0 = no deadline.
+  std::chrono::milliseconds deadline{0};
 };
 
 /// \brief A point query: traversal from one root over the shared store.
@@ -80,8 +86,14 @@ struct QueryStats {
   /// Total bytes of the manifest's per-blob source summaries the planner
   /// consulted (0 when selective scheduling was off for this query).
   uint64_t summary_bytes = 0;
-  int iterations = 0;              ///< propagation rounds executed
+  int iterations = 0;              ///< propagation rounds fully applied
   bool truncated = false;          ///< stopped early on io_byte_budget
+  /// Why the query was cancelled (kNone for a run that finished on its
+  /// own). The partial result of a cancelled query is deterministic: it
+  /// equals the same query run to completion with its round cap set to
+  /// `iterations` — the round in flight at cancellation is discarded
+  /// whole, never half-applied.
+  CancelReason cancel_reason = CancelReason::kNone;
   double queue_seconds = 0;        ///< submission -> start of execution
   double run_seconds = 0;          ///< execution wall-clock
 
@@ -98,6 +110,37 @@ struct QueryStats {
   uint64_t bulk_decode_calls = 0;
   /// Wall-clock inside SubShard::Decode for those loads.
   double decode_seconds = 0;
+};
+
+/// Where a running query currently is (for the stall watchdog and stats).
+enum class QueryPhase : uint8_t {
+  kQueued = 0,   ///< admitted, waiting for a worker
+  kPlan = 1,     ///< planning the round's sub-shard visits
+  kLoad = 2,     ///< pulling a sub-shard through the cache
+  kApply = 3,    ///< applying the round's accumulators
+  kCollect = 4,  ///< materializing the final result
+};
+
+const char* QueryPhaseName(QueryPhase phase);
+
+/// \brief Live position of a running query, updated at every cancellation
+/// checkpoint with relaxed atomics (reporting, not synchronization). The
+/// stall watchdog snapshots this to say *where* a wedged query is stuck —
+/// phase plus the (round, i, j) blob coordinates it last touched.
+struct QueryProgress {
+  std::atomic<uint8_t> phase{0};       // QueryPhase
+  std::atomic<uint32_t> round{0};
+  std::atomic<uint32_t> i{0};
+  std::atomic<uint32_t> j{0};
+  std::atomic<uint64_t> checkpoints{0};  ///< cancellation checks passed
+
+  void Set(QueryPhase p, uint32_t r, uint32_t ii, uint32_t jj) {
+    phase.store(static_cast<uint8_t>(p), std::memory_order_relaxed);
+    round.store(r, std::memory_order_relaxed);
+    i.store(ii, std::memory_order_relaxed);
+    j.store(jj, std::memory_order_relaxed);
+    checkpoints.fetch_add(1, std::memory_order_relaxed);
+  }
 };
 
 /// \brief Result of a point query: the reached vertices (ascending id) and
@@ -120,8 +163,12 @@ struct BatchResult {
 /// \brief Terminal state of one query. `status` is OK for a complete
 /// result, ResourceExhausted for a budget-truncated one (partial `result`
 /// is still populated, stats.truncated set), DeadlineExceeded for a shed
-/// query, ResourceExhausted with empty stats for an admission rejection,
-/// Aborted when the server shut down first, or the execution error.
+/// or deadline-cancelled query (the latter with the deterministic partial
+/// result and stats.cancel_reason = kDeadline), Cancelled for a
+/// client-cancelled or drain-cancelled query (partial result populated,
+/// cancel_reason kClient / kShutdown), ResourceExhausted with empty stats
+/// for an admission rejection, Aborted when the server shut down first, or
+/// the execution error.
 template <typename R>
 struct Outcome {
   Status status;
@@ -154,6 +201,20 @@ class QueryFuture {
     return state_->done;
   }
 
+  /// Server-assigned query id (for GraphServer::Cancel). 0 until the
+  /// server admits the query; stays 0 for inline rejections, which are
+  /// already complete and cannot be cancelled.
+  uint64_t id() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->id;
+  }
+
+  /// Server-side: stamps the id at admission, before the ticket can run.
+  void SetId(uint64_t id) const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->id = id;
+  }
+
   /// Completes the future (server-side; calling twice is a bug guarded by
   /// the scheduler, the second outcome would be dropped).
   void Complete(Outcome<R> outcome) const {
@@ -171,6 +232,7 @@ class QueryFuture {
     std::mutex mu;
     std::condition_variable cv;
     bool done = false;
+    uint64_t id = 0;
     Outcome<R> outcome;
   };
   std::shared_ptr<State> state_;

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <utility>
@@ -46,6 +47,21 @@ struct QueryContext {
   /// monotone-skippable programs on stores carrying summaries; results are
   /// bit-identical either way. Defaults to the NXGRAPH_SELECTIVE override.
   bool selective = DefaultSelectiveScheduling();
+  /// Cooperative cancellation/deadline token (may be null). Observed at
+  /// every checkpoint: round plan, each sub-shard consume, and round
+  /// apply. On cancellation the round in flight is DISCARDED whole and the
+  /// query returns the token's status with the deterministic partial
+  /// result of the rounds that fully applied (equal to the same query run
+  /// with its round cap at stats.iterations). The token also flows into
+  /// the prefetch stream, cache gets, and retry backoffs this query issues.
+  const CancelToken* cancel = nullptr;
+  /// Live (round, i, j, phase) position, updated at every checkpoint with
+  /// relaxed atomics (may be null). The server's stall watchdog reads it.
+  QueryProgress* progress = nullptr;
+  /// TEST HOOK: invoked at every checkpoint, before the cancellation
+  /// check. Lets tests cancel at the k-th boundary deterministically or
+  /// block a query to exercise the stall watchdog. Empty in production.
+  std::function<void()> boundary_hook;
 };
 
 /// \brief Sparse traversal output: reached vertices (ascending id) and
@@ -195,6 +211,17 @@ void AccumulateSubShard(const Program& program, const SubShard& ss,
   }
 }
 
+/// One cooperative cancellation checkpoint: publish where the query is,
+/// fire the test hook, observe the token. Returns true when the query must
+/// unwind (the caller discards the round in flight and returns the token's
+/// status with the completed-rounds partial result).
+inline bool Checkpoint(const QueryContext& ctx, QueryPhase phase,
+                       uint32_t round, uint32_t i, uint32_t j) {
+  if (ctx.progress != nullptr) ctx.progress->Set(phase, round, i, j);
+  if (ctx.boundary_hook) ctx.boundary_hook();
+  return ctx.cancel != nullptr && ctx.cancel->cancelled();
+}
+
 inline Status TruncatedStatus(uint64_t budget) {
   return Status::ResourceExhausted(
       "io byte budget exhausted (" + std::to_string(budget) +
@@ -215,10 +242,13 @@ struct QueryDecodeTally {
 /// Wraps one sub-shard load for PrefetchStream, folding the executing
 /// thread's decode-tally delta into `tally`.
 inline auto TalliedLoad(SubShardCache* cache, Visit v,
-                        std::shared_ptr<QueryDecodeTally> tally) {
-  return [cache, v, tally = std::move(tally)]() -> Result<SubShardCache::Pin> {
+                        std::shared_ptr<QueryDecodeTally> tally,
+                        const CancelToken* cancel = nullptr) {
+  return [cache, v, tally = std::move(tally),
+          cancel]() -> Result<SubShardCache::Pin> {
     const DecodeTallies before = ThreadDecodeTallies();
-    Result<SubShardCache::Pin> r = cache->GetPinned(v.i, v.j, v.transpose);
+    Result<SubShardCache::Pin> r =
+        cache->GetPinned(v.i, v.j, v.transpose, cancel);
     const DecodeTallies& after = ThreadDecodeTallies();
     tally->calls.fetch_add(after.bulk_decode_calls - before.bulk_decode_calls,
                            std::memory_order_relaxed);
@@ -292,8 +322,14 @@ Outcome<SparseTraversalResult<typename Program::Value>> RunPointTraversal(
   }
 
   bool truncated = false;
+  bool cancelled = false;
   std::vector<server_internal::Visit> visits;
   for (int round = 1; max_rounds <= 0 || round <= max_rounds; ++round) {
+    if (server_internal::Checkpoint(ctx, QueryPhase::kPlan,
+                                    static_cast<uint32_t>(round), 0, 0)) {
+      cancelled = true;  // values hold rounds 1..round-1; iterations agree
+      break;
+    }
     truncated = !server_internal::PlanRound(
         m, active, /*skip_inactive=*/Program::kMonotoneSkippable,
         /*use_forward=*/true, /*use_transpose=*/false,
@@ -303,14 +339,28 @@ Outcome<SparseTraversalResult<typename Program::Value>> RunPointTraversal(
     stats.iterations = round;
 
     PrefetchStream<SubShardCache::Pin> pins(ctx.io_pool, nullptr,
-                                            ctx.prefetch_depth, ctx.retry);
+                                            ctx.prefetch_depth, ctx.retry,
+                                            nullptr, ctx.cancel);
     for (const auto& v : visits) {
-      pins.Push(server_internal::TalliedLoad(ctx.cache, v, decode_tally));
+      pins.Push(
+          server_internal::TalliedLoad(ctx.cache, v, decode_tally, ctx.cancel));
     }
     std::vector<std::vector<Value>> acc(p);
     for (const auto& v : visits) {
+      if (server_internal::Checkpoint(ctx, QueryPhase::kLoad,
+                                      static_cast<uint32_t>(round), v.i, v.j)) {
+        cancelled = true;
+        break;
+      }
       Result<SubShardCache::Pin> pin = pins.Next();
       if (!pin.ok()) {
+        // A load that failed BECAUSE the token fired (cache detach, retry
+        // abort, unissued prefetch slot) is a cancellation, not an error:
+        // the completed rounds are still a valid deterministic result.
+        if (ctx.cancel != nullptr && ctx.cancel->cancelled()) {
+          cancelled = true;
+          break;
+        }
         out.status = pin.status();
         server_internal::SettleDecodeStats(ctx, *decode_tally, &stats);
         return out;
@@ -321,6 +371,19 @@ Outcome<SparseTraversalResult<typename Program::Value>> RunPointTraversal(
           program, **pin, values[v.i].data(), m.interval_begin(v.i),
           m.interval_begin(v.j), degrees, &acc[v.j],
           [&] { acc[v.j].assign(m.interval_size(v.j), Program::Identity()); });
+    }
+    // The round in flight is discarded WHOLE on cancellation (its
+    // accumulators die here, unapplied; `pins` cancels queued loads and
+    // drops every pin on destruction) so the surviving values are exactly
+    // rounds 1..round-1 — the same contract as a round cap.
+    if (!cancelled &&
+        server_internal::Checkpoint(ctx, QueryPhase::kApply,
+                                    static_cast<uint32_t>(round), 0, 0)) {
+      cancelled = true;
+    }
+    if (cancelled) {
+      stats.iterations = round - 1;
+      break;
     }
 
     bool any_next = false;
@@ -350,7 +413,10 @@ Outcome<SparseTraversalResult<typename Program::Value>> RunPointTraversal(
     if (truncated || !any_next) break;
   }
 
-  stats.truncated = truncated;
+  stats.truncated = !cancelled && truncated;
+  if (ctx.progress != nullptr) {
+    ctx.progress->Set(QueryPhase::kCollect, 0, 0, 0);
+  }
   const Value dflt = program.DefaultValue();
   for (uint32_t i = 0; i < p; ++i) {
     if (values[i].empty()) continue;
@@ -361,8 +427,13 @@ Outcome<SparseTraversalResult<typename Program::Value>> RunPointTraversal(
       out.result.values.push_back(values[i][k]);
     }
   }
-  out.status = truncated ? server_internal::TruncatedStatus(io_byte_budget)
-                         : Status::OK();
+  if (cancelled) {
+    stats.cancel_reason = ctx.cancel->reason();
+    out.status = ctx.cancel->ToStatus();
+  } else {
+    out.status = truncated ? server_internal::TruncatedStatus(io_byte_budget)
+                           : Status::OK();
+  }
   server_internal::SettleDecodeStats(ctx, *decode_tally, &stats);
   return out;
 }
@@ -416,12 +487,18 @@ Outcome<BatchResult<typename Program::Value>> RunBatchQuery(
   }
 
   bool truncated = false;
+  bool cancelled = false;
   std::vector<server_internal::Visit> visits;
   for (int iter = 1; max_iterations <= 0 || iter <= max_iterations; ++iter) {
     bool any_active = false;
     for (uint32_t i = 0; i < p; ++i) any_active = any_active || active[i];
     if (!any_active) break;
 
+    if (server_internal::Checkpoint(ctx, QueryPhase::kPlan,
+                                    static_cast<uint32_t>(iter), 0, 0)) {
+      cancelled = true;
+      break;
+    }
     truncated = !server_internal::PlanRound(
         m, active, /*skip_inactive=*/Program::kMonotoneSkippable, use_forward,
         use_transpose, selective ? &frontier : nullptr, io_byte_budget,
@@ -430,9 +507,11 @@ Outcome<BatchResult<typename Program::Value>> RunBatchQuery(
     stats.iterations = iter;
 
     PrefetchStream<SubShardCache::Pin> pins(ctx.io_pool, nullptr,
-                                            ctx.prefetch_depth, ctx.retry);
+                                            ctx.prefetch_depth, ctx.retry,
+                                            nullptr, ctx.cancel);
     for (const auto& v : visits) {
-      pins.Push(server_internal::TalliedLoad(ctx.cache, v, decode_tally));
+      pins.Push(
+          server_internal::TalliedLoad(ctx.cache, v, decode_tally, ctx.cancel));
     }
     // Dense accumulators: non-monotone programs (PageRank) need Apply on
     // every vertex each iteration, contributions or not.
@@ -441,8 +520,17 @@ Outcome<BatchResult<typename Program::Value>> RunBatchQuery(
       acc[j].assign(m.interval_size(j), Program::Identity());
     }
     for (const auto& v : visits) {
+      if (server_internal::Checkpoint(ctx, QueryPhase::kLoad,
+                                      static_cast<uint32_t>(iter), v.i, v.j)) {
+        cancelled = true;
+        break;
+      }
       Result<SubShardCache::Pin> pin = pins.Next();
       if (!pin.ok()) {
+        if (ctx.cancel != nullptr && ctx.cancel->cancelled()) {
+          cancelled = true;
+          break;
+        }
         out.status = pin.status();
         server_internal::SettleDecodeStats(ctx, *decode_tally, &stats);
         return out;
@@ -452,6 +540,17 @@ Outcome<BatchResult<typename Program::Value>> RunBatchQuery(
           program, **pin, values[v.i].data(), m.interval_begin(v.i),
           m.interval_begin(v.j), v.transpose ? t_degrees : fwd_degrees,
           &acc[v.j], [] {});
+    }
+    // As in RunPointTraversal: a cancelled iteration is discarded whole, so
+    // the surviving values equal a run capped at iter-1 iterations.
+    if (!cancelled &&
+        server_internal::Checkpoint(ctx, QueryPhase::kApply,
+                                    static_cast<uint32_t>(iter), 0, 0)) {
+      cancelled = true;
+    }
+    if (cancelled) {
+      stats.iterations = iter - 1;
+      break;
     }
 
     bool any_next = false;
@@ -477,14 +576,22 @@ Outcome<BatchResult<typename Program::Value>> RunBatchQuery(
     if (truncated || !any_next) break;
   }
 
-  stats.truncated = truncated;
+  stats.truncated = !cancelled && truncated;
+  if (ctx.progress != nullptr) {
+    ctx.progress->Set(QueryPhase::kCollect, 0, 0, 0);
+  }
   out.result.values.reserve(m.num_vertices);
   for (uint32_t i = 0; i < p; ++i) {
     out.result.values.insert(out.result.values.end(), values[i].begin(),
                              values[i].end());
   }
-  out.status = truncated ? server_internal::TruncatedStatus(io_byte_budget)
-                         : Status::OK();
+  if (cancelled) {
+    stats.cancel_reason = ctx.cancel->reason();
+    out.status = ctx.cancel->ToStatus();
+  } else {
+    out.status = truncated ? server_internal::TruncatedStatus(io_byte_budget)
+                           : Status::OK();
+  }
   server_internal::SettleDecodeStats(ctx, *decode_tally, &stats);
   return out;
 }

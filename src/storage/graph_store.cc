@@ -231,6 +231,13 @@ bool SubShardCache::Contains(uint32_t i, uint32_t j, bool transpose) const {
   return cache_.find(key) != cache_.end();
 }
 
+uint64_t SubShardCache::pinned_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t pins = 0;
+  for (const auto& [key, entry] : cache_) pins += entry.pins;
+  return pins;
+}
+
 void SubShardCache::Pin::Release() {
   if (cache_ != nullptr) {
     cache_->Unpin(key_);
@@ -283,16 +290,16 @@ bool SubShardCache::InsertAndMaybePinLocked(
   return true;
 }
 
-Result<std::shared_ptr<const SubShard>> SubShardCache::Get(uint32_t i,
-                                                           uint32_t j,
-                                                           bool transpose) {
-  return GetImpl(i, j, transpose, /*pin=*/false, nullptr);
+Result<std::shared_ptr<const SubShard>> SubShardCache::Get(
+    uint32_t i, uint32_t j, bool transpose, const CancelToken* cancel) {
+  return GetImpl(i, j, transpose, /*pin=*/false, nullptr, cancel);
 }
 
 Result<SubShardCache::Pin> SubShardCache::GetPinned(uint32_t i, uint32_t j,
-                                                    bool transpose) {
+                                                    bool transpose,
+                                                    const CancelToken* cancel) {
   Pin pin;
-  auto ss = GetImpl(i, j, transpose, /*pin=*/true, &pin);
+  auto ss = GetImpl(i, j, transpose, /*pin=*/true, &pin, cancel);
   if (!ss.ok()) return ss.status();
   if (!pin.pinned()) {
     // The load could not be (or stay) cached: hand the data back as a
@@ -303,7 +310,12 @@ Result<SubShardCache::Pin> SubShardCache::GetPinned(uint32_t i, uint32_t j,
 }
 
 Result<std::shared_ptr<const SubShard>> SubShardCache::GetImpl(
-    uint32_t i, uint32_t j, bool transpose, bool pin, Pin* out_pin) {
+    uint32_t i, uint32_t j, bool transpose, bool pin, Pin* out_pin,
+    const CancelToken* cancel) {
+  // Checked before mu_ (cancelled() may lazily fire deadline callbacks,
+  // which must never run under the cache lock). A cancelled Get is counted
+  // as neither hit nor miss.
+  if (cancel != nullptr && cancel->cancelled()) return cancel->ToStatus();
   const uint64_t p = store_->num_intervals();
   const uint64_t key = ((transpose ? p : 0) + i) * p + j;
   std::shared_ptr<InFlight> flight;
@@ -331,11 +343,51 @@ Result<std::shared_ptr<const SubShard>> SubShardCache::GetImpl(
 
   if (!leader) {
     // Another thread is already reading this blob; share its load instead
-    // of issuing a duplicate read and discarding one copy.
+    // of issuing a duplicate read and discarding one copy. A token-bearing
+    // follower detaches the moment its token fires — the leader's load
+    // continues untouched and still publishes for everyone else.
+    uint64_t cb_id = 0;
+    if (cancel != nullptr) {
+      // Lock-then-notify so the wake cannot slip between a waiter's
+      // predicate check and its block. The callback only touches `flight`
+      // (kept alive by the capture), so a post-Remove straggler fire is
+      // harmless.
+      cb_id = cancel->AddCallback([flight] {
+        { std::lock_guard<std::mutex> lock(flight->mu); }
+        flight->cv.notify_all();
+      });
+    }
     std::shared_ptr<const SubShard> ss;
+    bool detached = false;
     {
       std::unique_lock<std::mutex> lock(flight->mu);
-      flight->cv.wait(lock, [&] { return flight->done; });
+      for (;;) {
+        if (flight->done) break;
+        if (cancel != nullptr) {
+          // cancelled() may lazily fire the deadline (running callbacks,
+          // including ours) — call it with flight->mu released.
+          lock.unlock();
+          const bool fired = cancel->cancelled();
+          lock.lock();
+          if (flight->done) break;
+          if (fired) {
+            detached = true;
+            break;
+          }
+          if (cancel->has_deadline()) {
+            flight->cv.wait_until(lock, cancel->deadline());
+          } else {
+            flight->cv.wait(lock);
+          }
+        } else {
+          flight->cv.wait(lock);
+        }
+      }
+    }
+    if (cancel != nullptr) cancel->RemoveCallback(cb_id);
+    if (detached) return cancel->ToStatus();
+    {
+      std::lock_guard<std::mutex> lock(flight->mu);
       if (!flight->status.ok()) return flight->status;
       ss = flight->subshard;
     }

@@ -15,6 +15,7 @@
 #include "src/io/env.h"
 #include "src/prep/manifest.h"
 #include "src/storage/subshard.h"
+#include "src/util/cancel.h"
 #include "src/util/result.h"
 
 namespace nxgraph {
@@ -224,13 +225,23 @@ class SubShardCache {
   /// Returns the cached sub-shard, loading (and caching if budget allows)
   /// on miss. Never fails into the cache: over-budget loads are returned
   /// as transient copies.
-  Result<std::shared_ptr<const SubShard>> Get(uint32_t i, uint32_t j,
-                                              bool transpose = false);
+  ///
+  /// `cancel` (optional) makes the call cooperative: a token already fired
+  /// returns the token's status up front (counted as neither hit nor
+  /// miss), and a *follower* blocked on another caller's in-flight load
+  /// detaches with the token's status the moment it fires instead of
+  /// riding out the leader's read. The leader itself always completes and
+  /// publishes its load — other queries waiting on the same blob must
+  /// never inherit one tenant's cancellation.
+  Result<std::shared_ptr<const SubShard>> Get(
+      uint32_t i, uint32_t j, bool transpose = false,
+      const CancelToken* cancel = nullptr);
 
   /// Get plus a shared read pin on the entry (see Pin). Concurrent pins on
   /// one entry stack; the entry stays evictable again once every pin is
   /// released.
-  Result<Pin> GetPinned(uint32_t i, uint32_t j, bool transpose = false);
+  Result<Pin> GetPinned(uint32_t i, uint32_t j, bool transpose = false,
+                        const CancelToken* cancel = nullptr);
 
   /// Inserts a sub-shard decoded externally (the engine's first-iteration
   /// warm-up loads whole rows through the prefetch pipeline and deposits
@@ -250,6 +261,11 @@ class SubShardCache {
 
   /// Whether the key is currently resident (test/diagnostic hook).
   bool Contains(uint32_t i, uint32_t j, bool transpose = false) const;
+
+  /// Total outstanding pin count across all entries (test/diagnostic
+  /// hook). 0 whenever no Pin handles are alive — a nonzero value with no
+  /// live handles means a pin leaked on some early-exit path.
+  uint64_t pinned_entries() const;
 
   /// Drops every UNPINNED entry (for the engine, which never pins, this is
   /// a full reset). Not counted as eviction.
@@ -277,7 +293,8 @@ class SubShardCache {
   /// pinned handle; otherwise the caller wraps the bare shared_ptr.
   Result<std::shared_ptr<const SubShard>> GetImpl(uint32_t i, uint32_t j,
                                                   bool transpose, bool pin,
-                                                  Pin* out_pin);
+                                                  Pin* out_pin,
+                                                  const CancelToken* cancel);
 
   /// mu_ held. True when `bytes` fit within the budget, evicting
   /// least-recently-used unpinned entries first if the policy allows.

@@ -1,0 +1,192 @@
+#include "src/util/cancel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
+namespace nxgraph {
+
+const char* CancelReasonName(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kClient:
+      return "client";
+    case CancelReason::kDeadline:
+      return "deadline";
+    case CancelReason::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+struct CancelToken::State {
+  explicit State(Clock::time_point dl) : deadline(dl) {}
+
+  /// CancelReason; flips exactly once away from kNone via CAS. Readers on
+  /// the hot path do a single acquire load.
+  std::atomic<uint8_t> reason{0};
+  const Clock::time_point deadline;  // time_point::max() == none
+
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t next_callback_id = 1;                                 // under mu
+  std::vector<std::pair<uint64_t, std::function<void()>>> callbacks;
+  std::vector<std::weak_ptr<State>> children;                    // under mu
+};
+
+namespace {
+
+/// Tries to claim the one live→cancelled transition. Returns true for the
+/// winner (who must then notify/fan out), false if someone else already won.
+bool ClaimCancel(std::atomic<uint8_t>& reason, CancelReason r) {
+  uint8_t expected = 0;
+  return reason.compare_exchange_strong(expected, static_cast<uint8_t>(r),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+}
+
+}  // namespace
+
+CancelToken::CancelToken()
+    : state_(std::make_shared<State>(Clock::time_point::max())) {}
+
+CancelToken CancelToken::WithDeadline(Clock::time_point deadline) {
+  return CancelToken(std::make_shared<State>(deadline));
+}
+
+CancelToken CancelToken::Child(Clock::time_point deadline) const {
+  const Clock::time_point effective = std::min(deadline, state_->deadline);
+  auto child = std::make_shared<State>(effective);
+  CancelReason parent_reason = CancelReason::kNone;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    parent_reason =
+        static_cast<CancelReason>(state_->reason.load(std::memory_order_acquire));
+    if (parent_reason == CancelReason::kNone) {
+      // Amortized pruning keeps a long-lived parent (the server drain
+      // token) from accumulating a weak_ptr per query ever served.
+      if (state_->children.size() >= 64 &&
+          (state_->children.size() & (state_->children.size() - 1)) == 0) {
+        state_->children.erase(
+            std::remove_if(state_->children.begin(), state_->children.end(),
+                           [](const std::weak_ptr<State>& w) {
+                             return w.expired();
+                           }),
+            state_->children.end());
+      }
+      state_->children.emplace_back(child);
+    }
+  }
+  if (parent_reason != CancelReason::kNone) CancelState(child, parent_reason);
+  return CancelToken(std::move(child));
+}
+
+void CancelToken::CancelState(const std::shared_ptr<State>& state,
+                              CancelReason reason) {
+  if (!ClaimCancel(state->reason, reason)) return;
+  std::vector<std::pair<uint64_t, std::function<void()>>> callbacks;
+  std::vector<std::weak_ptr<State>> children;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    callbacks.swap(state->callbacks);
+    children.swap(state->children);
+  }
+  // notify_all after holding mu: a WaitFor() sleeper either saw the flipped
+  // reason before blocking or is inside cv.wait and receives this wake.
+  state->cv.notify_all();
+  for (auto& cb : callbacks) cb.second();
+  for (auto& weak : children) {
+    if (auto child = weak.lock()) CancelState(child, reason);
+  }
+}
+
+void CancelToken::Cancel(CancelReason reason) const {
+  if (reason == CancelReason::kNone) return;
+  CancelState(state_, reason);
+}
+
+bool CancelToken::cancelled() const {
+  if (state_->reason.load(std::memory_order_acquire) != 0) return true;
+  if (state_->deadline != Clock::time_point::max() &&
+      Clock::now() >= state_->deadline) {
+    // Lazy deadline: first observer past the due time fires the full
+    // cancellation (callbacks + children), exactly as Cancel() would.
+    CancelState(state_, CancelReason::kDeadline);
+    return true;
+  }
+  return false;
+}
+
+CancelReason CancelToken::reason() const {
+  if (!cancelled()) return CancelReason::kNone;
+  return static_cast<CancelReason>(
+      state_->reason.load(std::memory_order_acquire));
+}
+
+Status CancelToken::ToStatus() const {
+  switch (reason()) {
+    case CancelReason::kNone:
+      return Status::OK();
+    case CancelReason::kClient:
+      return Status::Cancelled("cancelled by client");
+    case CancelReason::kDeadline:
+      return Status::DeadlineExceeded("query deadline exceeded");
+    case CancelReason::kShutdown:
+      return Status::Cancelled("cancelled by server drain");
+  }
+  return Status::Cancelled("cancelled");
+}
+
+bool CancelToken::has_deadline() const {
+  return state_->deadline != Clock::time_point::max();
+}
+
+CancelToken::Clock::time_point CancelToken::deadline() const {
+  return state_->deadline;
+}
+
+double CancelToken::RemainingSeconds() const {
+  if (!has_deadline()) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(state_->deadline - Clock::now())
+      .count();
+}
+
+bool CancelToken::WaitFor(std::chrono::microseconds wait) const {
+  if (cancelled()) return true;
+  Clock::time_point until = Clock::now() + wait;
+  if (state_->deadline < until) until = state_->deadline;
+  {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait_until(lock, until, [this] {
+      return state_->reason.load(std::memory_order_acquire) != 0;
+    });
+  }
+  return cancelled();
+}
+
+uint64_t CancelToken::AddCallback(std::function<void()> fn) const {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->reason.load(std::memory_order_acquire) == 0) {
+      const uint64_t id = state_->next_callback_id++;
+      state_->callbacks.emplace_back(id, std::move(fn));
+      return id;
+    }
+  }
+  fn();  // already cancelled: run inline, outside the lock
+  return 0;
+}
+
+void CancelToken::RemoveCallback(uint64_t id) const {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->callbacks.erase(
+      std::remove_if(state_->callbacks.begin(), state_->callbacks.end(),
+                     [id](const std::pair<uint64_t, std::function<void()>>& c) {
+                       return c.first == id;
+                     }),
+      state_->callbacks.end());
+}
+
+}  // namespace nxgraph

@@ -1,0 +1,111 @@
+// CancelToken: cooperative cancellation + deadline propagation.
+//
+// A token is a cheap shared handle that flips exactly once from "live" to
+// "cancelled(reason)". Nothing is preempted: holders *observe* the token at
+// natural boundaries (sub-shard consume, engine iteration, retry backoff,
+// single-flight cache wait) and unwind cleanly, releasing pins and
+// completing futures on the way out. Tokens compose parent→child so a
+// server-wide drain token fans out to every per-query token, and a deadline
+// is just a token that cancels itself lazily the first time anyone looks at
+// it past the due time — no timer thread required.
+//
+// Thread-safety: every method is safe to call concurrently from any number
+// of threads. `cancelled()` is lock-free (one relaxed-ish atomic load on
+// the hot path) so it can sit inside per-sub-shard loops.
+#ifndef NXGRAPH_UTIL_CANCEL_H_
+#define NXGRAPH_UTIL_CANCEL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace nxgraph {
+
+/// Why a token was cancelled. Ordered so that "stronger" reasons do not
+/// overwrite weaker ones — whichever cause fires first wins and sticks.
+enum class CancelReason : uint8_t {
+  kNone = 0,      ///< live
+  kClient = 1,    ///< explicit Cancel() from the query's owner
+  kDeadline = 2,  ///< the token's deadline passed
+  kShutdown = 3,  ///< server drain / shutdown fan-out
+};
+
+const char* CancelReasonName(CancelReason reason);
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A live root token with no deadline. Tokens are never "null": a
+  /// default-constructed token is simply one nobody will ever cancel.
+  CancelToken();
+
+  /// A live root token that self-cancels (reason kDeadline) once
+  /// `deadline` passes. The deadline is immutable after construction.
+  static CancelToken WithDeadline(Clock::time_point deadline);
+
+  /// A child token: cancelling the parent cancels the child (same
+  /// reason), but cancelling the child leaves the parent untouched. The
+  /// child inherits the parent's deadline; `deadline` tightens it
+  /// further (never loosens). If the parent is already cancelled the
+  /// child is born cancelled.
+  CancelToken Child(Clock::time_point deadline = Clock::time_point::max()) const;
+
+  /// Flips the token to cancelled. First caller wins; later calls (and
+  /// later deadline expiry) are no-ops. Wakes WaitFor() sleepers, runs
+  /// registered callbacks, and fans out to children.
+  void Cancel(CancelReason reason = CancelReason::kClient) const;
+
+  /// True once cancelled for any reason. Lock-free; lazily fires the
+  /// deadline (and its callbacks/children) the first time it is observed
+  /// to have passed.
+  bool cancelled() const;
+
+  /// The winning reason, or kNone while live. Performs the same lazy
+  /// deadline check as cancelled().
+  CancelReason reason() const;
+
+  /// OK while live; otherwise the canonical status for the reason:
+  /// kClient/kShutdown → Cancelled, kDeadline → DeadlineExceeded.
+  Status ToStatus() const;
+
+  bool has_deadline() const;
+  Clock::time_point deadline() const;
+
+  /// Seconds until the deadline: +inf without one, <= 0 once passed.
+  double RemainingSeconds() const;
+
+  /// Interruptible sleep: blocks up to `wait`, waking early on Cancel()
+  /// or deadline expiry. Returns cancelled().
+  bool WaitFor(std::chrono::microseconds wait) const;
+
+  /// Registers `fn` to run exactly once when the token is cancelled (on
+  /// the cancelling thread, outside all token locks). If already
+  /// cancelled, runs `fn` inline and returns 0. Returns an id for
+  /// RemoveCallback. NOTE: removal races with an in-progress Cancel —
+  /// a removed callback may still run once, so `fn` must only touch
+  /// state that outlives it (e.g. notify a shared condition variable).
+  uint64_t AddCallback(std::function<void()> fn) const;
+  void RemoveCallback(uint64_t id) const;
+
+ private:
+  struct State;
+  explicit CancelToken(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  static void CancelState(const std::shared_ptr<State>& state,
+                          CancelReason reason);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace nxgraph
+
+#endif  // NXGRAPH_UTIL_CANCEL_H_

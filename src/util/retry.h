@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "src/util/cancel.h"
 #include "src/util/random.h"
 #include "src/util/status.h"
 
@@ -78,24 +79,43 @@ struct RetryCounters {
 /// failures are retried with backoff until attempts or the deadline run
 /// out; the first non-retryable failure (or success) is returned as-is.
 /// `op` must be idempotent. `counters` may be null.
+///
+/// `cancel` (optional) makes the loop observe external state instead of
+/// sleeping blind: cancellation is checked before every attempt, backoff
+/// waits are interruptible (a mid-backoff Cancel returns the token's
+/// status immediately, distinguishable from retryable-exhausted), and the
+/// op deadline is capped at the token's remaining deadline so a query
+/// with 10ms left never funds a 2s retry storm.
 template <typename Op>
 Status RunWithRetry(const RetryPolicy& policy, RetryCounters* counters,
-                    Op&& op) {
+                    Op&& op, const CancelToken* cancel = nullptr) {
   const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  double deadline_seconds = policy.op_deadline_seconds;
+  if (cancel != nullptr && deadline_seconds > cancel->RemainingSeconds()) {
+    deadline_seconds = cancel->RemainingSeconds();
+  }
   uint64_t waited_micros = 0;
   Status s;
   for (int attempt = 1;; ++attempt) {
+    if (cancel != nullptr && cancel->cancelled()) return cancel->ToStatus();
     s = op();
     if (s.ok() || !s.retryable() || attempt >= attempts) return s;
     const uint64_t salt =
         counters ? counters->retry_salt.fetch_add(1, std::memory_order_relaxed)
                  : static_cast<uint64_t>(attempt);
     const uint64_t wait = policy.BackoffMicros(attempt, salt);
-    if (static_cast<double>(waited_micros + wait) * 1e-6 >
-        policy.op_deadline_seconds) {
+    if (static_cast<double>(waited_micros + wait) * 1e-6 > deadline_seconds) {
       return s;
     }
-    if (wait > 0) std::this_thread::sleep_for(std::chrono::microseconds(wait));
+    if (wait > 0) {
+      if (cancel != nullptr) {
+        if (cancel->WaitFor(std::chrono::microseconds(wait))) {
+          return cancel->ToStatus();
+        }
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(wait));
+      }
+    }
     waited_micros += wait;
     if (counters) {
       counters->io_retries.fetch_add(1, std::memory_order_relaxed);

@@ -28,6 +28,8 @@ const char* CodeName(Status::Code code) {
       return "ResourceExhausted";
     case Status::Code::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case Status::Code::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

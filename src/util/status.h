@@ -34,6 +34,7 @@ class Status {
     kOutOfMemory = 7,
     kResourceExhausted = 8,
     kDeadlineExceeded = 9,
+    kCancelled = 10,
   };
 
   /// Creates an OK (success) status.
@@ -70,6 +71,11 @@ class Status {
   /// The operation's deadline passed before it could run to completion.
   static Status DeadlineExceeded(std::string msg) {
     return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  /// The operation was cooperatively cancelled (client cancel or server
+  /// drain — see CancelToken). Not retryable: the caller asked it to stop.
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
   }
 
   /// I/O error already known to be transient (retry may succeed).
@@ -112,6 +118,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code() == Code::kDeadlineExceeded;
   }
+  bool IsCancelled() const { return code() == Code::kCancelled; }
 
   Code code() const { return rep_ ? rep_->code : Code::kOk; }
 

@@ -203,7 +203,7 @@ TEST(ServerTest, QueueDeadlineShedsStaleQueries) {
   PointQuery q;
   q.kind = QueryKind::kBfs;
   q.root = 0;
-  q.limits.queue_deadline = std::chrono::milliseconds(5);
+  q.limits.deadline = std::chrono::milliseconds(5);
   auto f = (*server)->Submit(q);
   std::this_thread::sleep_for(std::chrono::milliseconds(30));
   (*server)->SetPaused(false);
